@@ -1,0 +1,235 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (Sec. 4), plus
+// throughput micro-benchmarks for the substrates. The experiment benches
+// run the full reproduction at the canonical 128³ / 512-partition layout
+// (the paper's 8×8×8 rank grid), so a single iteration can take seconds to
+// minutes; run with -benchtime=1x:
+//
+//	go test -bench=. -benchtime=1x -benchmem .
+//
+// The text tables for each figure are printed by cmd/experiments; the
+// benches here time their regeneration and assert they still produce rows.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/nyx"
+	"repro/internal/spectrum"
+	"repro/internal/sz"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *experiments.Context
+	benchCtxErr  error
+)
+
+// benchContext builds the shared canonical-scale context once.
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		benchCtx, benchCtxErr = experiments.NewContext(experiments.Config{
+			N: 128, PartitionDim: 16, Seed: 7,
+		})
+	})
+	if benchCtxErr != nil {
+		b.Fatal(benchCtxErr)
+	}
+	return benchCtx
+}
+
+// benchExperiment wraps one registered experiment as a benchmark.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ctx := benchContext(b)
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig03ErrorDistribution(b *testing.B)      { benchExperiment(b, "fig03") }
+func BenchmarkFig04FFTErrorDistribution(b *testing.B)   { benchExperiment(b, "fig04") }
+func BenchmarkFig05FFTErrorVariance(b *testing.B)       { benchExperiment(b, "fig05") }
+func BenchmarkFig06CandidateCells(b *testing.B)         { benchExperiment(b, "fig06") }
+func BenchmarkFig07HaloMassDistribution(b *testing.B)   { benchExperiment(b, "fig07") }
+func BenchmarkTable1MassPerChangedCell(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig08FaultCellEstimate(b *testing.B)      { benchExperiment(b, "fig08") }
+func BenchmarkFig09BitrateCurves(b *testing.B)          { benchExperiment(b, "fig09") }
+func BenchmarkFig10aCmPrediction(b *testing.B)          { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bRatioConsistency(b *testing.B)      { benchExperiment(b, "fig10b") }
+func BenchmarkFig11ErrorBoundMap(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12BitQualityRatio(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13PowerSpectrum(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14EffectiveCellHistogram(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15RatioAllFields(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkFig16Redshifts(b *testing.B)              { benchExperiment(b, "fig16") }
+func BenchmarkFig17RedshiftEbMaps(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkFig18PartitionSize(b *testing.B)          { benchExperiment(b, "fig18") }
+func BenchmarkFig19SimulationScale(b *testing.B)        { benchExperiment(b, "fig19") }
+func BenchmarkSec43Overhead(b *testing.B)               { benchExperiment(b, "sec43") }
+
+// Ablation benches (DESIGN.md Sec. 5).
+func BenchmarkAblationPredictor(b *testing.B)         { benchExperiment(b, "ablation-predictor") }
+func BenchmarkAblationQuantPlacement(b *testing.B)    { benchExperiment(b, "ablation-quant") }
+func BenchmarkAblationClamp(b *testing.B)             { benchExperiment(b, "ablation-clamp") }
+func BenchmarkAblationOptimizationOrder(b *testing.B) { benchExperiment(b, "ablation-strategy") }
+func BenchmarkAblationCmSource(b *testing.B)          { benchExperiment(b, "ablation-cm") }
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+var (
+	benchFieldOnce sync.Once
+	benchField     *grid.Field3D
+	benchFieldErr  error
+)
+
+func benchDensity(b *testing.B) *grid.Field3D {
+	b.Helper()
+	benchFieldOnce.Do(func() {
+		s, err := nyx.Generate(nyx.Params{N: 64, Seed: 11, Redshift: 42})
+		if err != nil {
+			benchFieldErr = err
+			return
+		}
+		benchField, benchFieldErr = s.Field(nyx.FieldBaryonDensity)
+	})
+	if benchFieldErr != nil {
+		b.Fatal(benchFieldErr)
+	}
+	return benchField
+}
+
+func BenchmarkSZCompress(b *testing.B) {
+	f := benchDensity(b)
+	opt := sz.Options{Mode: sz.ABS, ErrorBound: 0.1}
+	b.SetBytes(int64(4 * f.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.Compress(f, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZDecompress(b *testing.B) {
+	f := benchDensity(b)
+	c, err := sz.Compress(f, sz.Options{Mode: sz.ABS, ErrorBound: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * f.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.Decompress(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT3D(b *testing.B) {
+	f := benchDensity(b)
+	plan, err := fft.NewPlan3D(f.Nx, f.Ny, f.Nz, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := fft.FieldToComplex(f)
+	buf := make([]complex128, len(data))
+	b.SetBytes(int64(16 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		if err := plan.Forward(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerSpectrum(b *testing.B) {
+	f := benchDensity(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectrum.Compute(f, spectrum.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHaloFinder(b *testing.B) {
+	f := benchDensity(b)
+	bt, pt := nyx.DefaultHaloConfig()
+	cfg := halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := halo.Find(f, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	f := benchDensity(b)
+	p, err := grid.PartitionerForBrickDim(f.Nx, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt, _ := nyx.DefaultHaloConfig()
+	opt := grid.FeatureOptions{HaloThreshold: bt, RefEB: 1}
+	b.SetBytes(int64(4 * f.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid.ExtractFeatures(f, p, opt)
+	}
+}
+
+func BenchmarkAdaptivePipeline(b *testing.B) {
+	// End-to-end: plan + adaptive compression (calibration excluded, as it
+	// is a one-time offline step).
+	f := benchDensity(b)
+	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := eng.Calibrate(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * f.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := eng.Plan(f, cal, core.PlanOptions{AvgEB: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.CompressAdaptive(f, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNyxGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := nyx.Generate(nyx.Params{N: 64, Seed: uint64(i + 1), Redshift: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCompressor(b *testing.B) { benchExperiment(b, "ablation-compressor") }

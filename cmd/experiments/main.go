@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's tables and figures as text
+// tables (see internal/experiments for the per-figure implementations).
+//
+// Usage:
+//
+//	experiments                 # run everything at the default 128³ scale
+//	experiments -only fig15     # one experiment
+//	experiments -n 64 -list     # list IDs; run at reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		n         = flag.Int("n", 128, "grid dimension")
+		partition = flag.Int("partition", 16, "partition brick dimension")
+		seed      = flag.Uint64("seed", 7, "random seed")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ctx, err := experiments.NewContext(experiments.Config{
+		N: *n, PartitionDim: *partition, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var toRun []experiments.Experiment
+	if *only == "" {
+		toRun = experiments.All
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		start := time.Now()
+		res, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command foresight runs the broad-spectrum evaluation the paper performs
+// with VizAly-Foresight: it sweeps static error bounds over a snapshot
+// field, computes general and analysis-aware quality metrics for each, and
+// optionally runs the trial-and-error baseline search.
+//
+// Usage:
+//
+//	foresight -snapshot data/snapshot_z42.nyx -field temperature \
+//	          -lo 1 -hi 1e5 -steps 11 [-halo] [-csv out.csv] [-baseline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/foresight"
+	"repro/internal/halo"
+	"repro/internal/nyx"
+	"repro/internal/snapio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("foresight: ")
+	var (
+		snapPath  = flag.String("snapshot", "", "snapshot file from nyxgen (required)")
+		fieldName = flag.String("field", nyx.FieldBaryonDensity, "field to evaluate")
+		partition = flag.Int("partition", 16, "partition brick dimension")
+		lo        = flag.Float64("lo", 0, "smallest error bound (0 = mean|value|/1000)")
+		hi        = flag.Float64("hi", 0, "largest error bound (0 = mean|value|*10)")
+		steps     = flag.Int("steps", 9, "sweep points (geometric)")
+		useHalo   = flag.Bool("halo", false, "evaluate halo-finder quality as well")
+		baseline  = flag.Bool("baseline", false, "run the trial-and-error baseline search")
+		csvPath   = flag.String("csv", "", "write results as CSV")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	)
+	flag.Parse()
+	if *snapPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	snap, err := snapio.ReadFile(*snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, ok := snap.Fields[*fieldName]
+	if !ok {
+		log.Fatalf("field %q not in snapshot", *fieldName)
+	}
+	eng, err := core.NewEngine(core.Config{PartitionDim: *partition, Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := &foresight.Evaluator{Engine: eng, Workers: *workers}
+	if *useHalo {
+		bt, pt := nyx.DefaultHaloConfig()
+		ev.Halo = &halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+	}
+
+	// Default sweep range anchored on the field's mean magnitude.
+	var meanAbs float64
+	for _, v := range f.Data {
+		if v < 0 {
+			meanAbs -= float64(v)
+		} else {
+			meanAbs += float64(v)
+		}
+	}
+	meanAbs /= float64(len(f.Data))
+	if *lo <= 0 {
+		*lo = meanAbs / 1000
+	}
+	if *hi <= 0 {
+		*hi = meanAbs * 10
+	}
+	ebs, err := foresight.GeometricGrid(*lo, *hi, *steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sweeping %s over %d bounds in [%.4g, %.4g]\n", *fieldName, len(ebs), *lo, *hi)
+	rows, err := ev.Sweep(*fieldName, f, ebs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-8s %-9s %-8s %-14s %-10s\n",
+		"eb", "ratio", "bits/val", "psnr", "spectrum_dev", "quality")
+	for _, m := range rows {
+		fmt.Printf("%-12.4g %-8.2f %-9.3f %-8.2f %-14.5f %-10v\n",
+			m.EB, m.Ratio, m.BitRate, m.PSNR, m.SpectrumMaxDev, m.QualityOK())
+	}
+
+	if *baseline {
+		res, err := ev.TrialAndError(*fieldName, f, ebs, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trial-and-error baseline: knee eb %.4g, deployed eb %.4g (%d trials)\n",
+			res.BestPassingEB, res.ChosenEB, res.Trials)
+	}
+
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := foresight.WriteCSV(out, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a pure-Go reproduction of "Adaptive Configuration of In
+// Situ Lossy Compression for Cosmology Simulations via Fine-Grained
+// Rate-Quality Modeling" (Jin et al., HPDC '21).
+//
+// The public entry points live in internal/core (the adaptive
+// configurator), with the substrates in internal/sz (the error-bounded
+// compressor), internal/nyx (the synthetic cosmology generator),
+// internal/spectrum and internal/halo (the post-hoc analyses),
+// internal/model and internal/optimizer (the paper's rate-quality models
+// and error-bound allocation), and internal/experiments (one function per
+// paper table/figure). See README.md for the architecture overview and
+// DESIGN.md for the system inventory.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation:
+//
+//	go test -bench=. -benchtime=1x -benchmem .
+package repro

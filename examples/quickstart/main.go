@@ -1,0 +1,88 @@
+// Quickstart: generate a small synthetic cosmology field, calibrate the
+// rate model, plan per-partition error bounds, and compare adaptive
+// compression against the static baseline — the whole pipeline of the
+// paper in ~60 lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/nyx"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A 64³ synthetic Nyx-like snapshot (stands in for real data).
+	snap, err := nyx.Generate(nyx.Params{N: 64, Seed: 1, Redshift: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	density, err := snap.Field(nyx.FieldBaryonDensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. An engine that cuts the field into 16³ bricks (64 partitions).
+	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Calibrate the bit-rate/error-bound model once (paper Eq. 15).
+	cal, err := eng.Calibrate(density)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rate model: bitrate = C_m · eb^%.3f (fit R² %.3f)\n",
+		cal.Model.Exponent, cal.Model.FitR2)
+
+	// 4. Derive the quality budget from the power-spectrum target
+	// (P'(k)/P(k) within ±1 % for k < 10, 2σ confidence).
+	avgEB, err := core.SpectrumBudget(density, core.BudgetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality budget: average error bound %.4g\n", avgEB)
+
+	// 5. Plan per-partition bounds (paper Eq. 16 + clamp).
+	plan, err := eng.Plan(density, cal, core.PlanOptions{AvgEB: avgEB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m stats.Moments
+	for _, eb := range plan.EBs {
+		m.Add(eb)
+	}
+	fmt.Printf("plan: %d partitions, eb from %.4g to %.4g\n",
+		len(plan.EBs), m.Min(), m.Max())
+
+	// 6. Compress both ways and compare.
+	adaptive, err := eng.CompressAdaptive(density, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	static, err := eng.CompressStatic(density, avgEB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static   ratio: %6.2f (%.3f bits/value)\n", static.Ratio(), static.BitRate())
+	fmt.Printf("adaptive ratio: %6.2f (%.3f bits/value)  %+.1f%%\n",
+		adaptive.Ratio(), adaptive.BitRate(), (adaptive.Ratio()/static.Ratio()-1)*100)
+
+	// 7. Round-trip and verify the error bound held everywhere.
+	recon, err := adaptive.Decompress()
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr, err := stats.MaxAbsError(density.Data, recon.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max pointwise error %.4g (largest assigned bound %.4g)\n", maxErr, m.Max())
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sz"
+)
+
+// Archive framing for a CompressedField: a small header followed by
+// length-prefixed sz streams, one per partition in partition-ID order.
+//
+//	offset size  field
+//	0      4     magic "ACFD"
+//	4      4     version (1)
+//	8      12    nx, ny, nz (uint32)
+//	20     4     partition dim
+//	24     4     partition count
+//	28     ...   per partition: uint32 length + sz stream bytes
+const (
+	archiveMagic   = "ACFD"
+	archiveVersion = 1
+	archiveHeader  = 28
+)
+
+// Bytes serializes the compressed field. Each partition's stream carries
+// its own CRC (see sz.Parse), so the archive needs no extra checksum.
+func (cf *CompressedField) Bytes() []byte {
+	out := make([]byte, archiveHeader, archiveHeader+cf.CompressedSize()+4*len(cf.Parts))
+	copy(out[0:4], archiveMagic)
+	binary.LittleEndian.PutUint32(out[4:8], archiveVersion)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(cf.Nx))
+	binary.LittleEndian.PutUint32(out[12:16], uint32(cf.Ny))
+	binary.LittleEndian.PutUint32(out[16:20], uint32(cf.Nz))
+	binary.LittleEndian.PutUint32(out[20:24], uint32(cf.PartitionDim))
+	binary.LittleEndian.PutUint32(out[24:28], uint32(len(cf.Parts)))
+	for _, p := range cf.Parts {
+		blob := p.Bytes()
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, blob...)
+	}
+	return out
+}
+
+// ParseCompressedField reverses Bytes, validating every partition stream.
+func ParseCompressedField(data []byte) (*CompressedField, error) {
+	if len(data) < archiveHeader {
+		return nil, fmt.Errorf("core: archive shorter than header")
+	}
+	if string(data[0:4]) != archiveMagic {
+		return nil, fmt.Errorf("core: bad archive magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != archiveVersion {
+		return nil, fmt.Errorf("core: unsupported archive version %d", v)
+	}
+	cf := &CompressedField{
+		Nx:           int(binary.LittleEndian.Uint32(data[8:12])),
+		Ny:           int(binary.LittleEndian.Uint32(data[12:16])),
+		Nz:           int(binary.LittleEndian.Uint32(data[16:20])),
+		PartitionDim: int(binary.LittleEndian.Uint32(data[20:24])),
+	}
+	count := int(binary.LittleEndian.Uint32(data[24:28]))
+	if cf.Nx <= 0 || cf.Ny <= 0 || cf.Nz <= 0 || cf.PartitionDim <= 0 || count <= 0 {
+		return nil, fmt.Errorf("core: invalid archive header (%d×%d×%d / dim %d / %d parts)",
+			cf.Nx, cf.Ny, cf.Nz, cf.PartitionDim, count)
+	}
+	pos := archiveHeader
+	cf.Parts = make([]*sz.Compressed, 0, count)
+	for i := 0; i < count; i++ {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("core: archive truncated at partition %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+		if pos+n > len(data) {
+			return nil, fmt.Errorf("core: partition %d stream truncated", i)
+		}
+		p, err := sz.Parse(data[pos : pos+n])
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		cf.Parts = append(cf.Parts, p)
+		pos += n
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("core: %d trailing bytes in archive", len(data)-pos)
+	}
+	return cf, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+)
+
+// BudgetOptions controls how a power-spectrum quality target is converted
+// into an average-error-bound budget (the paper's "2σ from Equation 10
+// mapped to an acceptable error range", Sec. 4.2).
+type BudgetOptions struct {
+	// Tolerance is the admissible |P'(k)/P(k) − 1| (paper: 0.01).
+	Tolerance float64
+	// KMax is the highest wavenumber the band applies to (paper: 10).
+	KMax float64
+	// Confidence is the two-sided coverage probability (paper: 95.45 %).
+	Confidence float64
+	// ShellAveraging accounts for the √count error reduction when a
+	// shell averages many modes (default true). Disabling it reproduces
+	// the paper's more conservative single-bin mapping.
+	ShellAveraging bool
+	// Workers bounds the FFT worker pool.
+	Workers int
+}
+
+func (o BudgetOptions) withDefaults() BudgetOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.01
+	}
+	if o.KMax == 0 {
+		o.KMax = 10
+	}
+	if o.Confidence == 0 {
+		o.Confidence = stats.TwoSigmaConfidence
+	}
+	return o
+}
+
+// SpectrumBudget derives the average error bound that keeps the power
+// spectrum of an n³ field within 1 ± Tolerance for k < KMax at the given
+// confidence, using the FFT error model (Eqs. 9–10) anchored on a
+// reference field's measured spectrum.
+//
+// Derivation per shell k (component bin error σ, shell amplitude
+// A² = mean|F|², count c): the shell power error has a deterministic bias
+// 2σ² (mean |E|² over both components) and a random part with standard
+// deviation ≈ 2Aσ/√c. Requiring  conf·(2Aσ/√c) + 2σ² ≤ tol·A²  and solving
+// the quadratic for σ gives the shell's admissible bin σ; the budget is the
+// most restrictive shell's value, inverted through Eq. 9.
+func SpectrumBudget(f *grid.Field3D, opt BudgetOptions) (float64, error) {
+	opt = opt.withDefaults()
+	if f.Nx != f.Ny || f.Ny != f.Nz {
+		return 0, fmt.Errorf("core: spectrum budget needs a cubic field, got %s", f)
+	}
+	sp, err := spectrum.Compute(f, spectrum.Options{Workers: opt.Workers})
+	if err != nil {
+		return 0, err
+	}
+	n := f.Nx
+	n3 := float64(n) * float64(n) * float64(n)
+	k := stats.ConfidenceFactor(opt.Confidence)
+	best := math.Inf(1)
+	for shell := 1; shell < sp.Len(); shell++ {
+		if sp.K[shell] >= opt.KMax || sp.Counts[shell] == 0 || sp.P[shell] <= 0 {
+			continue
+		}
+		// Convert the normalized shell power back to raw |F| units
+		// (BinShells divides |F|² by N⁶).
+		a2 := sp.P[shell] * n3 * n3
+		a := math.Sqrt(a2)
+		cnt := float64(sp.Counts[shell])
+		var sigma float64
+		if opt.ShellAveraging {
+			// 2σ² + (2kA/√c)σ − tol·A² = 0.
+			b := 2 * k * a / math.Sqrt(cnt)
+			sigma = (-b + math.Sqrt(b*b+8*opt.Tolerance*a2)) / 4
+		} else {
+			// Single-bin mapping: conf·(2Aσ) + 2σ² ≤ tol·A².
+			b := 2 * k * a
+			sigma = (-b + math.Sqrt(b*b+8*opt.Tolerance*a2)) / 4
+		}
+		if sigma < best {
+			best = sigma
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, errors.New("core: no populated shells below KMax")
+	}
+	return model.AverageEBForFFTSigma(n, best), nil
+}
+
+// HaloBudget derives the halo constraint for a density field from a
+// reference catalog: the admissible total mass distortion for a mass-ratio
+// RMSE within 1 ± tol (paper: 0.01).
+func HaloBudget(f *grid.Field3D, cfg halo.Config, tol, refEB float64, p *grid.Partitioner) (*HaloBudgetResult, error) {
+	if tol <= 0 {
+		return nil, errors.New("core: halo tolerance must be positive")
+	}
+	if refEB <= 0 {
+		return nil, errors.New("core: halo reference eb must be positive")
+	}
+	cat, err := halo.Find(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fts := grid.ExtractFeatures(f, p, grid.FeatureOptions{
+		HaloThreshold: cfg.BoundaryThreshold,
+		RefEB:         refEB,
+	})
+	cells := make([]int, len(fts))
+	for i, ft := range fts {
+		cells[i] = ft.BoundaryCells
+	}
+	return &HaloBudgetResult{
+		Catalog:       cat,
+		BoundaryCells: cells,
+		RefEB:         refEB,
+		TBoundary:     cfg.BoundaryThreshold,
+		MassBudget:    model.MassBudgetFromRMSE(cat.TotalMass(), tol),
+	}, nil
+}
+
+// HaloBudgetResult carries everything the optimizer's halo constraint
+// needs, plus the reference catalog for later comparison.
+type HaloBudgetResult struct {
+	Catalog       *halo.Catalog
+	BoundaryCells []int
+	RefEB         float64
+	TBoundary     float64
+	MassBudget    float64
+}
+
+// Constraint converts the budget result into the optimizer's constraint.
+func (h *HaloBudgetResult) Constraint() optimizer.HaloConstraint {
+	return optimizer.HaloConstraint{
+		TBoundary:     h.TBoundary,
+		RefEB:         h.RefEB,
+		BoundaryCells: h.BoundaryCells,
+		MassBudget:    h.MassBudget,
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/sz"
+)
+
+// Calibration is a fitted rate model for one field kind. The paper fits the
+// shared exponent c once and predicts each partition's coefficient from its
+// mean (Sec. 3.5); we calibrate per field kind (density, temperature, ...)
+// because absolute value scales differ by orders of magnitude between
+// fields, and reuse the calibration across snapshots (Fig. 10b shows rate
+// curves are consistent over time).
+type Calibration struct {
+	Model *model.RateModel
+	// Curves are the sampled calibration curves (kept for diagnostics and
+	// the Fig. 9/10 experiments).
+	Curves []model.Curve
+	// PartitionIDs[i] is the partition index curve i was sampled from.
+	PartitionIDs []int
+	// EBs is the error-bound grid the curves were sampled at.
+	EBs []float64
+}
+
+// CalibrationOptions tunes sampling.
+type CalibrationOptions struct {
+	// Partitions is the number of sampled partitions (default 16),
+	// spread evenly across the feature range.
+	Partitions int
+	// RelEBs is the error-bound grid relative to the field's mean |value|
+	// (default {1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1}). Anchoring on the
+	// mean rather than the range keeps the grid in the regime where error
+	// bounds are actually planned, even for heavy-tailed fields whose
+	// range is 10⁵× their mean.
+	RelEBs []float64
+	// EBs, when non-empty, overrides the relative grid with absolute
+	// error bounds.
+	EBs []float64
+}
+
+func (o CalibrationOptions) withDefaults() CalibrationOptions {
+	if o.Partitions == 0 {
+		o.Partitions = 16
+	}
+	if len(o.RelEBs) == 0 {
+		o.RelEBs = []float64{1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1}
+	}
+	return o
+}
+
+// Calibrate samples bit-rate/error-bound curves from a representative field
+// and fits the rate model. This is the offline step of the paper's
+// methodology — done once, reused for every snapshot and partition.
+func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibration, error) {
+	var o CalibrationOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+
+	p, err := e.partitioner(f)
+	if err != nil {
+		return nil, err
+	}
+	features := e.extractFeatures(f, p)
+	lo, hi := f.MinMax()
+	if hi <= lo {
+		return nil, errors.New("core: cannot calibrate on a constant field")
+	}
+	var ebs []float64
+	if len(o.EBs) > 0 {
+		ebs = append([]float64(nil), o.EBs...)
+	} else {
+		anchor := stats.MeanOf(features) // dataset mean |value|
+		if anchor <= 0 {
+			return nil, errors.New("core: zero mean |value|; cannot anchor calibration grid")
+		}
+		ebs = make([]float64, len(o.RelEBs))
+		for i, rel := range o.RelEBs {
+			ebs[i] = rel * anchor
+		}
+	}
+	for _, eb := range ebs {
+		if eb <= 0 {
+			return nil, fmt.Errorf("core: non-positive calibration eb %v", eb)
+		}
+	}
+
+	// Pick sample partitions at evenly spaced feature quantiles so the
+	// C_m-vs-feature fit sees the whole compressibility range.
+	idx := make([]int, len(features))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return features[idx[a]] < features[idx[b]] })
+	nSamp := o.Partitions
+	if nSamp > len(idx) {
+		nSamp = len(idx)
+	}
+	if nSamp < 2 {
+		return nil, errors.New("core: need at least 2 partitions to calibrate")
+	}
+	samples := make([]int, 0, nSamp)
+	for i := 0; i < nSamp; i++ {
+		q := idx[i*(len(idx)-1)/(nSamp-1)]
+		samples = append(samples, q)
+	}
+	// Heavy-tailed fields (most partitions are near-empty voids) would
+	// fill every quantile with flat curves, so the top partitions by
+	// feature are always included: they carry the rate information.
+	topK := nSamp / 2
+	if topK < 4 {
+		topK = 4
+	}
+	for i := 0; i < topK && i < len(idx); i++ {
+		samples = append(samples, idx[len(idx)-1-i])
+	}
+	// De-duplicate while preserving order (quantiles can collide on small
+	// partition counts).
+	seen := make(map[int]bool, len(samples))
+	uniq := samples[:0]
+	for _, s := range samples {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	samples = uniq
+
+	curves := make([]model.Curve, 0, len(samples))
+	ids := make([]int, 0, len(samples))
+	parts := p.Partitions()
+	for _, pi := range samples {
+		part := parts[pi]
+		data := grid.Extract(f, part)
+		nx, ny, nz := part.Dims()
+		cu := model.Curve{Feature: features[pi], EBs: ebs}
+		rates := make([]float64, len(ebs))
+		for j, eb := range ebs {
+			c, err := sz.CompressSlice(data, nx, ny, nz, e.szOptions(eb))
+			if err != nil {
+				return nil, fmt.Errorf("core: calibration compress (partition %d, eb %g): %w", pi, eb, err)
+			}
+			rates[j] = c.BitRate()
+		}
+		cu.BitRates = rates
+		curves = append(curves, cu)
+		ids = append(ids, pi)
+	}
+	rm, err := model.Calibrate(curves)
+	if err != nil {
+		return nil, fmt.Errorf("core: rate-model fit: %w", err)
+	}
+	return &Calibration{Model: rm, Curves: curves, PartitionIDs: ids, EBs: ebs}, nil
+}
+
+// SuggestStaticEB inverts the rate model for the static baseline: the
+// uniform bound that the model predicts hits the same average bit rate as
+// a given adaptive plan (used by equal-rate comparisons).
+func (c *Calibration) SuggestStaticEB(features []float64, targetBitRate float64) (float64, error) {
+	if c == nil || c.Model == nil {
+		return 0, errors.New("core: nil calibration")
+	}
+	if targetBitRate <= 0 {
+		return 0, errors.New("core: target bit rate must be positive")
+	}
+	// Bisection on eb: dataset bit rate is monotone decreasing in eb.
+	lo, hi := 1e-12, 1e12
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric, spans decades
+		uniform := make([]float64, len(features))
+		for j := range uniform {
+			uniform[j] = mid
+		}
+		br, err := c.Model.DatasetBitRate(features, uniform)
+		if err != nil {
+			return 0, err
+		}
+		if br > targetBitRate {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}

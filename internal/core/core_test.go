@@ -1,0 +1,430 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/nyx"
+	"repro/internal/stats"
+)
+
+// testSnapshot memoizes one synthetic snapshot for the whole test file.
+var testSnap *nyx.Snapshot
+
+func snap(t *testing.T) *nyx.Snapshot {
+	t.Helper()
+	if testSnap == nil {
+		s, err := nyx.Generate(nyx.Params{N: 64, Seed: 11, Redshift: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSnap = s
+	}
+	return testSnap
+}
+
+func field(t *testing.T, name string) *grid.Field3D {
+	f, err := snap(t).Field(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func engine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineDefaults(t *testing.T) {
+	e := engine(t, Config{})
+	if e.Config().PartitionDim != 16 || e.Config().ClampFactor != 4 || e.Config().Workers < 1 {
+		t.Errorf("defaults not applied: %+v", e.Config())
+	}
+	if _, err := NewEngine(Config{PartitionDim: -1}); err == nil {
+		t.Error("negative partition dim accepted")
+	}
+	if _, err := NewEngine(Config{ClampFactor: 0.2}); err == nil {
+		t.Error("clamp < 1 accepted")
+	}
+}
+
+func TestCalibrateOnTemperature(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	cal, err := e.Calibrate(field(t, nyx.FieldTemperature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cal.Model.Exponent >= 0 || cal.Model.Exponent < -2 {
+		t.Errorf("exponent %v outside plausible range", cal.Model.Exponent)
+	}
+	if len(cal.Curves) < 2 {
+		t.Errorf("only %d calibration curves", len(cal.Curves))
+	}
+	// The fitted model should predict the calibration curves within ~50 %
+	// (the paper's model is approximate; it only needs relative ordering).
+	var relErr stats.Moments
+	for _, cu := range cal.Curves {
+		for j := range cu.EBs {
+			pred := cal.Model.BitRate(cu.Feature, cu.EBs[j])
+			relErr.Add(math.Abs(pred-cu.BitRates[j]) / cu.BitRates[j])
+		}
+	}
+	if relErr.Mean() > 0.5 {
+		t.Errorf("mean relative rate-model error %.2f too large", relErr.Mean())
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	flat := grid.NewCube(32)
+	flat.Fill(1)
+	if _, err := e.Calibrate(flat); err == nil {
+		t.Error("constant field calibrated")
+	}
+	odd := grid.NewCube(30) // not divisible by 16
+	if _, err := e.Calibrate(odd); err == nil {
+		t.Error("non-divisible field accepted")
+	}
+}
+
+func TestPlanAndCompressAdaptive(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldTemperature)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.MinMax()
+	avgEB := float64(hi-lo) * 1e-4
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: avgEB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.EBs) != 64 { // (64/16)³
+		t.Fatalf("plan has %d bounds", len(plan.EBs))
+	}
+	if math.Abs(stats.MeanOf(plan.EBs)-avgEB) > 1e-6*avgEB {
+		t.Errorf("plan mean eb %v != budget %v", stats.MeanOf(plan.EBs), avgEB)
+	}
+
+	adaptive, err := e.CompressAdaptive(f, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := e.CompressStatic(f, avgEB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same quality budget (same average eb) → adaptive must not lose.
+	if adaptive.Ratio() < static.Ratio()*0.98 {
+		t.Errorf("adaptive ratio %.2f below static %.2f", adaptive.Ratio(), static.Ratio())
+	}
+
+	// Error bound per partition must hold after decompression.
+	recon, err := adaptive.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := grid.PartitionerForBrickDim(64, 16)
+	for i, part := range p.Partitions() {
+		orig := grid.Extract(f, part)
+		rec := grid.Extract(recon, part)
+		mx, _ := stats.MaxAbsError(orig, rec)
+		if mx > plan.EBs[i]*(1+1e-5) {
+			t.Fatalf("partition %d: error %v > eb %v", i, mx, plan.EBs[i])
+		}
+	}
+}
+
+func TestAdaptiveBeatsStaticOnBaryonDensity(t *testing.T) {
+	// The heavy-tailed density field is where the paper's gains live.
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldBaryonDensity)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgEB := 0.1 // units of mean density
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: avgEB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := e.CompressAdaptive(f, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := e.CompressStatic(f, avgEB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improvement := adaptive.Ratio()/static.Ratio() - 1
+	t.Logf("adaptive %.2f vs static %.2f (+%.1f%%)",
+		adaptive.Ratio(), static.Ratio(), improvement*100)
+	if improvement < 0.02 {
+		t.Errorf("adaptive improvement %.3f too small on heterogeneous field", improvement)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldTemperature)
+	cal, _ := e.Calibrate(f)
+	if _, err := e.Plan(f, nil, PlanOptions{AvgEB: 1}); err == nil {
+		t.Error("nil calibration accepted")
+	}
+	if _, err := e.Plan(f, cal, PlanOptions{AvgEB: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := e.CompressAdaptive(f, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := e.CompressStatic(f, -1); err == nil {
+		t.Error("negative static eb accepted")
+	}
+}
+
+func TestSpectrumBudgetMonotone(t *testing.T) {
+	f := field(t, nyx.FieldBaryonDensity)
+	tight, err := SpectrumBudget(f, BudgetOptions{Tolerance: 0.001, ShellAveraging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SpectrumBudget(f, BudgetOptions{Tolerance: 0.1, ShellAveraging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tight > 0 && loose > tight) {
+		t.Errorf("budgets not monotone in tolerance: %v vs %v", tight, loose)
+	}
+	// The paper's conservative single-bin mapping must be stricter.
+	conservative, err := SpectrumBudget(f, BudgetOptions{Tolerance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conservative >= loose {
+		t.Errorf("single-bin budget %v not below shell-averaged %v", conservative, loose)
+	}
+}
+
+func TestHaloBudgetAndPlan(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldBaryonDensity)
+	bt, pt := nyx.DefaultHaloConfig()
+	hcfg := halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+	p, _ := grid.PartitionerForBrickDim(64, 16)
+	hb, err := HaloBudget(f, hcfg, 0.01, 1.0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Catalog.Count() == 0 {
+		t.Skip("no halos at this seed; halo plan not exercisable")
+	}
+	if hb.MassBudget <= 0 {
+		t.Fatal("zero mass budget despite halos")
+	}
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := hb.Constraint()
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.5, Halo: &hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := MassFaultEstimate(hb.TBoundary, hb.RefEB, hb.BoundaryCells, plan.EBs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est > hb.MassBudget*(1+1e-9) {
+		t.Errorf("plan violates halo budget: %v > %v", est, hb.MassBudget)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldDarkMatterDensity)
+	cf, err := e.CompressStatic(f, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := cf.Bytes()
+	parsed, err := ParseCompressedField(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cf.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parsed.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("archive round trip changed data")
+		}
+	}
+	if parsed.Ratio() != cf.Ratio() {
+		t.Errorf("ratio changed through archive")
+	}
+}
+
+func TestArchiveRejectsCorruption(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldDarkMatterDensity)
+	cf, _ := e.CompressStatic(f, 0.05)
+	blob := cf.Bytes()
+	cases := map[string]func([]byte) []byte{
+		"short":     func(b []byte) []byte { return b[:10] },
+		"magic":     func(b []byte) []byte { b[0] = 'x'; return b },
+		"version":   func(b []byte) []byte { b[4] = 9; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-7] },
+		"payload":   func(b []byte) []byte { b[len(b)-9] ^= 0xFF; return b },
+		"trailing":  func(b []byte) []byte { return append(b, 0) },
+	}
+	for name, corrupt := range cases {
+		if _, err := ParseCompressedField(corrupt(bytes.Clone(blob))); err == nil {
+			t.Errorf("%s corruption accepted", name)
+		}
+	}
+}
+
+func TestCompressInSitu(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldBaryonDensity)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, st, err := e.CompressInSitu(f, cal, InSituOptions{Ranks: 8, AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ranks != 8 || st.Collectives < 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if len(st.EBs) != 64 {
+		t.Fatalf("in situ assigned %d ebs", len(st.EBs))
+	}
+	// All bounds inside the clamp box.
+	for i, eb := range st.EBs {
+		if eb < 0.1/4-1e-12 || eb > 0.4+1e-12 {
+			t.Fatalf("eb[%d] = %v outside box", i, eb)
+		}
+	}
+	recon, err := cf.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, _ := stats.MaxAbsError(f.Data, recon.Data)
+	if mx > 0.4*(1+1e-5) {
+		t.Errorf("in situ max error %v beyond clamp cap", mx)
+	}
+
+	// The in situ result must agree with the offline path's ratio within
+	// a few percent (they differ only in the mean-preserving rescale).
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := e.CompressAdaptive(f, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(cf.Ratio()-offline.Ratio()) / offline.Ratio(); rel > 0.25 {
+		t.Errorf("in situ ratio %.2f far from offline %.2f", cf.Ratio(), offline.Ratio())
+	}
+}
+
+func TestCompressInSituRankInvariance(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldTemperature)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.MinMax()
+	avgEB := float64(hi-lo) * 1e-4
+	var ref []float64
+	for _, ranks := range []int{1, 4, 16} {
+		_, st, err := e.CompressInSitu(f, cal, InSituOptions{Ranks: ranks, AvgEB: avgEB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = st.EBs
+			continue
+		}
+		for i := range ref {
+			if math.Abs(st.EBs[i]-ref[i]) > 1e-9*ref[i] {
+				t.Fatalf("ranks=%d: eb[%d] %v != %v", ranks, i, st.EBs[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCompressInSituHaloBudget(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldBaryonDensity)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, _ := nyx.DefaultHaloConfig()
+	// An absurdly tight budget must force a visible downscale.
+	_, st, err := e.CompressInSitu(f, cal, InSituOptions{
+		Ranks: 4, AvgEB: 1.0,
+		Halo: &InSituHalo{TBoundary: bt, RefEB: 1.0, MassBudget: 1e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HaloScale >= 1 {
+		t.Skip("no boundary cells at this seed; scale not triggered")
+	}
+	if st.HaloScale <= 0 {
+		t.Fatalf("invalid halo scale %v", st.HaloScale)
+	}
+}
+
+func TestSuggestStaticEB(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldTemperature)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := grid.PartitionerForBrickDim(64, 16)
+	features := e.extractFeatures(f, p)
+	target := 2.0 // bits/value
+	eb, err := cal.SuggestStaticEB(features, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := make([]float64, len(features))
+	for i := range uniform {
+		uniform[i] = eb
+	}
+	br, err := cal.Model.DatasetBitRate(features, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(br-target) > 0.01*target {
+		t.Errorf("SuggestStaticEB: model bit rate %v at eb %v, want %v", br, eb, target)
+	}
+	if _, err := cal.SuggestStaticEB(features, -1); err == nil {
+		t.Error("negative target accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+func TestAblationCompressor(t *testing.T) {
+	res := runExperiment(t, "ablation-compressor")
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 matched rates, got %d", len(res.Rows))
+	}
+	// SZ's error bound is honored at every matched rate: max err ≤ eb.
+	for _, row := range res.Rows {
+		eb := parse(t, row[3])
+		szMax := parse(t, row[4])
+		if szMax > eb*(1+1e-5) {
+			t.Errorf("SZ bound violated at rate %s: %v > %v", row[0], szMax, eb)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/nyx"
+	"repro/internal/stats"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// AblationCompressor substantiates the paper's Sec. 2.2 compressor choice:
+// SZ (prediction-based, error-bounded) versus ZFP (transform-based,
+// fixed-rate). For a set of ZFP rates, each codec compresses the
+// temperature field; SZ's error bound is bisected until its bit rate
+// matches ZFP's, and the PSNRs are compared at that matched rate. The
+// paper states SZ "provides a higher compression ratio than ZFP and offers
+// the absolute error-bound mode that ZFP does not support".
+func AblationCompressor(ctx *Context) (*Result, error) {
+	f, err := ctx.Field(nyx.FieldTemperature)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "ablation-compressor",
+		Title: "Ablation: SZ vs ZFP at matched bit rate (temperature)",
+		Cols: []string{"bits/value", "zfp_psnr", "sz_psnr", "sz_eb",
+			"sz_max_err", "zfp_max_err"},
+	}
+	szWins := 0
+	for _, rate := range []float64{1, 2, 4, 8} {
+		zc, err := zfp.Compress(f, zfp.Options{Rate: rate})
+		if err != nil {
+			return nil, err
+		}
+		zr, err := zfp.Decompress(zc)
+		if err != nil {
+			return nil, err
+		}
+		zPSNR, _ := stats.PSNR(f.Data, zr.Data)
+		zMax, _ := stats.MaxAbsError(f.Data, zr.Data)
+
+		// Bisect SZ's error bound to hit the same achieved bit rate.
+		eb, sc, err := szAtBitRate(f, zc.BitRate())
+		if err != nil {
+			return nil, err
+		}
+		sr, err := sz.Decompress(sc)
+		if err != nil {
+			return nil, err
+		}
+		sPSNR, _ := stats.PSNR(f.Data, sr.Data)
+		sMax, _ := stats.MaxAbsError(f.Data, sr.Data)
+		if sPSNR >= zPSNR {
+			szWins++
+		}
+		res.AddRow(fnum(zc.BitRate()), fnum(zPSNR), fnum(sPSNR), fnum(eb),
+			fnum(sMax), fnum(zMax))
+	}
+	res.Notef("SZ wins PSNR at %d of 4 matched rates; only SZ guarantees a pointwise bound (sz_max_err == eb by construction, zfp_max_err is uncontrolled) — the paper's two reasons for choosing SZ", szWins)
+	return res, nil
+}
+
+// szAtBitRate bisects the ABS error bound until SZ's achieved bit rate is
+// within 3 % of the target (bit rate is monotone decreasing in eb). The
+// geometric bisection spans the whole plausible eb range, anchored on the
+// field's magnitude.
+func szAtBitRate(f *grid.Field3D, target float64) (float64, *sz.Compressed, error) {
+	absMax := f.AbsMax()
+	if absMax <= 0 {
+		return 0, nil, fmt.Errorf("experiments: constant field")
+	}
+	lo, hi := absMax*1e-12, absMax*10
+	var best *sz.Compressed
+	var bestEB float64
+	for i := 0; i < 40; i++ {
+		mid := math.Sqrt(lo * hi)
+		c, err := sz.Compress(f, sz.Options{Mode: sz.ABS, ErrorBound: mid})
+		if err != nil {
+			return 0, nil, err
+		}
+		best, bestEB = c, mid
+		br := c.BitRate()
+		if math.Abs(br-target) <= 0.03*target {
+			break
+		}
+		if br > target {
+			lo = mid // need a larger bound for a lower rate
+		} else {
+			hi = mid
+		}
+	}
+	return bestEB, best, nil
+}

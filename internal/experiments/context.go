@@ -1,0 +1,228 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 4) on the synthetic substrate. Each experiment is a
+// function from a shared Context to a Result (a text table plus notes);
+// cmd/experiments prints them and bench_test.go wraps each in a benchmark.
+//
+// The default workload is a 128³ snapshot cut into 512 partitions of 16³ —
+// the same partition count and per-axis layout (8×8×8) as the paper's
+// 512³ / 64³ headline configuration, scaled to commodity hardware. Every
+// dimension is a parameter, so the experiments also run at other scales
+// (Fig. 18/19 sweep them explicitly).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/nyx"
+)
+
+// Config parameterizes the experiment workload.
+type Config struct {
+	// N is the grid dimension (default 128).
+	N int
+	// PartitionDim is the brick edge (default 16 → 512 partitions at 128).
+	PartitionDim int
+	// Seed fixes the synthetic universe (default 7).
+	Seed uint64
+	// Redshift is the default snapshot epoch (default 42, the paper's
+	// latest).
+	Redshift float64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 128
+	}
+	if c.PartitionDim == 0 {
+		c.PartitionDim = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Redshift == 0 {
+		c.Redshift = 42
+	}
+	return c
+}
+
+// Context carries the engine and caches snapshots/calibrations across
+// experiments so a full run does not regenerate the universe per figure.
+type Context struct {
+	Cfg    Config
+	Engine *core.Engine
+
+	mu     sync.Mutex
+	snaps  map[float64]*nyx.Snapshot
+	cals   map[string]*core.Calibration
+	engDim map[int]*core.Engine
+}
+
+// NewContext builds a context; the engine uses the config's partition dim.
+func NewContext(cfg Config) (*Context, error) {
+	cfg = cfg.withDefaults()
+	eng, err := core.NewEngine(core.Config{
+		PartitionDim: cfg.PartitionDim,
+		Workers:      cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		Cfg:    cfg,
+		Engine: eng,
+		snaps:  make(map[float64]*nyx.Snapshot),
+		cals:   make(map[string]*core.Calibration),
+		engDim: map[int]*core.Engine{cfg.PartitionDim: eng},
+	}, nil
+}
+
+// Snapshot returns the (cached) snapshot at redshift z.
+func (ctx *Context) Snapshot(z float64) (*nyx.Snapshot, error) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if s, ok := ctx.snaps[z]; ok {
+		return s, nil
+	}
+	s, err := nyx.Generate(nyx.Params{
+		N: ctx.Cfg.N, Seed: ctx.Cfg.Seed, Redshift: z, Workers: ctx.Cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.snaps[z] = s
+	return s, nil
+}
+
+// Field returns a named field of the default-redshift snapshot.
+func (ctx *Context) Field(name string) (*grid.Field3D, error) {
+	s, err := ctx.Snapshot(ctx.Cfg.Redshift)
+	if err != nil {
+		return nil, err
+	}
+	return s.Field(name)
+}
+
+// Calibration returns the (cached) rate-model calibration for a field.
+func (ctx *Context) Calibration(name string) (*core.Calibration, error) {
+	ctx.mu.Lock()
+	if cal, ok := ctx.cals[name]; ok {
+		ctx.mu.Unlock()
+		return cal, nil
+	}
+	ctx.mu.Unlock()
+	f, err := ctx.Field(name)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := ctx.Engine.Calibrate(f)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: calibrating %s: %w", name, err)
+	}
+	ctx.mu.Lock()
+	ctx.cals[name] = cal
+	ctx.mu.Unlock()
+	return cal, nil
+}
+
+// EngineFor returns a (cached) engine with a different partition dim.
+func (ctx *Context) EngineFor(partitionDim int) (*core.Engine, error) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if e, ok := ctx.engDim[partitionDim]; ok {
+		return e, nil
+	}
+	e, err := core.NewEngine(core.Config{PartitionDim: partitionDim, Workers: ctx.Cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	ctx.engDim[partitionDim] = e
+	return e, nil
+}
+
+// Partitioner returns the default layout for the default grid.
+func (ctx *Context) Partitioner() (*grid.Partitioner, error) {
+	return grid.PartitionerForBrickDim(ctx.Cfg.N, ctx.Cfg.PartitionDim)
+}
+
+// HaloConfig returns the halo-finder thresholds used throughout.
+func (ctx *Context) HaloConfig() halo.Config {
+	bt, pt := nyx.DefaultHaloConfig()
+	return halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+}
+
+// Result is one regenerated table/figure: a text table with notes.
+type Result struct {
+	ID    string // e.g. "fig13"
+	Title string
+	Notes []string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Cols)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fnum formats a float compactly for table cells.
+func fnum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e5 || v < 1e-3 && v > -1e-3 || v <= -1e5:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiments run at a reduced scale in tests (64³, 64 partitions);
+// cmd/experiments and the benches use the full 128³/512-partition layout.
+var testCtx *Context
+
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	if testCtx == nil {
+		ctx, err := NewContext(Config{N: 64, PartitionDim: 16, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCtx = ctx
+	}
+	return testCtx
+}
+
+func runExperiment(t *testing.T, id string) *Result {
+	t.Helper()
+	exp, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(testContext(t))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Errorf("result ID %q != %q", res.ID, id)
+	}
+	if len(res.Rows) == 0 {
+		t.Errorf("%s produced no rows", id)
+	}
+	out := res.String()
+	if !strings.Contains(out, res.Title) {
+		t.Errorf("%s rendering lacks title", id)
+	}
+	return res
+}
+
+// parse pulls a float out of a table cell.
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete registration: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table/figure of the paper's evaluation must be present.
+	for _, id := range []string{"fig03", "fig04", "fig05", "fig06", "fig07",
+		"table1", "fig08", "fig09", "fig10a", "fig10b", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "sec43"} {
+		if !ids[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFig03Uniformity(t *testing.T) {
+	res := runExperiment(t, "fig03")
+	// The note carries the max deviation; recompute the assertion from the
+	// table instead: every printed fraction should be within 3x of 0.01.
+	for _, row := range res.Rows {
+		fr := parse(t, row[1])
+		if fr > 0.03 {
+			t.Errorf("bin fraction %v far from uniform", fr)
+		}
+	}
+}
+
+func TestFig05ModelAccuracy(t *testing.T) {
+	res := runExperiment(t, "fig05")
+	for _, row := range res.Rows {
+		ratio := parse(t, row[3])
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("eb %s: measured/model sigma ratio %v outside ±10%%", row[0], ratio)
+		}
+	}
+}
+
+func TestFig06EdgeEffect(t *testing.T) {
+	res := runExperiment(t, "fig06")
+	vals := map[string]float64{}
+	for _, row := range res.Rows {
+		vals[row[0]] = parse(t, row[1])
+	}
+	if vals["original candidates"] == 0 {
+		t.Fatal("no candidates")
+	}
+	// Net candidate change should be small relative to the total.
+	net := vals["reconstructed candidates"] - vals["original candidates"]
+	if absT(net) > 0.3*vals["original candidates"] {
+		t.Errorf("net candidate change %v too large", net)
+	}
+}
+
+func absT(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFig07CountStability(t *testing.T) {
+	res := runExperiment(t, "fig07")
+	ref := parse(t, res.Rows[0][1])
+	for _, row := range res.Rows[1:] {
+		n := parse(t, row[1])
+		if absT(n-ref) > 0.5*ref+3 {
+			t.Errorf("eb %s: halo count %v far from original %v", row[0], n, ref)
+		}
+	}
+}
+
+func TestTable1DiffPerCell(t *testing.T) {
+	res := runExperiment(t, "table1")
+	// At least one eb row should report a finite diff-per-cell within a
+	// factor ~3 of t_boundary (the paper's observation).
+	found := false
+	for _, row := range res.Rows[1:] {
+		if row[4] == "-" {
+			continue
+		}
+		v := parse(t, row[4])
+		if v > 88.16/3 && v < 88.16*3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no diff-per-cell near the boundary threshold")
+	}
+}
+
+func TestFig08EstimateTracksMeasurement(t *testing.T) {
+	res := runExperiment(t, "fig08")
+	for _, row := range res.Rows {
+		est := parse(t, row[1])
+		meas := parse(t, row[2])
+		if meas < 10 {
+			continue // too few flips for a ratio test
+		}
+		ratio := est / meas
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("eb %s: estimate/measured = %v", row[0], ratio)
+		}
+	}
+}
+
+func TestFig09SharedExponent(t *testing.T) {
+	res := runExperiment(t, "fig09")
+	// All fitted exponents negative.
+	for _, row := range res.Rows {
+		if parse(t, row[2]) >= 0 {
+			t.Errorf("non-negative rate exponent in %v", row)
+		}
+	}
+}
+
+func TestFig10aAccuracy(t *testing.T) {
+	res := runExperiment(t, "fig10a")
+	var worst float64
+	for _, row := range res.Rows {
+		re := parse(t, row[3])
+		if re > worst {
+			worst = re
+		}
+	}
+	if worst > 1.0 {
+		t.Errorf("worst relative C_m error %v > 100%%", worst)
+	}
+}
+
+func TestFig10bConsistency(t *testing.T) {
+	res := runExperiment(t, "fig10b")
+	for _, row := range res.Rows {
+		if parse(t, row[3]) > 0.35 {
+			t.Errorf("cross-snapshot ratio difference %s too large", row[3])
+		}
+	}
+}
+
+func TestFig11SpreadExists(t *testing.T) {
+	res := runExperiment(t, "fig11")
+	vals := map[string]string{}
+	for _, row := range res.Rows {
+		vals[row[0]] = row[1]
+	}
+	spread := parse(t, vals["spread (max/min)"])
+	if spread < 1.5 {
+		t.Errorf("error-bound spread %v too small; allocation inert", spread)
+	}
+	if spread > 16.01 {
+		t.Errorf("spread %v exceeds the clamp box", spread)
+	}
+}
+
+func TestFig12Equalization(t *testing.T) {
+	res := runExperiment(t, "fig12")
+	trad := parse(t, res.Rows[0][3])
+	opt := parse(t, res.Rows[1][3])
+	if opt >= trad {
+		t.Errorf("optimization did not reduce derivative dispersion: %v -> %v", trad, opt)
+	}
+}
+
+func TestFig13WithinBand(t *testing.T) {
+	res := runExperiment(t, "fig13")
+	for _, row := range res.Rows {
+		ratio := parse(t, row[1])
+		if ratio < 0.97 || ratio > 1.03 {
+			t.Errorf("k=%s: P ratio %v outside a loose band", row[0], ratio)
+		}
+	}
+}
+
+func TestFig14Dispersion(t *testing.T) {
+	res := runExperiment(t, "fig14")
+	nonzeroBuckets := 0
+	for _, row := range res.Rows {
+		if parse(t, row[1]) > 0 {
+			nonzeroBuckets++
+		}
+	}
+	if nonzeroBuckets < 2 {
+		t.Errorf("effective-cell histogram not dispersed (%d buckets)", nonzeroBuckets)
+	}
+}
+
+func TestFig15AdaptiveWins(t *testing.T) {
+	res := runExperiment(t, "fig15")
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 fields, got %d", len(res.Rows))
+	}
+	positive := 0
+	for _, row := range res.Rows {
+		if parse(t, row[4]) > 0 {
+			positive++
+		}
+	}
+	if positive < 4 {
+		t.Errorf("adaptive improved only %d/6 fields", positive)
+	}
+}
+
+func TestFig16StaticOnceLags(t *testing.T) {
+	res := runExperiment(t, "fig16")
+	// At the last (lowest) redshift, static_once must not beat adaptive.
+	last := res.Rows[len(res.Rows)-1]
+	if parse(t, last[2]) > 1.001 {
+		t.Errorf("static-once beat re-optimized adaptive: %v", last)
+	}
+}
+
+func TestFig18MonotoneTrend(t *testing.T) {
+	res := runExperiment(t, "fig18")
+	if len(res.Rows) < 2 {
+		t.Skip("only one partition size at this scale")
+	}
+	first := parse(t, res.Rows[0][4])
+	lastV := parse(t, res.Rows[len(res.Rows)-1][4])
+	if lastV > first+1 { // percent units; allow a point of noise
+		t.Errorf("improvement grew with partition size: %v -> %v", first, lastV)
+	}
+}
+
+func TestFig19ConsistentAcrossScales(t *testing.T) {
+	res := runExperiment(t, "fig19")
+	for _, row := range res.Rows {
+		if parse(t, row[4]) < -1 {
+			t.Errorf("adaptive lost at scale %s: %v", row[0], row[4])
+		}
+	}
+}
+
+func TestSec43OverheadSmall(t *testing.T) {
+	res := runExperiment(t, "sec43")
+	for _, row := range res.Rows {
+		ov := parse(t, row[4])
+		if ov > 25 {
+			t.Errorf("%s: overhead %v%% implausibly high", row[0], ov)
+		}
+	}
+}
+
+func TestRemainingExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig04", "fig17", "ablation-predictor",
+		"ablation-quant", "ablation-clamp", "ablation-strategy", "ablation-cm"} {
+		runExperiment(t, id)
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", Cols: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Notef("n=%d", 5)
+	s := r.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "note: n=5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, s)
+		}
+	}
+}

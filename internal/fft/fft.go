@@ -1,0 +1,205 @@
+// Package fft implements the discrete Fourier transforms behind the
+// power-spectrum analysis (paper Sec. 3.3). It provides an iterative
+// radix-2 complex FFT for power-of-two lengths, a Bluestein chirp-z fallback
+// for arbitrary lengths, and a cache-friendly, goroutine-parallel 3-D
+// transform. Everything is stdlib-only.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan caches the twiddle factors and bit-reversal permutation for a fixed
+// transform length. Plans are safe for concurrent use once built.
+type Plan struct {
+	n int
+	// pow2 path
+	rev     []int
+	twiddle []complex128 // forward twiddles, length n/2
+	// Bluestein path (nil for powers of two)
+	bluestein *bluesteinPlan
+}
+
+type bluesteinPlan struct {
+	m     int          // power-of-two convolution length ≥ 2n−1
+	sub   *Plan        // radix-2 plan of length m
+	chirp []complex128 // w[k] = exp(iπk²/n), length n
+	bfft  []complex128 // FFT of the chirp kernel, length m
+}
+
+// NewPlan builds a plan for transforms of length n ≥ 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: invalid length %d", n)
+	}
+	p := &Plan{n: n}
+	if isPow2(n) {
+		p.rev = bitRevTable(n)
+		p.twiddle = make([]complex128, n/2)
+		for k := range p.twiddle {
+			angle := -2 * math.Pi * float64(k) / float64(n)
+			p.twiddle[k] = cmplx.Exp(complex(0, angle))
+		}
+		return p, nil
+	}
+	// Bluestein: X[k] = w*[k] · Σ_j x[j]·w*[j] · w[k−j], a convolution that
+	// we evaluate with a power-of-two FFT of length m ≥ 2n−1.
+	bp := &bluesteinPlan{}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	bp.m = m
+	sub, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	bp.sub = sub
+	bp.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k² mod 2n to avoid precision loss for large k.
+		angle := math.Pi * float64((int64(k)*int64(k))%int64(2*n)) / float64(n)
+		bp.chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	b := make([]complex128, m)
+	b[0] = bp.chirp[0]
+	for k := 1; k < n; k++ {
+		b[k] = bp.chirp[k]
+		b[m-k] = bp.chirp[k]
+	}
+	if err := sub.Forward(b); err != nil {
+		return nil, err
+	}
+	bp.bfft = b
+	p.bluestein = bp
+	return p, nil
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func bitRevTable(n int) []int {
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return rev
+}
+
+// Forward computes the in-place forward DFT of data (length must equal the
+// plan length). No normalization is applied.
+func (p *Plan) Forward(data []complex128) error { return p.transform(data, false) }
+
+// Inverse computes the in-place inverse DFT with 1/n normalization.
+func (p *Plan) Inverse(data []complex128) error { return p.transform(data, true) }
+
+func (p *Plan) transform(data []complex128, inverse bool) error {
+	if len(data) != p.n {
+		return fmt.Errorf("fft: data length %d != plan length %d", len(data), p.n)
+	}
+	if p.n == 1 {
+		return nil
+	}
+	if p.bluestein != nil {
+		return p.bluesteinTransform(data, inverse)
+	}
+	p.radix2(data, inverse)
+	if inverse {
+		inv := complex(1/float64(p.n), 0)
+		for i := range data {
+			data[i] *= inv
+		}
+	}
+	return nil
+}
+
+// radix2 is the iterative Cooley–Tukey butterfly on a power-of-two length.
+func (p *Plan) radix2(data []complex128, inverse bool) {
+	n := p.n
+	for i, j := range p.rev {
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				t := w * data[k+half]
+				data[k+half] = data[k] - t
+				data[k] = data[k] + t
+				tw += step
+			}
+		}
+	}
+}
+
+func (p *Plan) bluesteinTransform(data []complex128, inverse bool) error {
+	bp := p.bluestein
+	n, m := p.n, bp.m
+	a := make([]complex128, m)
+	if inverse {
+		for j := 0; j < n; j++ {
+			a[j] = data[j] * bp.chirp[j]
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			a[j] = data[j] * cmplx.Conj(bp.chirp[j])
+		}
+	}
+	if err := bp.sub.Forward(a); err != nil {
+		return err
+	}
+	if inverse {
+		// Convolve with the conjugate kernel for the inverse transform.
+		for i := range a {
+			a[i] *= cmplx.Conj(bp.bfft[i])
+		}
+	} else {
+		for i := range a {
+			a[i] *= bp.bfft[i]
+		}
+	}
+	if err := bp.sub.Inverse(a); err != nil {
+		return err
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for k := 0; k < n; k++ {
+			data[k] = a[k] * bp.chirp[k] * inv
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			data[k] = a[k] * cmplx.Conj(bp.chirp[k])
+		}
+	}
+	return nil
+}
+
+// DFT computes the naive O(n²) forward transform; it exists as the
+// reference implementation the tests compare against.
+func DFT(data []complex128) []complex128 {
+	n := len(data)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += data[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}

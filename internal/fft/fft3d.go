@@ -1,0 +1,183 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// Plan3D performs 3-D complex DFTs of a fixed shape by applying 1-D
+// transforms along x, y, and z. Rows are processed by a worker pool — the
+// 3-D FFT of a 512³ field is the single most expensive analysis step in the
+// pipeline, and it parallelizes embarrassingly across rows.
+type Plan3D struct {
+	Nx, Ny, Nz int
+	px, py, pz *Plan
+	workers    int
+}
+
+// NewPlan3D builds a 3-D plan; any positive dimensions are accepted
+// (non-powers-of-two go through Bluestein). workers ≤ 0 means GOMAXPROCS.
+func NewPlan3D(nx, ny, nz, workers int) (*Plan3D, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("fft: invalid 3-D shape %d×%d×%d", nx, ny, nz)
+	}
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	py, err := NewPlan(ny)
+	if err != nil {
+		return nil, err
+	}
+	pz, err := NewPlan(nz)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Plan3D{Nx: nx, Ny: ny, Nz: nz, px: px, py: py, pz: pz, workers: workers}, nil
+}
+
+// Forward transforms data (length Nx·Ny·Nz, x-fastest) in place.
+func (p *Plan3D) Forward(data []complex128) error { return p.run(data, false) }
+
+// Inverse applies the inverse transform with full 1/(Nx·Ny·Nz)
+// normalization in place.
+func (p *Plan3D) Inverse(data []complex128) error { return p.run(data, true) }
+
+func (p *Plan3D) run(data []complex128, inverse bool) error {
+	if len(data) != p.Nx*p.Ny*p.Nz {
+		return fmt.Errorf("fft: data length %d != %d×%d×%d", len(data), p.Nx, p.Ny, p.Nz)
+	}
+	// Pass 1: x-lines (contiguous).
+	p.parallel(p.Ny*p.Nz, func(w int, row int) error {
+		base := row * p.Nx
+		line := data[base : base+p.Nx]
+		if inverse {
+			return p.px.Inverse(line)
+		}
+		return p.px.Forward(line)
+	})
+	// Pass 2: y-lines (stride Nx).
+	if err := p.strided(data, p.py, p.Nx, p.Ny, func(row int) int {
+		z := row / p.Nx
+		x := row % p.Nx
+		return z*p.Nx*p.Ny + x
+	}, p.Nx*p.Nz, inverse); err != nil {
+		return err
+	}
+	// Pass 3: z-lines (stride Nx·Ny).
+	return p.strided(data, p.pz, p.Nx*p.Ny, p.Nz, func(row int) int {
+		return row
+	}, p.Nx*p.Ny, inverse)
+}
+
+// strided gathers a strided line into a scratch buffer, transforms it, and
+// scatters it back. Each worker owns one scratch buffer.
+func (p *Plan3D) strided(data []complex128, plan *Plan, stride, n int,
+	base func(row int) int, rows int, inverse bool) error {
+
+	scratch := make([][]complex128, p.workers)
+	for i := range scratch {
+		scratch[i] = make([]complex128, n)
+	}
+	return p.parallelErr(rows, func(w, row int) error {
+		buf := scratch[w]
+		b := base(row)
+		for i := 0; i < n; i++ {
+			buf[i] = data[b+i*stride]
+		}
+		var err error
+		if inverse {
+			err = plan.Inverse(buf)
+		} else {
+			err = plan.Forward(buf)
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			data[b+i*stride] = buf[i]
+		}
+		return nil
+	})
+}
+
+func (p *Plan3D) parallel(rows int, f func(worker, row int) error) {
+	_ = p.parallelErr(rows, f)
+}
+
+func (p *Plan3D) parallelErr(rows int, f func(worker, row int) error) error {
+	workers := p.workers
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		for r := 0; r < rows; r++ {
+			if err := f(0, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				if err := f(w, r); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// FieldToComplex copies a real field into a complex buffer.
+func FieldToComplex(f *grid.Field3D) []complex128 {
+	out := make([]complex128, len(f.Data))
+	for i, v := range f.Data {
+		out[i] = complex(float64(v), 0)
+	}
+	return out
+}
+
+// Forward3DField is a convenience that transforms a real scalar field and
+// returns its complex spectrum.
+func Forward3DField(f *grid.Field3D, workers int) ([]complex128, error) {
+	p, err := NewPlan3D(f.Nx, f.Ny, f.Nz, workers)
+	if err != nil {
+		return nil, err
+	}
+	data := FieldToComplex(f)
+	if err := p.Forward(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -1,0 +1,317 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		d := cmplx.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randComplex(n int, seed uint64) []complex128 {
+	r := stats.NewRNG(seed)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return out
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 3, 5, 6, 7, 12, 15, 31, 100} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := randComplex(n, uint64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := p.Forward(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		scale := math.Sqrt(float64(n))
+		if d := maxDiff(got, want); d > 1e-9*scale {
+			t.Errorf("n=%d: FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32, 128, 3, 10, 17, 49} {
+		p, _ := NewPlan(n)
+		x := randComplex(n, 1000+uint64(n))
+		got := append([]complex128(nil), x...)
+		if err := p.Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, x); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip error %g", n, d)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	n := 64
+	p, _ := NewPlan(n)
+	a := randComplex(n, 7)
+	b := randComplex(n, 8)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3i*b[i]
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fs := append([]complex128(nil), sum...)
+	p.Forward(fa)
+	p.Forward(fb)
+	p.Forward(fs)
+	for i := range fs {
+		want := 2*fa[i] + 3i*fb[i]
+		if cmplx.Abs(fs[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	n := 256
+	p, _ := NewPlan(n)
+	x := randComplex(n, 9)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	f := append([]complex128(nil), x...)
+	p.Forward(f)
+	var freqE float64
+	for _, v := range f {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+		t.Errorf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The DFT of a unit impulse is all ones.
+	n := 32
+	p, _ := NewPlan(n)
+	x := make([]complex128, n)
+	x[0] = 1
+	p.Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTConstant(t *testing.T) {
+	// The DFT of a constant is a delta at k=0.
+	n := 64
+	p, _ := NewPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 3
+	}
+	p.Forward(x)
+	if cmplx.Abs(x[0]-complex(3*float64(n), 0)) > 1e-9 {
+		t.Errorf("DC bin = %v", x[0])
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(x[i]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := NewPlan(0); err == nil {
+		t.Error("NewPlan(0) accepted")
+	}
+	p, _ := NewPlan(8)
+	if err := p.Forward(make([]complex128, 4)); err == nil {
+		t.Error("wrong-length input accepted")
+	}
+}
+
+func TestPlan3DMatchesSeparableDFT(t *testing.T) {
+	// Verify a small 3-D transform against applying naive DFT per axis.
+	nx, ny, nz := 4, 3, 2
+	data := randComplex(nx*ny*nz, 11)
+	want := append([]complex128(nil), data...)
+	// x lines
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			line := make([]complex128, nx)
+			for x := 0; x < nx; x++ {
+				line[x] = want[(z*ny+y)*nx+x]
+			}
+			line = DFT(line)
+			for x := 0; x < nx; x++ {
+				want[(z*ny+y)*nx+x] = line[x]
+			}
+		}
+	}
+	// y lines
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			line := make([]complex128, ny)
+			for y := 0; y < ny; y++ {
+				line[y] = want[(z*ny+y)*nx+x]
+			}
+			line = DFT(line)
+			for y := 0; y < ny; y++ {
+				want[(z*ny+y)*nx+x] = line[y]
+			}
+		}
+	}
+	// z lines
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			line := make([]complex128, nz)
+			for z := 0; z < nz; z++ {
+				line[z] = want[(z*ny+y)*nx+x]
+			}
+			line = DFT(line)
+			for z := 0; z < nz; z++ {
+				want[(z*ny+y)*nx+x] = line[z]
+			}
+		}
+	}
+	p, err := NewPlan3D(nx, ny, nz, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]complex128(nil), data...)
+	if err := p.Forward(got); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Errorf("3-D FFT differs from separable DFT by %g", d)
+	}
+}
+
+func TestPlan3DRoundTrip(t *testing.T) {
+	for _, shape := range [][3]int{{8, 8, 8}, {16, 4, 2}, {5, 6, 7}, {1, 1, 16}} {
+		p, err := NewPlan3D(shape[0], shape[1], shape[2], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randComplex(shape[0]*shape[1]*shape[2], 13)
+		got := append([]complex128(nil), x...)
+		if err := p.Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, x); d > 1e-9 {
+			t.Errorf("shape %v: round trip error %g", shape, d)
+		}
+	}
+}
+
+func TestPlan3DWorkerCountInvariance(t *testing.T) {
+	x := randComplex(16*16*16, 17)
+	var ref []complex128
+	for _, workers := range []int{1, 2, 4, 8} {
+		p, _ := NewPlan3D(16, 16, 16, workers)
+		got := append([]complex128(nil), x...)
+		if err := p.Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if d := maxDiff(got, ref); d != 0 {
+			t.Errorf("workers=%d: result differs by %g from single-worker", workers, d)
+		}
+	}
+}
+
+func TestPlan3DShapeErrors(t *testing.T) {
+	if _, err := NewPlan3D(0, 4, 4, 1); err == nil {
+		t.Error("zero dim accepted")
+	}
+	p, _ := NewPlan3D(4, 4, 4, 1)
+	if err := p.Forward(make([]complex128, 5)); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestForward3DField(t *testing.T) {
+	f := grid.NewCube(8)
+	f.Fill(2)
+	spec, err := Forward3DField(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(spec[0]-complex(2*512, 0)) > 1e-9 {
+		t.Errorf("DC bin = %v, want 1024", spec[0])
+	}
+	for i := 1; i < len(spec); i++ {
+		if cmplx.Abs(spec[i]) > 1e-9 {
+			t.Fatalf("non-DC bin %d = %v", i, spec[i])
+		}
+	}
+}
+
+// Property: Parseval holds for arbitrary inputs at power-of-two and
+// Bluestein lengths.
+func TestQuickParseval(t *testing.T) {
+	f := func(re, im []float64) bool {
+		n := len(re)
+		if n == 0 || n > 128 {
+			return true
+		}
+		if len(im) < n {
+			return true
+		}
+		x := make([]complex128, n)
+		var timeE float64
+		for i := 0; i < n; i++ {
+			a, b := re[i], im[i]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e15 {
+				a = 0
+			}
+			if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e15 {
+				b = 0
+			}
+			x[i] = complex(a, b)
+			timeE += a*a + b*b
+		}
+		p, err := NewPlan(n)
+		if err != nil {
+			return false
+		}
+		if err := p.Forward(x); err != nil {
+			return false
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqE/float64(n)-timeE) <= 1e-6*(timeE+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

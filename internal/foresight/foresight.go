@@ -1,0 +1,307 @@
+// Package foresight is the evaluation harness of the reproduction,
+// modeled on VizAly-Foresight — the toolkit the paper uses to evaluate,
+// analyze, and compare lossy compressor configurations on cosmology data
+// (Sec. 4.1). It evaluates compressed fields against the original with both
+// general-purpose metrics (PSNR, MSE, max error) and the analysis-aware
+// metrics the paper cares about (power-spectrum distortion, halo-catalog
+// distortion), sweeps configurations, and implements the paper's
+// "traditional method": an empirical trial-and-error search for a single
+// static error bound.
+package foresight
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+)
+
+// Metrics is one evaluation of a compressed field against its original.
+type Metrics struct {
+	Field string
+	// EB is the static error bound, or the average bound for adaptive
+	// configurations.
+	EB       float64
+	Adaptive bool
+
+	Ratio   float64
+	BitRate float64
+
+	PSNR      float64
+	MSE       float64
+	MaxAbsErr float64
+
+	// SpectrumMaxDev is max |P'(k)/P(k) − 1| for 0 < k < KMax.
+	SpectrumMaxDev float64
+	SpectrumOK     bool
+
+	// Halo metrics are populated only when the evaluator has a halo
+	// configuration (density fields).
+	HaloEvaluated bool
+	HaloMassRMSE  float64
+	HaloCountDiff int
+	HaloOK        bool
+
+	CompressSeconds   float64
+	DecompressSeconds float64
+}
+
+// QualityOK reports whether every evaluated analysis metric passed.
+func (m *Metrics) QualityOK() bool {
+	if !m.SpectrumOK {
+		return false
+	}
+	if m.HaloEvaluated && !m.HaloOK {
+		return false
+	}
+	return true
+}
+
+// Evaluator computes metrics for one field kind.
+type Evaluator struct {
+	Engine *core.Engine
+	// SpectrumTol and KMax define the power-spectrum acceptance band
+	// (defaults 0.01 and 10, the paper's criterion).
+	SpectrumTol float64
+	KMax        float64
+	// Halo enables halo-catalog evaluation with the given finder config.
+	Halo *halo.Config
+	// HaloTol is the admissible halo-mass-ratio RMSE (default 0.01).
+	HaloTol float64
+	// MatchDist is the halo matching radius in cells (default 2).
+	MatchDist float64
+	// Workers bounds FFT parallelism.
+	Workers int
+
+	// refSpectrum and refCatalog are computed lazily per original field.
+	refField    *grid.Field3D
+	refSpectrum *spectrum.Spectrum
+	refCatalog  *halo.Catalog
+}
+
+func (ev *Evaluator) withDefaults() {
+	if ev.SpectrumTol == 0 {
+		ev.SpectrumTol = 0.01
+	}
+	if ev.KMax == 0 {
+		ev.KMax = 10
+	}
+	if ev.HaloTol == 0 {
+		ev.HaloTol = 0.01
+	}
+	if ev.MatchDist == 0 {
+		ev.MatchDist = 2
+	}
+}
+
+// prepare caches the original field's spectrum and catalog.
+func (ev *Evaluator) prepare(f *grid.Field3D) error {
+	ev.withDefaults()
+	if ev.refField == f && ev.refSpectrum != nil {
+		return nil
+	}
+	sp, err := spectrum.Compute(f, spectrum.Options{Workers: ev.Workers})
+	if err != nil {
+		return err
+	}
+	ev.refSpectrum = sp
+	ev.refCatalog = nil
+	if ev.Halo != nil {
+		cat, err := halo.Find(f, *ev.Halo)
+		if err != nil {
+			return err
+		}
+		ev.refCatalog = cat
+	}
+	ev.refField = f
+	return nil
+}
+
+// Evaluate computes the full metric set for a compressed field.
+func (ev *Evaluator) Evaluate(name string, f *grid.Field3D, cf *core.CompressedField) (*Metrics, error) {
+	if err := ev.prepare(f); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	recon, err := cf.Decompress()
+	if err != nil {
+		return nil, err
+	}
+	decompSec := time.Since(t0).Seconds()
+
+	m := &Metrics{
+		Field:             name,
+		Ratio:             cf.Ratio(),
+		BitRate:           cf.BitRate(),
+		DecompressSeconds: decompSec,
+	}
+	ebs := cf.PartitionEBs()
+	m.EB = stats.MeanOf(ebs)
+	for _, eb := range ebs {
+		if math.Abs(eb-m.EB) > 1e-12*m.EB {
+			m.Adaptive = true
+			break
+		}
+	}
+
+	m.MSE, err = stats.MSE(f.Data, recon.Data)
+	if err != nil {
+		return nil, err
+	}
+	m.PSNR, _ = stats.PSNR(f.Data, recon.Data)
+	m.MaxAbsErr, _ = stats.MaxAbsError(f.Data, recon.Data)
+
+	sp, err := spectrum.Compute(recon, spectrum.Options{Workers: ev.Workers})
+	if err != nil {
+		return nil, err
+	}
+	m.SpectrumMaxDev, err = spectrum.MaxDeviation(ev.refSpectrum, sp, ev.KMax)
+	if err != nil {
+		return nil, err
+	}
+	m.SpectrumOK = m.SpectrumMaxDev <= ev.SpectrumTol
+
+	if ev.refCatalog != nil {
+		cat, err := halo.Find(recon, *ev.Halo)
+		if err != nil {
+			return nil, err
+		}
+		res := halo.Match(ev.refCatalog, cat, ev.MatchDist, f.Nx, f.Ny, f.Nz)
+		m.HaloEvaluated = true
+		m.HaloMassRMSE = res.MassRatioRMSE
+		m.HaloCountDiff = cat.Count() - ev.refCatalog.Count()
+		m.HaloOK = res.MassRatioRMSE <= ev.HaloTol
+	}
+	return m, nil
+}
+
+// EvaluateStatic compresses f at a static bound and evaluates it.
+func (ev *Evaluator) EvaluateStatic(name string, f *grid.Field3D, eb float64) (*Metrics, error) {
+	t0 := time.Now()
+	cf, err := ev.Engine.CompressStatic(f, eb)
+	if err != nil {
+		return nil, err
+	}
+	compSec := time.Since(t0).Seconds()
+	m, err := ev.Evaluate(name, f, cf)
+	if err != nil {
+		return nil, err
+	}
+	m.CompressSeconds = compSec
+	return m, nil
+}
+
+// Sweep evaluates a list of static bounds (the broad-spectrum analysis the
+// paper attributes to Foresight).
+func (ev *Evaluator) Sweep(name string, f *grid.Field3D, ebs []float64) ([]Metrics, error) {
+	if len(ebs) == 0 {
+		return nil, errors.New("foresight: empty sweep")
+	}
+	out := make([]Metrics, 0, len(ebs))
+	for _, eb := range ebs {
+		m, err := ev.EvaluateStatic(name, f, eb)
+		if err != nil {
+			return nil, fmt.Errorf("foresight: eb %g: %w", eb, err)
+		}
+		out = append(out, *m)
+	}
+	return out, nil
+}
+
+// TrialAndErrorResult is the outcome of the traditional baseline search.
+type TrialAndErrorResult struct {
+	// ChosenEB is the bound the traditional user would deploy.
+	ChosenEB float64
+	// BestPassingEB is the largest tested bound that met every quality
+	// constraint on the tested snapshot.
+	BestPassingEB float64
+	// Evaluations lists every (eb, metrics) trial, ascending in eb.
+	Evaluations []Metrics
+	// Trials is the number of compress+analyze rounds spent.
+	Trials int
+}
+
+// TrialAndError implements the paper's traditional method: sweep a
+// geometric grid of static error bounds, find the largest one whose
+// post-hoc analysis passes on this snapshot, and step back safetyNotches
+// grid points. The safety margin models what Sec. 4.2 describes: "users
+// usually choose a relatively lower error-bound ... based on empirical
+// studies" because one tested snapshot cannot guarantee the quality of
+// every future snapshot. safetyNotches = 0 yields the oracle static bound.
+func (ev *Evaluator) TrialAndError(name string, f *grid.Field3D, ebs []float64, safetyNotches int) (*TrialAndErrorResult, error) {
+	if len(ebs) == 0 {
+		return nil, errors.New("foresight: empty candidate grid")
+	}
+	if safetyNotches < 0 {
+		return nil, errors.New("foresight: negative safety margin")
+	}
+	sorted := append([]float64(nil), ebs...)
+	sort.Float64s(sorted)
+	res := &TrialAndErrorResult{}
+	bestIdx := -1
+	for i, eb := range sorted {
+		m, err := ev.EvaluateStatic(name, f, eb)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations = append(res.Evaluations, *m)
+		res.Trials++
+		if m.QualityOK() {
+			bestIdx = i
+		} else if bestIdx >= 0 {
+			// Quality is monotone in eb; once we pass the knee there is
+			// no point testing even larger bounds.
+			break
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("foresight: no candidate bound met the quality target (tightest %g)", sorted[0])
+	}
+	res.BestPassingEB = sorted[bestIdx]
+	chosen := bestIdx - safetyNotches
+	if chosen < 0 {
+		chosen = 0
+	}
+	res.ChosenEB = sorted[chosen]
+	return res, nil
+}
+
+// GeometricGrid builds an n-point geometric grid from lo to hi inclusive.
+func GeometricGrid(lo, hi float64, n int) ([]float64, error) {
+	if lo <= 0 || hi <= lo || n < 2 {
+		return nil, fmt.Errorf("foresight: invalid grid (%g, %g, %d)", lo, hi, n)
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out, nil
+}
+
+// WriteCSV renders metrics as CSV for external plotting.
+func WriteCSV(w io.Writer, rows []Metrics) error {
+	if _, err := fmt.Fprintln(w, "field,eb,adaptive,ratio,bitrate,psnr,mse,max_abs_err,spectrum_max_dev,spectrum_ok,halo_evaluated,halo_mass_rmse,halo_count_diff,halo_ok"); err != nil {
+		return err
+	}
+	for _, m := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%t,%.4f,%.4f,%.2f,%.6g,%.6g,%.6g,%t,%t,%.6g,%d,%t\n",
+			m.Field, m.EB, m.Adaptive, m.Ratio, m.BitRate, m.PSNR, m.MSE, m.MaxAbsErr,
+			m.SpectrumMaxDev, m.SpectrumOK, m.HaloEvaluated, m.HaloMassRMSE,
+			m.HaloCountDiff, m.HaloOK); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package foresight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/halo"
+	"repro/internal/nyx"
+)
+
+var testSnap *nyx.Snapshot
+
+func snap(t *testing.T) *nyx.Snapshot {
+	t.Helper()
+	if testSnap == nil {
+		s, err := nyx.Generate(nyx.Params{N: 64, Seed: 21, Redshift: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSnap = s
+	}
+	return testSnap
+}
+
+func newEvaluator(t *testing.T, withHalo bool) *Evaluator {
+	t.Helper()
+	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evaluator{Engine: eng}
+	if withHalo {
+		bt, pt := nyx.DefaultHaloConfig()
+		ev.Halo = &halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+	}
+	return ev
+}
+
+func TestEvaluateStaticBasics(t *testing.T) {
+	ev := newEvaluator(t, true)
+	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
+	m, err := ev.EvaluateStatic(nyx.FieldBaryonDensity, f, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ratio <= 1 || m.BitRate <= 0 || m.BitRate >= 32 {
+		t.Errorf("implausible rate metrics: %+v", m)
+	}
+	if m.MaxAbsErr > 0.01*(1+1e-5) {
+		t.Errorf("max error %v beyond bound", m.MaxAbsErr)
+	}
+	if m.Adaptive {
+		t.Error("static compression flagged adaptive")
+	}
+	if !m.HaloEvaluated {
+		t.Error("halo metrics not evaluated despite config")
+	}
+	if m.PSNR < 40 {
+		t.Errorf("PSNR %v suspiciously low at tiny eb", m.PSNR)
+	}
+}
+
+func TestQualityDegradesWithEB(t *testing.T) {
+	ev := newEvaluator(t, false)
+	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
+	rows, err := ev.Sweep(nyx.FieldBaryonDensity, f, []float64{0.001, 0.1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rows[0].SpectrumMaxDev <= rows[1].SpectrumMaxDev &&
+		rows[1].SpectrumMaxDev <= rows[2].SpectrumMaxDev) {
+		t.Errorf("spectrum deviation not monotone: %v %v %v",
+			rows[0].SpectrumMaxDev, rows[1].SpectrumMaxDev, rows[2].SpectrumMaxDev)
+	}
+	if !(rows[0].Ratio < rows[1].Ratio && rows[1].Ratio < rows[2].Ratio) {
+		t.Errorf("ratio not monotone")
+	}
+}
+
+func TestEvaluateAdaptiveFlag(t *testing.T) {
+	ev := newEvaluator(t, false)
+	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
+	cal, err := ev.Engine.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ev.Engine.Plan(f, cal, core.PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := ev.Engine.CompressAdaptive(f, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ev.Evaluate(nyx.FieldBaryonDensity, f, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Adaptive {
+		t.Error("adaptive compression not flagged")
+	}
+}
+
+func TestTrialAndError(t *testing.T) {
+	ev := newEvaluator(t, false)
+	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
+	grid, err := GeometricGrid(1e-4, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.TrialAndError(nyx.FieldBaryonDensity, f, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPassingEB <= 0 || res.ChosenEB <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.ChosenEB > res.BestPassingEB {
+		t.Errorf("chosen %v above best passing %v", res.ChosenEB, res.BestPassingEB)
+	}
+	if res.Trials < 2 {
+		t.Errorf("suspiciously few trials: %d", res.Trials)
+	}
+	// Oracle (no safety margin) must pick the best passing bound.
+	oracle, err := ev.TrialAndError(nyx.FieldBaryonDensity, f, grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.ChosenEB != oracle.BestPassingEB {
+		t.Errorf("oracle chose %v, best %v", oracle.ChosenEB, oracle.BestPassingEB)
+	}
+	if oracle.BestPassingEB < res.ChosenEB {
+		t.Errorf("safety margin increased the bound")
+	}
+}
+
+func TestTrialAndErrorNoPassingBound(t *testing.T) {
+	ev := newEvaluator(t, false)
+	ev.SpectrumTol = 1e-12 // impossible target
+	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
+	if _, err := ev.TrialAndError(nyx.FieldBaryonDensity, f, []float64{1, 10}, 0); err == nil {
+		t.Error("impossible target produced a bound")
+	}
+}
+
+func TestTrialAndErrorValidation(t *testing.T) {
+	ev := newEvaluator(t, false)
+	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
+	if _, err := ev.TrialAndError("x", f, nil, 0); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := ev.TrialAndError("x", f, []float64{1}, -1); err == nil {
+		t.Error("negative margin accepted")
+	}
+}
+
+func TestGeometricGrid(t *testing.T) {
+	g, err := GeometricGrid(0.01, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 5 || g[0] != 0.01 || g[4] != 100 {
+		t.Fatalf("grid %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing: %v", g)
+		}
+	}
+	if _, err := GeometricGrid(0, 1, 3); err == nil {
+		t.Error("zero lo accepted")
+	}
+	if _, err := GeometricGrid(1, 1, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := GeometricGrid(1, 2, 1); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Metrics{
+		{Field: "f", EB: 0.1, Ratio: 10, BitRate: 3.2, PSNR: 60, SpectrumOK: true},
+		{Field: "g", EB: 0.2, Adaptive: true, Ratio: 12, HaloEvaluated: true, HaloOK: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "field,eb,") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Errorf("adaptive row: %s", lines[2])
+	}
+}
+
+func TestQualityOK(t *testing.T) {
+	m := Metrics{SpectrumOK: true}
+	if !m.QualityOK() {
+		t.Error("spectrum-only pass rejected")
+	}
+	m.HaloEvaluated = true
+	if m.QualityOK() {
+		t.Error("failed halo accepted")
+	}
+	m.HaloOK = true
+	if !m.QualityOK() {
+		t.Error("full pass rejected")
+	}
+	m.SpectrumOK = false
+	if m.QualityOK() {
+		t.Error("failed spectrum accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package grid provides the 3-D scalar field and partitioning machinery the
+// reproduction is built on. A Field3D corresponds to one Nyx field (baryon
+// density, temperature, ...) on a regular Eulerian mesh; a Partitioner
+// carves the mesh into the per-rank bricks ("compute partitions") that the
+// paper assigns individual compression configurations to.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Field3D is a dense 3-D scalar field in row-major (z-fastest is NOT used;
+// we use x-fastest C order: index = (z*Ny + y)*Nx + x) single-precision
+// storage, matching the fp32 layout of the Nyx snapshots in the paper.
+type Field3D struct {
+	Nx, Ny, Nz int
+	Data       []float32
+}
+
+// NewField3D allocates a zero-filled field of the given dimensions.
+// It panics on non-positive dimensions: field shapes are static program
+// configuration in this codebase, not runtime inputs.
+func NewField3D(nx, ny, nz int) *Field3D {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("grid: invalid field dims %dx%dx%d", nx, ny, nz))
+	}
+	return &Field3D{Nx: nx, Ny: ny, Nz: nz, Data: make([]float32, nx*ny*nz)}
+}
+
+// NewCube allocates an n×n×n field.
+func NewCube(n int) *Field3D { return NewField3D(n, n, n) }
+
+// Len returns the number of cells.
+func (f *Field3D) Len() int { return f.Nx * f.Ny * f.Nz }
+
+// Index returns the flat index of (x, y, z). No bounds checking beyond the
+// slice's own; hot loops index Data directly.
+func (f *Field3D) Index(x, y, z int) int { return (z*f.Ny+y)*f.Nx + x }
+
+// At returns the value at (x, y, z).
+func (f *Field3D) At(x, y, z int) float32 { return f.Data[(z*f.Ny+y)*f.Nx+x] }
+
+// Set stores v at (x, y, z).
+func (f *Field3D) Set(x, y, z int, v float32) { f.Data[(z*f.Ny+y)*f.Nx+x] = v }
+
+// Coords inverts Index, returning (x, y, z) for a flat index.
+func (f *Field3D) Coords(i int) (x, y, z int) {
+	x = i % f.Nx
+	y = (i / f.Nx) % f.Ny
+	z = i / (f.Nx * f.Ny)
+	return
+}
+
+// Clone returns a deep copy.
+func (f *Field3D) Clone() *Field3D {
+	g := &Field3D{Nx: f.Nx, Ny: f.Ny, Nz: f.Nz, Data: make([]float32, len(f.Data))}
+	copy(g.Data, f.Data)
+	return g
+}
+
+// SameShape reports whether two fields have identical dimensions.
+func (f *Field3D) SameShape(g *Field3D) bool {
+	return f.Nx == g.Nx && f.Ny == g.Ny && f.Nz == g.Nz
+}
+
+// Fill sets every cell to v.
+func (f *Field3D) Fill(v float32) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// Moments computes count/mean/variance/min/max in one pass.
+func (f *Field3D) Moments() stats.Moments {
+	var m stats.Moments
+	m.AddSlice(f.Data)
+	return m
+}
+
+// Mean returns the arithmetic mean of the field. For large fields this uses
+// a straight sum in float64, which is plenty accurate for 2^31 cells and is
+// what the in situ feature extraction would do on a rank.
+func (f *Field3D) Mean() float64 {
+	var s float64
+	for _, v := range f.Data {
+		s += float64(v)
+	}
+	return s / float64(len(f.Data))
+}
+
+// MinMax returns the smallest and largest cell values.
+func (f *Field3D) MinMax() (lo, hi float32) {
+	if len(f.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = f.Data[0], f.Data[0]
+	for _, v := range f.Data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// AbsMax returns max |value|, used to convert relative error bounds.
+func (f *Field3D) AbsMax() float64 {
+	var m float64
+	for _, v := range f.Data {
+		a := math.Abs(float64(v))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Validate returns an error if the backing slice length does not match the
+// dimensions, or if any value is NaN/Inf (which the compressor and the
+// analyses do not support).
+func (f *Field3D) Validate() error {
+	if len(f.Data) != f.Nx*f.Ny*f.Nz {
+		return fmt.Errorf("grid: data length %d != %d×%d×%d", len(f.Data), f.Nx, f.Ny, f.Nz)
+	}
+	for i, v := range f.Data {
+		f64 := float64(v)
+		if math.IsNaN(f64) || math.IsInf(f64, 0) {
+			x, y, z := f.Coords(i)
+			return fmt.Errorf("grid: non-finite value %v at (%d,%d,%d)", v, x, y, z)
+		}
+	}
+	return nil
+}
+
+// String describes the field shape compactly.
+func (f *Field3D) String() string {
+	return fmt.Sprintf("Field3D(%d×%d×%d)", f.Nx, f.Ny, f.Nz)
+}

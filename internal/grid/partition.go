@@ -1,0 +1,151 @@
+package grid
+
+import "fmt"
+
+// Partition identifies one brick of a partitioned field: the sub-volume a
+// single MPI rank owns in the simulation. Bricks are axis-aligned,
+// half-open boxes [X0, X1) × [Y0, Y1) × [Z0, Z1).
+type Partition struct {
+	ID         int
+	Px, Py, Pz int // brick coordinates within the partition grid
+	X0, X1     int
+	Y0, Y1     int
+	Z0, Z1     int
+}
+
+// Dims returns the brick's extent along each axis.
+func (p Partition) Dims() (nx, ny, nz int) {
+	return p.X1 - p.X0, p.Y1 - p.Y0, p.Z1 - p.Z0
+}
+
+// Len returns the number of cells in the brick.
+func (p Partition) Len() int {
+	nx, ny, nz := p.Dims()
+	return nx * ny * nz
+}
+
+// String renders the brick bounds.
+func (p Partition) String() string {
+	return fmt.Sprintf("P%d[%d:%d,%d:%d,%d:%d]", p.ID, p.X0, p.X1, p.Y0, p.Y1, p.Z0, p.Z1)
+}
+
+// Partitioner carves a field's index space into a regular grid of bricks.
+// The paper's datasets are cut into M equal partitions (e.g. 512³ data into
+// 512 bricks of 64³); we additionally support non-divisible shapes by
+// letting the last brick along an axis absorb the remainder, so the
+// partitioning is always exact and non-overlapping.
+type Partitioner struct {
+	Nx, Ny, Nz int // field dims
+	Bx, By, Bz int // brick counts per axis
+	parts      []Partition
+}
+
+// NewPartitioner builds the partition table for a field of the given
+// dimensions cut into bx×by×bz bricks.
+func NewPartitioner(nx, ny, nz, bx, by, bz int) (*Partitioner, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("grid: invalid field dims %dx%dx%d", nx, ny, nz)
+	}
+	if bx <= 0 || by <= 0 || bz <= 0 {
+		return nil, fmt.Errorf("grid: invalid brick counts %dx%dx%d", bx, by, bz)
+	}
+	if bx > nx || by > ny || bz > nz {
+		return nil, fmt.Errorf("grid: more bricks (%d,%d,%d) than cells (%d,%d,%d)",
+			bx, by, bz, nx, ny, nz)
+	}
+	p := &Partitioner{Nx: nx, Ny: ny, Nz: nz, Bx: bx, By: by, Bz: bz}
+	p.parts = make([]Partition, 0, bx*by*bz)
+	id := 0
+	for pz := 0; pz < bz; pz++ {
+		for py := 0; py < by; py++ {
+			for px := 0; px < bx; px++ {
+				part := Partition{
+					ID: id, Px: px, Py: py, Pz: pz,
+					X0: px * nx / bx, X1: (px + 1) * nx / bx,
+					Y0: py * ny / by, Y1: (py + 1) * ny / by,
+					Z0: pz * nz / bz, Z1: (pz + 1) * nz / bz,
+				}
+				p.parts = append(p.parts, part)
+				id++
+			}
+		}
+	}
+	return p, nil
+}
+
+// NewCubePartitioner cuts an n³ field into b³ bricks.
+func NewCubePartitioner(n, b int) (*Partitioner, error) {
+	return NewPartitioner(n, n, n, b, b, b)
+}
+
+// PartitionerForBrickDim cuts an n³ field into bricks of dimension d³
+// (the paper parameterizes by partition size: 64³ bricks of 512³ data).
+func PartitionerForBrickDim(n, d int) (*Partitioner, error) {
+	if d <= 0 || n%d != 0 {
+		return nil, fmt.Errorf("grid: brick dim %d does not divide field dim %d", d, n)
+	}
+	return NewCubePartitioner(n, n/d)
+}
+
+// Count returns the number of bricks.
+func (p *Partitioner) Count() int { return len(p.parts) }
+
+// Partitions returns the partition table (shared slice; do not mutate).
+func (p *Partitioner) Partitions() []Partition { return p.parts }
+
+// Partition returns brick i.
+func (p *Partitioner) Partition(i int) Partition { return p.parts[i] }
+
+// Extract copies brick part of field f into a new flat slice, x-fastest.
+func Extract(f *Field3D, part Partition) []float32 {
+	nx, ny, nz := part.Dims()
+	out := make([]float32, 0, nx*ny*nz)
+	for z := part.Z0; z < part.Z1; z++ {
+		for y := part.Y0; y < part.Y1; y++ {
+			row := f.Data[f.Index(part.X0, y, z) : f.Index(part.X0, y, z)+nx]
+			out = append(out, row...)
+		}
+	}
+	return out
+}
+
+// ExtractInto is Extract with a caller-provided buffer (must have length
+// part.Len()); it is the allocation-free path used by the worker pools.
+func ExtractInto(dst []float32, f *Field3D, part Partition) {
+	nx, _, _ := part.Dims()
+	pos := 0
+	for z := part.Z0; z < part.Z1; z++ {
+		for y := part.Y0; y < part.Y1; y++ {
+			base := f.Index(part.X0, y, z)
+			copy(dst[pos:pos+nx], f.Data[base:base+nx])
+			pos += nx
+		}
+	}
+}
+
+// Insert writes a flat brick back into field f at partition part.
+func Insert(f *Field3D, part Partition, data []float32) error {
+	if len(data) != part.Len() {
+		return fmt.Errorf("grid: brick data length %d != partition size %d", len(data), part.Len())
+	}
+	nx, _, _ := part.Dims()
+	pos := 0
+	for z := part.Z0; z < part.Z1; z++ {
+		for y := part.Y0; y < part.Y1; y++ {
+			base := f.Index(part.X0, y, z)
+			copy(f.Data[base:base+nx], data[pos:pos+nx])
+			pos += nx
+		}
+	}
+	return nil
+}
+
+// BrickField wraps a brick slice as a standalone Field3D sharing storage,
+// so the compressor can treat a partition as a small 3-D volume.
+func BrickField(part Partition, data []float32) (*Field3D, error) {
+	nx, ny, nz := part.Dims()
+	if len(data) != nx*ny*nz {
+		return nil, fmt.Errorf("grid: brick data length %d != %d×%d×%d", len(data), nx, ny, nz)
+	}
+	return &Field3D{Nx: nx, Ny: ny, Nz: nz, Data: data}, nil
+}

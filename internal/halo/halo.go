@@ -1,0 +1,280 @@
+// Package halo implements the density-based halo finder used as the second
+// post-hoc analysis in the paper (Sec. 2.1, 3.4). Nyx is Eulerian, so halos
+// are found on the gridded baryon-density field rather than on particles:
+// cells above a boundary threshold are "candidates", connected candidate
+// regions become groups, and a group whose peak density exceeds the halo
+// threshold is a halo. Halo position is the centroid of its member cells and
+// halo mass is the cell-weighted density sum — the two quantities whose
+// distortion under compression Sec. 3.4 models.
+package halo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Config parameterizes the finder.
+type Config struct {
+	// BoundaryThreshold (t_boundary) is the candidate-cell density cut.
+	BoundaryThreshold float64
+	// HaloThreshold (t_halo) is the peak density a group must reach to be
+	// counted as a halo. Must be ≥ BoundaryThreshold.
+	HaloThreshold float64
+	// MinCells drops groups smaller than this (0 keeps everything).
+	MinCells int
+	// Periodic joins components across the box faces, matching the
+	// periodic boundary conditions of cosmological simulation volumes.
+	Periodic bool
+}
+
+// Validate checks threshold sanity.
+func (c Config) Validate() error {
+	if c.BoundaryThreshold <= 0 {
+		return errors.New("halo: boundary threshold must be positive")
+	}
+	if c.HaloThreshold < c.BoundaryThreshold {
+		return fmt.Errorf("halo: halo threshold %g below boundary threshold %g",
+			c.HaloThreshold, c.BoundaryThreshold)
+	}
+	if c.MinCells < 0 {
+		return errors.New("halo: negative MinCells")
+	}
+	return nil
+}
+
+// Halo is one identified halo.
+type Halo struct {
+	ID      int
+	Cells   int
+	Mass    float64 // cell-weighted density sum
+	X, Y, Z float64 // centroid in cell coordinates
+	Peak    float64 // maximum cell density
+}
+
+// Catalog is the result of a finder run, halos sorted by descending mass.
+type Catalog struct {
+	Halos      []Halo
+	Candidates int // number of candidate cells (Fig. 6's black cells)
+	Config     Config
+}
+
+// CandidateCount returns the number of cells with value ≥ threshold.
+func CandidateCount(f *grid.Field3D, threshold float64) int {
+	n := 0
+	thr := float32(threshold)
+	for _, v := range f.Data {
+		if v >= thr {
+			n++
+		}
+	}
+	return n
+}
+
+// unionFind is a slice-based disjoint-set with path halving.
+type unionFind struct{ parent []int32 }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}
+
+// Find runs the halo finder over a density field.
+func Find(f *grid.Field3D, cfg Config) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nx, ny, nz := f.Nx, f.Ny, f.Nz
+	n := f.Len()
+	thr := float32(cfg.BoundaryThreshold)
+	mask := make([]bool, n)
+	candidates := 0
+	for i, v := range f.Data {
+		if v >= thr {
+			mask[i] = true
+			candidates++
+		}
+	}
+	uf := newUnionFind(n)
+	// 6-connectivity; only look backwards so each edge is visited once.
+	idx := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if mask[idx] {
+					if x > 0 && mask[idx-1] {
+						uf.union(int32(idx), int32(idx-1))
+					}
+					if y > 0 && mask[idx-nx] {
+						uf.union(int32(idx), int32(idx-nx))
+					}
+					if z > 0 && mask[idx-nx*ny] {
+						uf.union(int32(idx), int32(idx-nx*ny))
+					}
+					if cfg.Periodic {
+						if x == 0 && nx > 1 && mask[idx+nx-1] {
+							uf.union(int32(idx), int32(idx+nx-1))
+						}
+						if y == 0 && ny > 1 && mask[idx+(ny-1)*nx] {
+							uf.union(int32(idx), int32(idx+(ny-1)*nx))
+						}
+						if z == 0 && nz > 1 && mask[idx+(nz-1)*nx*ny] {
+							uf.union(int32(idx), int32(idx+(nz-1)*nx*ny))
+						}
+					}
+				}
+				idx++
+			}
+		}
+	}
+	// Accumulate per-component statistics. Centroids of periodic
+	// components use circular means per axis so a halo straddling the box
+	// face gets a sensible position.
+	type acc struct {
+		cells            int
+		mass, peak       float64
+		sinX, cosX       float64
+		sinY, cosY       float64
+		sinZ, cosZ       float64
+		sumX, sumY, sumZ float64
+	}
+	groups := make(map[int32]*acc)
+	idx = 0
+	tauX := 2 * math.Pi / float64(nx)
+	tauY := 2 * math.Pi / float64(ny)
+	tauZ := 2 * math.Pi / float64(nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if mask[idx] {
+					root := uf.find(int32(idx))
+					g := groups[root]
+					if g == nil {
+						g = &acc{}
+						groups[root] = g
+					}
+					v := float64(f.Data[idx])
+					g.cells++
+					g.mass += v
+					if v > g.peak {
+						g.peak = v
+					}
+					g.sumX += float64(x)
+					g.sumY += float64(y)
+					g.sumZ += float64(z)
+					g.sinX += math.Sin(tauX * float64(x))
+					g.cosX += math.Cos(tauX * float64(x))
+					g.sinY += math.Sin(tauY * float64(y))
+					g.cosY += math.Cos(tauY * float64(y))
+					g.sinZ += math.Sin(tauZ * float64(z))
+					g.cosZ += math.Cos(tauZ * float64(z))
+				}
+				idx++
+			}
+		}
+	}
+	cat := &Catalog{Candidates: candidates, Config: cfg}
+	for _, g := range groups {
+		if g.peak < cfg.HaloThreshold || g.cells < cfg.MinCells {
+			continue
+		}
+		h := Halo{
+			Cells: g.cells,
+			Mass:  g.mass,
+			Peak:  g.peak,
+		}
+		if cfg.Periodic {
+			h.X = circularMean(g.sinX, g.cosX, float64(nx))
+			h.Y = circularMean(g.sinY, g.cosY, float64(ny))
+			h.Z = circularMean(g.sinZ, g.cosZ, float64(nz))
+		} else {
+			h.X = g.sumX / float64(g.cells)
+			h.Y = g.sumY / float64(g.cells)
+			h.Z = g.sumZ / float64(g.cells)
+		}
+		cat.Halos = append(cat.Halos, h)
+	}
+	sort.Slice(cat.Halos, func(i, j int) bool {
+		if cat.Halos[i].Mass != cat.Halos[j].Mass {
+			return cat.Halos[i].Mass > cat.Halos[j].Mass
+		}
+		// Deterministic tie-break on position.
+		a, b := cat.Halos[i], cat.Halos[j]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.Z < b.Z
+	})
+	for i := range cat.Halos {
+		cat.Halos[i].ID = i
+	}
+	return cat, nil
+}
+
+// circularMean converts summed sin/cos components back to a coordinate in
+// [0, n).
+func circularMean(sinSum, cosSum, n float64) float64 {
+	if sinSum == 0 && cosSum == 0 {
+		return 0
+	}
+	ang := math.Atan2(sinSum, cosSum)
+	if ang < 0 {
+		ang += 2 * math.Pi
+	}
+	v := ang * n / (2 * math.Pi)
+	if v >= n {
+		v -= n
+	}
+	return v
+}
+
+// Count returns the number of halos.
+func (c *Catalog) Count() int { return len(c.Halos) }
+
+// TotalMass returns the summed mass of all halos.
+func (c *Catalog) TotalMass() float64 {
+	var t float64
+	for _, h := range c.Halos {
+		t += h.Mass
+	}
+	return t
+}
+
+// MassesAbove returns halos with mass ≥ cut, preserving order.
+func (c *Catalog) MassesAbove(cut float64) []Halo {
+	out := make([]Halo, 0, len(c.Halos))
+	for _, h := range c.Halos {
+		if h.Mass >= cut {
+			out = append(out, h)
+		}
+	}
+	return out
+}

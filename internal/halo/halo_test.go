@@ -1,0 +1,330 @@
+package halo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// blob paints a cubic over-density of the given value into f.
+func blob(f *grid.Field3D, cx, cy, cz, r int, v float32) {
+	for z := cz - r; z <= cz+r; z++ {
+		for y := cy - r; y <= cy+r; y++ {
+			for x := cx - r; x <= cx+r; x++ {
+				xi := (x%f.Nx + f.Nx) % f.Nx
+				yi := (y%f.Ny + f.Ny) % f.Ny
+				zi := (z%f.Nz + f.Nz) % f.Nz
+				f.Set(xi, yi, zi, v)
+			}
+		}
+	}
+}
+
+func baseCfg() Config {
+	return Config{BoundaryThreshold: 10, HaloThreshold: 50, Periodic: true}
+}
+
+func TestFindTwoBlobs(t *testing.T) {
+	f := grid.NewCube(32)
+	f.Fill(1)
+	blob(f, 8, 8, 8, 2, 100)   // 5³ = 125 cells
+	blob(f, 24, 24, 24, 1, 80) // 3³ = 27 cells
+	cat, err := Find(f, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Count() != 2 {
+		t.Fatalf("found %d halos, want 2", cat.Count())
+	}
+	// Sorted by mass: the big blob first.
+	if cat.Halos[0].Cells != 125 || cat.Halos[1].Cells != 27 {
+		t.Errorf("cells = %d, %d; want 125, 27", cat.Halos[0].Cells, cat.Halos[1].Cells)
+	}
+	if math.Abs(cat.Halos[0].X-8) > 1e-9 || math.Abs(cat.Halos[0].Y-8) > 1e-9 {
+		t.Errorf("big halo centroid (%v,%v,%v)", cat.Halos[0].X, cat.Halos[0].Y, cat.Halos[0].Z)
+	}
+	if math.Abs(cat.Halos[0].Mass-12500) > 1e-6 {
+		t.Errorf("big halo mass %v, want 12500", cat.Halos[0].Mass)
+	}
+	if cat.Halos[0].Peak != 100 {
+		t.Errorf("peak %v", cat.Halos[0].Peak)
+	}
+	if cat.Candidates != 125+27 {
+		t.Errorf("candidates %d, want %d", cat.Candidates, 125+27)
+	}
+	if cat.Halos[0].ID != 0 || cat.Halos[1].ID != 1 {
+		t.Error("IDs not assigned in sort order")
+	}
+}
+
+func TestGroupBelowHaloThresholdDropped(t *testing.T) {
+	f := grid.NewCube(16)
+	blob(f, 8, 8, 8, 1, 20) // above boundary (10) but below halo cut (50)
+	cat, err := Find(f, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Count() != 0 {
+		t.Fatalf("sub-threshold group became a halo")
+	}
+	if cat.Candidates != 27 {
+		t.Errorf("candidates %d, want 27", cat.Candidates)
+	}
+}
+
+func TestMinCells(t *testing.T) {
+	f := grid.NewCube(16)
+	blob(f, 4, 4, 4, 0, 100) // single cell
+	blob(f, 12, 12, 12, 1, 100)
+	cfg := baseCfg()
+	cfg.MinCells = 5
+	cat, err := Find(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Count() != 1 || cat.Halos[0].Cells != 27 {
+		t.Fatalf("MinCells filter failed: %+v", cat.Halos)
+	}
+}
+
+func TestPeriodicWrapJoinsComponents(t *testing.T) {
+	// A blob straddling the box face must be a single halo when periodic
+	// and two when not.
+	f := grid.NewCube(16)
+	blob(f, 0, 8, 8, 1, 100) // wraps across x=0
+	cfgP := baseCfg()
+	catP, err := Find(f, cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catP.Count() != 1 {
+		t.Fatalf("periodic: %d halos, want 1", catP.Count())
+	}
+	// Centroid should sit near the face (x ≈ 0 mod 16).
+	x := catP.Halos[0].X
+	if !(x < 1 || x > 15) {
+		t.Errorf("periodic centroid x = %v, want near 0", x)
+	}
+	cfgNP := baseCfg()
+	cfgNP.Periodic = false
+	catNP, err := Find(f, cfgNP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catNP.Count() != 2 {
+		t.Fatalf("non-periodic: %d halos, want 2", catNP.Count())
+	}
+}
+
+func TestDiagonalNotConnected(t *testing.T) {
+	// 6-connectivity: two cells sharing only a corner are separate groups.
+	f := grid.NewCube(8)
+	f.Set(2, 2, 2, 100)
+	f.Set(3, 3, 3, 100)
+	cat, err := Find(f, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Count() != 2 {
+		t.Fatalf("diagonal cells merged: %d halos", cat.Count())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{BoundaryThreshold: 0, HaloThreshold: 1},
+		{BoundaryThreshold: -1, HaloThreshold: 1},
+		{BoundaryThreshold: 10, HaloThreshold: 5},
+		{BoundaryThreshold: 1, HaloThreshold: 2, MinCells: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Find(grid.NewCube(4), Config{}); err == nil {
+		t.Error("Find accepted zero config")
+	}
+}
+
+func TestCandidateCount(t *testing.T) {
+	f := grid.NewCube(4)
+	f.Data[0] = 10
+	f.Data[1] = 9.999
+	if n := CandidateCount(f, 10); n != 1 {
+		t.Errorf("CandidateCount = %d", n)
+	}
+}
+
+func TestMatchIdentity(t *testing.T) {
+	f := grid.NewCube(32)
+	f.Fill(1)
+	blob(f, 8, 8, 8, 2, 100)
+	blob(f, 20, 20, 20, 1, 80)
+	cat, _ := Find(f, baseCfg())
+	res := Match(cat, cat, 2.0, 32, 32, 32)
+	if res.Matched != 2 || res.Lost != 0 || res.Spurious != 0 {
+		t.Fatalf("self-match: %+v", res)
+	}
+	if res.MassRatioRMSE != 0 || res.PositionRMSE != 0 || res.TotalAbsMassDiff != 0 {
+		t.Errorf("self-match nonzero errors: %+v", res)
+	}
+}
+
+func TestMatchPerturbed(t *testing.T) {
+	f := grid.NewCube(32)
+	f.Fill(1)
+	blob(f, 8, 8, 8, 2, 100)
+	blob(f, 20, 20, 20, 1, 80)
+	orig, _ := Find(f, baseCfg())
+
+	// Perturb: grow the small blob by one face cell.
+	g := f.Clone()
+	g.Set(20, 20, 22, 60)
+	recon, _ := Find(g, baseCfg())
+	res := Match(orig, recon, 2.0, 32, 32, 32)
+	if res.Matched != 2 {
+		t.Fatalf("matched %d", res.Matched)
+	}
+	if res.CellDiff != 1 {
+		t.Errorf("cell diff %d, want 1", res.CellDiff)
+	}
+	if res.TotalAbsMassDiff != 60 {
+		t.Errorf("mass diff %v, want 60", res.TotalAbsMassDiff)
+	}
+	if res.MassRatioRMSE <= 0 {
+		t.Error("zero mass RMSE after perturbation")
+	}
+}
+
+func TestMatchLostAndSpurious(t *testing.T) {
+	f := grid.NewCube(32)
+	blob(f, 8, 8, 8, 1, 100)
+	orig, _ := Find(f, baseCfg())
+
+	g := grid.NewCube(32)
+	blob(g, 24, 24, 24, 1, 100) // different location entirely
+	recon, _ := Find(g, baseCfg())
+	res := Match(orig, recon, 3.0, 32, 32, 32)
+	if res.Matched != 0 || res.Lost != 1 || res.Spurious != 1 {
+		t.Fatalf("expected total mismatch, got %+v", res)
+	}
+}
+
+func TestMatchPeriodicDistance(t *testing.T) {
+	// Halos at opposite faces are neighbours under the periodic metric.
+	a := &Catalog{Halos: []Halo{{Mass: 10, X: 0.4, Y: 8, Z: 8}}}
+	b := &Catalog{Halos: []Halo{{Mass: 10, X: 15.6, Y: 8, Z: 8}}}
+	res := Match(a, b, 1.0, 16, 16, 16)
+	if res.Matched != 1 {
+		t.Fatalf("periodic wrap match failed: %+v", res)
+	}
+}
+
+func TestMassHistogram(t *testing.T) {
+	c := &Catalog{Halos: []Halo{
+		{Mass: 10}, {Mass: 100}, {Mass: 1000}, {Mass: 1050}, {Mass: 10000},
+	}}
+	edges, counts := MassHistogram(c, 4)
+	if len(edges) != 5 || len(counts) != 4 {
+		t.Fatalf("edges %d, counts %d", len(edges), len(counts))
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 5 {
+		t.Errorf("histogram lost halos: %d", total)
+	}
+	if edges[0] > 10 || edges[4] < 10000 {
+		t.Errorf("edges do not span masses: %v", edges)
+	}
+	if e, c2 := MassHistogram(&Catalog{}, 4); e != nil || c2 != nil {
+		t.Error("empty catalog should yield nil histogram")
+	}
+}
+
+func TestLargestN(t *testing.T) {
+	c := &Catalog{Halos: []Halo{{Mass: 100}, {Mass: 50}, {Mass: 10}}}
+	top := c.LargestN(2)
+	if len(top) != 2 || top[0].Mass != 100 || top[1].Mass != 50 {
+		t.Fatalf("LargestN: %+v", top)
+	}
+	if got := c.LargestN(10); len(got) != 3 {
+		t.Errorf("LargestN over-count: %d", len(got))
+	}
+}
+
+func TestTotalMassAndMassesAbove(t *testing.T) {
+	c := &Catalog{Halos: []Halo{{Mass: 100}, {Mass: 50}, {Mass: 10}}}
+	if c.TotalMass() != 160 {
+		t.Errorf("TotalMass %v", c.TotalMass())
+	}
+	if got := c.MassesAbove(50); len(got) != 2 {
+		t.Errorf("MassesAbove: %d", len(got))
+	}
+}
+
+// Property: candidate count equals the sum of cells over all groups (halo
+// or not) — i.e. the finder never loses or duplicates candidate cells.
+// We verify via halo cells ≤ candidates, and with halo threshold equal to
+// boundary threshold, halo cells == candidates.
+func TestQuickCellConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		fld := grid.NewCube(12)
+		for i := range fld.Data {
+			if r.Float64() < 0.2 {
+				fld.Data[i] = float32(r.Uniform(10, 200))
+			}
+		}
+		cfg := Config{BoundaryThreshold: 10, HaloThreshold: 10, Periodic: true}
+		cat, err := Find(fld, cfg)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, h := range cat.Halos {
+			sum += h.Cells
+		}
+		return sum == cat.Candidates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: halo masses are positive and catalog is sorted descending.
+func TestQuickCatalogInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		fld := grid.NewCube(10)
+		for i := range fld.Data {
+			fld.Data[i] = float32(math.Abs(r.NormFloat64()) * 40)
+		}
+		cat, err := Find(fld, Config{BoundaryThreshold: 20, HaloThreshold: 60, Periodic: true})
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, h := range cat.Halos {
+			if h.Mass <= 0 || h.Cells <= 0 || h.Peak < 60 {
+				return false
+			}
+			if h.Mass > prev {
+				return false
+			}
+			prev = h.Mass
+			if h.X < 0 || h.X >= 10 || h.Y < 0 || h.Y >= 10 || h.Z < 0 || h.Z >= 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

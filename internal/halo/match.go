@@ -1,0 +1,173 @@
+package halo
+
+import (
+	"math"
+	"sort"
+)
+
+// MatchResult summarizes how a reconstructed catalog compares to the
+// original one. The paper evaluates three things (Sec. 2.1): halo position
+// change, halo count change, and per-halo mass change; its quality target
+// is mass-ratio RMSE within 1 ± 0.01.
+type MatchResult struct {
+	Original      int // halos in the original catalog
+	Reconstructed int // halos in the reconstructed catalog
+	Matched       int // greedy positional matches
+	Lost          int // original halos without a match
+	Spurious      int // reconstructed halos without a match
+
+	// MassRatioRMSE is sqrt(mean((m'/m − 1)²)) over matched halos.
+	MassRatioRMSE float64
+	// MeanAbsMassDiff is mean |m' − m| over matched halos.
+	MeanAbsMassDiff float64
+	// TotalAbsMassDiff is Σ |m' − m| over matched halos — the quantity the
+	// paper's Eq. 11 estimates as M_fault.
+	TotalAbsMassDiff float64
+	// PositionRMSE is the RMS centroid displacement (periodic metric).
+	PositionRMSE float64
+	// CellDiff is Σ |cells' − cells| over matched halos (Fig. 8's
+	// changed-candidate-cell count restricted to matched halos).
+	CellDiff int
+}
+
+// Match greedily pairs halos by centroid distance: original halos are
+// visited in descending mass order and take the closest unclaimed
+// reconstructed halo within maxDist (periodic distance in a box of the
+// given dimensions). Greedy-by-mass matching is standard for halo catalog
+// comparison and is deterministic.
+func Match(orig, recon *Catalog, maxDist float64, nx, ny, nz int) MatchResult {
+	res := MatchResult{Original: orig.Count(), Reconstructed: recon.Count()}
+	claimed := make([]bool, recon.Count())
+
+	type pair struct {
+		massErr2, posErr2, absDiff float64
+		cellDiff                   int
+	}
+	var pairs []pair
+	for _, h := range orig.Halos { // already sorted by descending mass
+		best := -1
+		bestD := maxDist
+		for j, g := range recon.Halos {
+			if claimed[j] {
+				continue
+			}
+			d := periodicDist(h.X, h.Y, h.Z, g.X, g.Y, g.Z, float64(nx), float64(ny), float64(nz))
+			if d <= bestD {
+				bestD = d
+				best = j
+			}
+		}
+		if best < 0 {
+			res.Lost++
+			continue
+		}
+		claimed[best] = true
+		g := recon.Halos[best]
+		ratio := 0.0
+		if h.Mass != 0 {
+			ratio = g.Mass/h.Mass - 1
+		}
+		cd := g.Cells - h.Cells
+		if cd < 0 {
+			cd = -cd
+		}
+		pairs = append(pairs, pair{
+			massErr2: ratio * ratio,
+			posErr2:  bestD * bestD,
+			absDiff:  math.Abs(g.Mass - h.Mass),
+			cellDiff: cd,
+		})
+	}
+	res.Matched = len(pairs)
+	for _, j := range claimed {
+		if !j {
+			res.Spurious++
+		}
+	}
+	if len(pairs) > 0 {
+		var m2, p2, ad float64
+		for _, p := range pairs {
+			m2 += p.massErr2
+			p2 += p.posErr2
+			ad += p.absDiff
+			res.CellDiff += p.cellDiff
+		}
+		res.MassRatioRMSE = math.Sqrt(m2 / float64(len(pairs)))
+		res.PositionRMSE = math.Sqrt(p2 / float64(len(pairs)))
+		res.MeanAbsMassDiff = ad / float64(len(pairs))
+		res.TotalAbsMassDiff = ad
+	}
+	return res
+}
+
+// periodicDist is the Euclidean distance under periodic wrapping.
+func periodicDist(x1, y1, z1, x2, y2, z2, nx, ny, nz float64) float64 {
+	dx := wrapDelta(x1-x2, nx)
+	dy := wrapDelta(y1-y2, ny)
+	dz := wrapDelta(z1-z2, nz)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func wrapDelta(d, n float64) float64 {
+	d = math.Mod(d, n)
+	if d > n/2 {
+		d -= n
+	}
+	if d < -n/2 {
+		d += n
+	}
+	return d
+}
+
+// MassHistogram bins halo masses logarithmically between the catalog's
+// minimum and maximum mass (Fig. 7's mass-distribution comparison).
+// It returns bin edges (length bins+1) and counts (length bins).
+func MassHistogram(c *Catalog, bins int) (edges []float64, counts []int) {
+	if bins <= 0 || len(c.Halos) == 0 {
+		return nil, nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, h := range c.Halos {
+		if h.Mass < lo {
+			lo = h.Mass
+		}
+		if h.Mass > hi {
+			hi = h.Mass
+		}
+	}
+	if lo <= 0 {
+		lo = math.SmallestNonzeroFloat64
+	}
+	if hi <= lo {
+		hi = lo * 1.0001
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	edges = make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = math.Pow(10, logLo+(logHi-logLo)*float64(i)/float64(bins))
+	}
+	counts = make([]int, bins)
+	for _, h := range c.Halos {
+		pos := int(float64(bins) * (math.Log10(h.Mass) - logLo) / (logHi - logLo))
+		if pos >= bins {
+			pos = bins - 1
+		}
+		if pos < 0 {
+			pos = 0
+		}
+		counts[pos]++
+	}
+	return edges, counts
+}
+
+// LargestN returns the N most massive halos (the paper's Table 1 tracks a
+// single large halo across error bounds).
+func (c *Catalog) LargestN(n int) []Halo {
+	if n > len(c.Halos) {
+		n = len(c.Halos)
+	}
+	out := make([]Halo, n)
+	copy(out, c.Halos[:n])
+	sort.Slice(out, func(i, j int) bool { return out[i].Mass > out[j].Mass })
+	return out
+}

@@ -1,0 +1,94 @@
+// Package huffman implements the canonical Huffman coder used by the SZ
+// compressor stage. SZ's third step Huffman-codes the quantization indices
+// produced by error-controlled linear-scaling quantization (Sec. 2.2 of the
+// paper); this package provides that coder plus the bit-level I/O it needs.
+package huffman
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BitWriter accumulates bits MSB-first into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbits
+	ncur uint   // number of pending bits (< 8 after flushes)
+}
+
+// NewBitWriter returns a writer with the given initial capacity in bytes.
+func NewBitWriter(capBytes int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, capBytes)}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n ≤ 57 so
+// the pending accumulator never overflows in one call.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n > 57 {
+		panic(fmt.Sprintf("huffman: WriteBits n=%d > 57", n))
+	}
+	w.cur = (w.cur << n) | (v & ((1 << n) - 1))
+	w.ncur += n
+	for w.ncur >= 8 {
+		w.ncur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.ncur))
+	}
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b uint) { w.WriteBits(uint64(b), 1) }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// Bytes may be called once; further writes after Bytes are invalid.
+func (w *BitWriter) Bytes() []byte {
+	if w.ncur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.ncur)))
+		w.ncur = 0
+		w.cur = 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.ncur) }
+
+// ErrOutOfBits is returned when a reader runs past the end of its buffer.
+var ErrOutOfBits = errors.New("huffman: read past end of bitstream")
+
+// BitReader consumes bits MSB-first from a byte slice.
+type BitReader struct {
+	buf  []byte
+	pos  int // next byte index
+	cur  uint64
+	ncur uint
+}
+
+// NewBitReader wraps buf for reading.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits reads n ≤ 57 bits, MSB-first.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	if n > 57 {
+		return 0, fmt.Errorf("huffman: ReadBits n=%d > 57", n)
+	}
+	for r.ncur < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrOutOfBits
+		}
+		r.cur = (r.cur << 8) | uint64(r.buf[r.pos])
+		r.pos++
+		r.ncur += 8
+	}
+	r.ncur -= n
+	v := (r.cur >> r.ncur) & ((1 << n) - 1)
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}

@@ -1,0 +1,308 @@
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The coder is canonical: only code lengths are stored in the stream, and
+// both sides derive identical codes by sorting (length, symbol). Symbols are
+// non-negative ints (SZ quantization indices after offsetting by the
+// quantization radius).
+
+// maxCodeLen bounds code lengths so a code always fits in one ReadBits call
+// with room to spare. If a frequency distribution would produce deeper
+// codes, frequencies are flattened and the tree rebuilt.
+const maxCodeLen = 48
+
+type code struct {
+	bits uint64
+	n    uint8
+}
+
+type heapNode struct {
+	freq        int64
+	order       int // tie-break for determinism
+	symbol      int
+	left, right *heapNode
+}
+
+type nodeHeap []*heapNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*heapNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths runs the Huffman algorithm and returns symbol→length.
+func codeLengths(freqs map[int]int64) map[int]int {
+	syms := make([]int, 0, len(freqs))
+	for s := range freqs {
+		syms = append(syms, s)
+	}
+	sort.Ints(syms)
+	if len(syms) == 1 {
+		return map[int]int{syms[0]: 1}
+	}
+	h := make(nodeHeap, 0, len(syms))
+	order := 0
+	for _, s := range syms {
+		h = append(h, &heapNode{freq: freqs[s], order: order, symbol: s})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*heapNode)
+		b := heap.Pop(&h).(*heapNode)
+		heap.Push(&h, &heapNode{freq: a.freq + b.freq, order: order, symbol: -1, left: a, right: b})
+		order++
+	}
+	root := h[0]
+	lengths := make(map[int]int, len(syms))
+	var walk func(n *heapNode, depth int)
+	walk = func(n *heapNode, depth int) {
+		if n.left == nil && n.right == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// boundedCodeLengths retries with flattened frequencies until no code
+// exceeds maxCodeLen. Flattening divides frequencies by 2 (floor, min 1),
+// which strictly reduces the achievable depth and terminates.
+func boundedCodeLengths(freqs map[int]int64) map[int]int {
+	f := freqs
+	for {
+		lengths := codeLengths(f)
+		max := 0
+		for _, l := range lengths {
+			if l > max {
+				max = l
+			}
+		}
+		if max <= maxCodeLen {
+			return lengths
+		}
+		g := make(map[int]int64, len(f))
+		for s, c := range f {
+			nc := c / 2
+			if nc < 1 {
+				nc = 1
+			}
+			g[s] = nc
+		}
+		f = g
+	}
+}
+
+// canonicalCodes assigns canonical codes from lengths: symbols sorted by
+// (length, symbol) receive consecutive codes.
+func canonicalCodes(lengths map[int]int) map[int]code {
+	type sl struct{ sym, n int }
+	list := make([]sl, 0, len(lengths))
+	for s, n := range lengths {
+		list = append(list, sl{s, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n < list[j].n
+		}
+		return list[i].sym < list[j].sym
+	})
+	codes := make(map[int]code, len(list))
+	var c uint64
+	prevLen := 0
+	for _, e := range list {
+		c <<= uint(e.n - prevLen)
+		codes[e.sym] = code{bits: c, n: uint8(e.n)}
+		c++
+		prevLen = e.n
+	}
+	return codes
+}
+
+// Errors returned by the coder.
+var (
+	ErrEmptyInput   = errors.New("huffman: empty symbol stream")
+	ErrCorruptTable = errors.New("huffman: corrupt code table")
+	ErrCorruptData  = errors.New("huffman: corrupt payload")
+)
+
+// Compress Huffman-codes a stream of non-negative symbols into a
+// self-describing byte slice (code table + payload).
+//
+// Stream layout (all varints are unsigned LEB128 via encoding/binary):
+//
+//	uvarint  symbolCount (number of coded symbols)
+//	uvarint  distinct    (number of table entries)
+//	entries: uvarint symbol, byte length   (sorted by symbol)
+//	payload: canonical-Huffman bits, zero-padded to a byte
+func Compress(symbols []int) ([]byte, error) {
+	if len(symbols) == 0 {
+		return nil, ErrEmptyInput
+	}
+	freqs := make(map[int]int64, 1024)
+	for _, s := range symbols {
+		if s < 0 {
+			return nil, fmt.Errorf("huffman: negative symbol %d", s)
+		}
+		freqs[s]++
+	}
+	lengths := boundedCodeLengths(freqs)
+	codes := canonicalCodes(lengths)
+
+	header := make([]byte, 0, 16+5*len(lengths))
+	header = binary.AppendUvarint(header, uint64(len(symbols)))
+	header = binary.AppendUvarint(header, uint64(len(lengths)))
+	syms := make([]int, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	sort.Ints(syms)
+	for _, s := range syms {
+		header = binary.AppendUvarint(header, uint64(s))
+		header = append(header, byte(lengths[s]))
+	}
+
+	w := NewBitWriter(len(symbols) / 2)
+	for _, s := range symbols {
+		c := codes[s]
+		w.WriteBits(c.bits, uint(c.n))
+	}
+	return append(header, w.Bytes()...), nil
+}
+
+// decodeTable is the canonical decoding structure: for each length, the
+// first code of that length, the index of its first symbol, and the count.
+type decodeTable struct {
+	maxLen    int
+	firstCode [maxCodeLen + 1]uint64
+	firstIdx  [maxCodeLen + 1]int
+	count     [maxCodeLen + 1]int
+	symbols   []int // sorted by (length, symbol)
+}
+
+func buildDecodeTable(lengths map[int]int) (*decodeTable, error) {
+	type sl struct{ sym, n int }
+	list := make([]sl, 0, len(lengths))
+	for s, n := range lengths {
+		if n <= 0 || n > maxCodeLen {
+			return nil, ErrCorruptTable
+		}
+		list = append(list, sl{s, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n < list[j].n
+		}
+		return list[i].sym < list[j].sym
+	})
+	t := &decodeTable{symbols: make([]int, len(list))}
+	var c uint64
+	prevLen := 0
+	for i, e := range list {
+		c <<= uint(e.n - prevLen)
+		if t.count[e.n] == 0 {
+			t.firstCode[e.n] = c
+			t.firstIdx[e.n] = i
+		}
+		t.count[e.n]++
+		t.symbols[i] = e.sym
+		if e.n > t.maxLen {
+			t.maxLen = e.n
+		}
+		c++
+		prevLen = e.n
+		// Kraft check: code must fit in n bits.
+		if c > (1 << uint(e.n)) {
+			return nil, ErrCorruptTable
+		}
+	}
+	return t, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]int, error) {
+	symCount, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		return nil, ErrCorruptTable
+	}
+	data = data[n1:]
+	distinct, n2 := binary.Uvarint(data)
+	if n2 <= 0 || distinct == 0 {
+		return nil, ErrCorruptTable
+	}
+	data = data[n2:]
+	lengths := make(map[int]int, distinct)
+	for i := uint64(0); i < distinct; i++ {
+		s, ns := binary.Uvarint(data)
+		if ns <= 0 || ns >= len(data)+1 {
+			return nil, ErrCorruptTable
+		}
+		data = data[ns:]
+		if len(data) == 0 {
+			return nil, ErrCorruptTable
+		}
+		lengths[int(s)] = int(data[0])
+		data = data[1:]
+	}
+	if uint64(len(lengths)) != distinct {
+		return nil, ErrCorruptTable // duplicate symbols in table
+	}
+	t, err := buildDecodeTable(lengths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, symCount)
+	r := NewBitReader(data)
+	for uint64(len(out)) < symCount {
+		var c uint64
+		n := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, ErrCorruptData
+			}
+			c = c<<1 | uint64(bit)
+			n++
+			if n > t.maxLen {
+				return nil, ErrCorruptData
+			}
+			if t.count[n] > 0 && c >= t.firstCode[n] &&
+				c-t.firstCode[n] < uint64(t.count[n]) {
+				out = append(out, t.symbols[t.firstIdx[n]+int(c-t.firstCode[n])])
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// EncodedSizeBound returns a loose upper bound on the compressed size of n
+// symbols with the given distinct-symbol count, used for pre-allocation.
+func EncodedSizeBound(n, distinct int) int {
+	return 16 + 10*distinct + n*maxCodeLen/8 + 1
+}

@@ -1,0 +1,74 @@
+// Package model implements the paper's three closed-form models
+// (Sec. 3.2–3.5): the propagation of compressor error into FFT-based
+// power-spectrum analysis, the halo-finder fault-cell model, and the
+// empirical bit-rate/error-bound power law with its mean-value predictor.
+// These are the pieces the optimizer combines to pick per-partition error
+// bounds without any trial-and-error compression.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// FFT error model (paper Eqs. 5–10). The compressor injects i.i.d.
+// U[−eb, +eb] error at every cell; each DFT output bin is a sum of N³ such
+// terms rotated by unit phases, so by the CLT its error is Gaussian with
+//
+//	σ_3D = sqrt(N³/6)·eb,   μ = 0.
+//
+// With per-partition bounds the sum splits by partition (Eq. 10):
+//
+//	σ_3D = Σ_m sqrt(N³/6)·eb_m / M.
+
+// SigmaFFT1D returns the model σ of a 1-D DFT bin for data length n under
+// a uniform error bound eb (Eq. 8).
+func SigmaFFT1D(n int, eb float64) float64 {
+	return math.Sqrt(float64(n)/6) * eb
+}
+
+// SigmaFFT3D returns the model σ of a 3-D DFT bin for an n³ grid under a
+// single error bound (Eq. 9).
+func SigmaFFT3D(n int, eb float64) float64 {
+	n3 := float64(n) * float64(n) * float64(n)
+	return math.Sqrt(n3/6) * eb
+}
+
+// SigmaFFT3DMulti returns the model σ when partition m uses bound ebs[m]
+// (Eq. 10). Equal-sized partitions are assumed, matching the paper.
+func SigmaFFT3DMulti(n int, ebs []float64) float64 {
+	if len(ebs) == 0 {
+		return 0
+	}
+	return SigmaFFT3D(n, stats.MeanOf(ebs))
+}
+
+// AverageEBForFFTSigma inverts Eq. 9: the average error bound that keeps
+// the FFT-bin σ at the given target for an n³ grid.
+func AverageEBForFFTSigma(n int, sigma float64) float64 {
+	n3 := float64(n) * float64(n) * float64(n)
+	return sigma / math.Sqrt(n3/6)
+}
+
+// FFTErrorBudget converts an absolute tolerance on FFT outputs at a given
+// two-sided confidence into the admissible average error bound. The paper
+// uses confidence 95.45 % (2σ): tolerance = 2·σ_3D ⇒ eb_avg from Eq. 9.
+func FFTErrorBudget(n int, tolerance, confidence float64) (float64, error) {
+	if tolerance <= 0 {
+		return 0, errors.New("model: FFT tolerance must be positive")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("model: confidence %v outside (0,1)", confidence)
+	}
+	k := stats.ConfidenceFactor(confidence)
+	return AverageEBForFFTSigma(n, tolerance/k), nil
+}
+
+// ConfidenceInterval returns the symmetric interval half-width within which
+// an FFT bin error falls with the given probability under the model.
+func ConfidenceInterval(n int, eb, confidence float64) float64 {
+	return stats.ConfidenceFactor(confidence) * SigmaFFT3D(n, eb)
+}

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"errors"
+	"math"
+)
+
+// Halo-finder error model (paper Eqs. 11–14). Compression error only flips
+// a cell's halo candidacy when the cell's value lies within ±eb of the
+// boundary threshold. Locally the value histogram is flat, so the flip
+// probability integrates to exactly 25 % (Eq. 12), the expected number of
+// fault cells per partition is n_bc/4 (Eq. 13), and the resulting total
+// halo-mass distortion is t_boundary·Σ_m e_m (Eq. 11) because each flipped
+// edge cell changes a halo's mass by roughly the threshold value (Table 1).
+
+// PFault is the probability that a cell inside the ±eb threshold band is
+// fault-detected (Eq. 12).
+const PFault = 0.25
+
+// FaultCells returns the expected number of fault-detected cells in a
+// partition with nbc boundary cells (Eq. 13).
+func FaultCells(nbc float64) float64 { return nbc * PFault }
+
+// MassFault returns the expected total absolute halo-mass distortion
+// (Eq. 11): t_boundary times the summed per-partition fault-cell counts.
+func MassFault(tBoundary float64, faultCellsPerPartition []float64) float64 {
+	var sum float64
+	for _, e := range faultCellsPerPartition {
+		sum += e
+	}
+	return tBoundary * sum
+}
+
+// MassFaultFromBoundaryCells composes Eqs. 11–13 with the linear band
+// scaling n_bc(eb) = n_ref·eb/refEB: given each partition's boundary-cell
+// count measured at refEB and its assigned error bound, return the expected
+// total mass distortion.
+func MassFaultFromBoundaryCells(tBoundary, refEB float64, nRef []int, ebs []float64) (float64, error) {
+	if len(nRef) != len(ebs) {
+		return 0, errors.New("model: boundary-cell and error-bound lists differ in length")
+	}
+	if refEB <= 0 {
+		return 0, errors.New("model: reference error bound must be positive")
+	}
+	var sum float64
+	for i := range nRef {
+		nbc := float64(nRef[i]) * ebs[i] / refEB
+		sum += FaultCells(nbc)
+	}
+	return tBoundary * sum, nil
+}
+
+// SigmaCellCount returns the model σ of a large halo's cell-count change
+// (Eq. 14): fault cells flip in and out independently, so the net count
+// change is Gaussian with σ = sqrt(n_bc/3).
+func SigmaCellCount(nbc float64) float64 { return math.Sqrt(nbc / 3) }
+
+// HaloBudgetScale returns the factor by which all error bounds must be
+// scaled so the estimated mass fault fits the budget (≤ 1 when the current
+// assignment violates it, 1 otherwise). The mass-fault estimate is linear
+// in every eb, so a single multiplicative correction is exact under the
+// model.
+func HaloBudgetScale(estimate, budget float64) float64 {
+	if budget <= 0 || estimate <= 0 {
+		return 1
+	}
+	if estimate <= budget {
+		return 1
+	}
+	return budget / estimate
+}
+
+// MassBudgetFromRMSE converts the paper's quality target — halo-mass-ratio
+// RMSE within 1 ± tol — into an absolute mass-fault budget, given the total
+// halo mass and the number of halos. Under the model each matched halo's
+// mass error is ~tol·(mass share), so the budget is tol times total mass.
+func MassBudgetFromRMSE(totalHaloMass, tol float64) float64 {
+	if totalHaloMass <= 0 || tol <= 0 {
+		return 0
+	}
+	return tol * totalHaloMass
+}

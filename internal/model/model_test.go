@@ -1,0 +1,324 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func TestSigmaFFTFormulas(t *testing.T) {
+	if got, want := SigmaFFT1D(600, 2.0), math.Sqrt(100)*2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SigmaFFT1D = %v, want %v", got, want)
+	}
+	// Eq. 9: σ = sqrt(N³/6)·eb.
+	if got, want := SigmaFFT3D(64, 0.5), math.Sqrt(64.0*64*64/6)*0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SigmaFFT3D = %v, want %v", got, want)
+	}
+}
+
+func TestSigmaFFT3DMultiEqualsAverage(t *testing.T) {
+	// Eq. 10 reduces to the σ at the average error bound.
+	ebs := []float64{0.5, 1.5, 1.0, 1.0}
+	if got, want := SigmaFFT3DMulti(32, ebs), SigmaFFT3D(32, 1.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("multi σ %v != avg σ %v", got, want)
+	}
+	if SigmaFFT3DMulti(32, nil) != 0 {
+		t.Error("empty ebs should give 0")
+	}
+}
+
+func TestAverageEBInvertsSigma(t *testing.T) {
+	for _, n := range []int{16, 64, 512} {
+		eb := AverageEBForFFTSigma(n, SigmaFFT3D(n, 0.37))
+		if math.Abs(eb-0.37) > 1e-12 {
+			t.Errorf("n=%d: inversion gave %v", n, eb)
+		}
+	}
+}
+
+func TestFFTErrorBudget(t *testing.T) {
+	// 2σ confidence: tolerance = 2σ → σ = tol/2.
+	n := 64
+	eb, err := FFTErrorBudget(n, 100, stats.TwoSigmaConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AverageEBForFFTSigma(n, 50)
+	if math.Abs(eb-want) > 1e-6*want {
+		t.Errorf("budget eb %v, want %v", eb, want)
+	}
+	if _, err := FFTErrorBudget(n, -1, 0.95); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := FFTErrorBudget(n, 1, 1.5); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+}
+
+// TestFFTModelAgainstInjectedError validates the heart of Sec. 3.3: inject
+// uniform error into a field, FFT it, and compare the empirical bin-error
+// σ against sqrt(N³/6)·eb.
+func TestFFTModelAgainstInjectedError(t *testing.T) {
+	n := 32
+	r := stats.NewRNG(42)
+	f := grid.NewCube(n)
+	for i := range f.Data {
+		f.Data[i] = float32(r.NormFloat64() * 50)
+	}
+	eb := 0.8
+	g := f.Clone()
+	for i := range g.Data {
+		g.Data[i] += float32(r.Uniform(-eb, eb))
+	}
+	sf, err := fft.Forward3DField(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := fft.Forward3DField(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m stats.Moments
+	for i := range sf {
+		d := sg[i] - sf[i]
+		m.Add(real(d))
+		m.Add(imag(d))
+	}
+	got := m.StdDev()
+	want := SigmaFFT3D(n, eb)
+	// sqrt(N³/6)·eb is exactly the per-component (real or imaginary) σ:
+	// Var(Re E_k) = Σ_j Var(e_j)·cos²θ_j = (eb²/3)·(N³/2) = N³·eb²/6.
+	ratio := got / want
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("empirical σ %v vs model %v (ratio %v)", got, want, ratio)
+	}
+	if math.Abs(m.Mean()) > got/50 {
+		t.Errorf("FFT error mean %v not ≈0", m.Mean())
+	}
+}
+
+func TestHaloModelConstants(t *testing.T) {
+	if PFault != 0.25 {
+		t.Errorf("PFault = %v", PFault)
+	}
+	if got := FaultCells(100); got != 25 {
+		t.Errorf("FaultCells(100) = %v", got)
+	}
+	if got := SigmaCellCount(300); math.Abs(got-10) > 1e-12 {
+		t.Errorf("SigmaCellCount(300) = %v, want 10", got)
+	}
+}
+
+func TestMassFault(t *testing.T) {
+	// Eq. 11: t_boundary · Σ e_m.
+	if got := MassFault(88.16, []float64{1, 2, 3}); math.Abs(got-88.16*6) > 1e-9 {
+		t.Errorf("MassFault = %v", got)
+	}
+	if MassFault(88.16, nil) != 0 {
+		t.Error("empty partitions should give 0")
+	}
+}
+
+func TestMassFaultFromBoundaryCells(t *testing.T) {
+	// Two partitions, measured at refEB=1: 40 and 80 boundary cells.
+	// At eb = {0.5, 1.0}: n_bc = {20, 80}; faults = {5, 20}; mass = t·25.
+	got, err := MassFaultFromBoundaryCells(88.16, 1.0, []int{40, 80}, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-88.16*25) > 1e-9 {
+		t.Errorf("mass fault = %v, want %v", got, 88.16*25)
+	}
+	if _, err := MassFaultFromBoundaryCells(88, 1, []int{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MassFaultFromBoundaryCells(88, 0, []int{1}, []float64{1}); err == nil {
+		t.Error("zero refEB accepted")
+	}
+}
+
+func TestHaloBudgetScale(t *testing.T) {
+	if s := HaloBudgetScale(100, 200); s != 1 {
+		t.Errorf("under-budget scale = %v", s)
+	}
+	if s := HaloBudgetScale(200, 100); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("over-budget scale = %v, want 0.5", s)
+	}
+	if s := HaloBudgetScale(0, 100); s != 1 {
+		t.Errorf("zero estimate scale = %v", s)
+	}
+}
+
+func TestMassBudgetFromRMSE(t *testing.T) {
+	if b := MassBudgetFromRMSE(1e6, 0.01); b != 1e4 {
+		t.Errorf("budget = %v", b)
+	}
+	if b := MassBudgetFromRMSE(0, 0.01); b != 0 {
+		t.Errorf("zero-mass budget = %v", b)
+	}
+}
+
+func syntheticCurves(nCurves int, c float64, seed uint64) []Curve {
+	// C_m = 2 + 0.5·ln(feature), features spread over two decades.
+	r := stats.NewRNG(seed)
+	curves := make([]Curve, nCurves)
+	for i := range curves {
+		feat := math.Pow(10, r.Uniform(-1, 1.5))
+		cm := 2 + 0.5*math.Log(feat)
+		if cm < 0.05 {
+			cm = 0.05
+		}
+		ebs := []float64{0.01, 0.03, 0.1, 0.3, 1, 3}
+		brs := make([]float64, len(ebs))
+		for j, eb := range ebs {
+			noise := 1 + 0.02*r.NormFloat64()
+			brs[j] = cm * math.Pow(eb, c) * noise
+		}
+		curves[i] = Curve{Feature: feat, EBs: ebs, BitRates: brs}
+	}
+	return curves
+}
+
+func TestCalibrateRecoversModel(t *testing.T) {
+	curves := syntheticCurves(40, -0.45, 7)
+	m, err := Calibrate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Exponent+0.45) > 0.03 {
+		t.Errorf("exponent %v, want −0.45", m.Exponent)
+	}
+	if math.Abs(m.Alpha-2) > 0.15 || math.Abs(m.Beta-0.5) > 0.1 {
+		t.Errorf("C_m fit (α=%v, β=%v), want (2, 0.5)", m.Alpha, m.Beta)
+	}
+	if m.FitR2 < 0.95 {
+		t.Errorf("fit R² = %v", m.FitR2)
+	}
+	// Prediction accuracy on a fresh feature.
+	feat := 3.0
+	wantCm := 2 + 0.5*math.Log(feat)
+	if got := m.Cm(feat); math.Abs(got-wantCm) > 0.15 {
+		t.Errorf("Cm(%v) = %v, want %v", feat, got, wantCm)
+	}
+	br := m.BitRate(feat, 0.1)
+	wantBR := wantCm * math.Pow(0.1, -0.45)
+	if math.Abs(br-wantBR)/wantBR > 0.1 {
+		t.Errorf("BitRate = %v, want ≈%v", br, wantBR)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Error("no curves accepted")
+	}
+	if _, err := Calibrate([]Curve{{Feature: 1, EBs: []float64{1}, BitRates: []float64{1}},
+		{Feature: 2, EBs: []float64{1}, BitRates: []float64{1}}}); err == nil {
+		t.Error("single-sample curves accepted")
+	}
+	// Rising "rate" curves (positive exponent) are not rate curves.
+	bad := []Curve{
+		{Feature: 1, EBs: []float64{0.1, 1}, BitRates: []float64{1, 2}},
+		{Feature: 2, EBs: []float64{0.1, 1}, BitRates: []float64{2, 4}},
+	}
+	if _, err := Calibrate(bad); err == nil {
+		t.Error("positive exponent accepted")
+	}
+}
+
+func TestDatasetBitRate(t *testing.T) {
+	m := &RateModel{Exponent: -0.5, Alpha: 1, Beta: 0}
+	br, err := m.DatasetBitRate([]float64{1, 1}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b = 1·eb^-0.5 → {1, 0.5} → avg 0.75.
+	if math.Abs(br-0.75) > 1e-12 {
+		t.Errorf("dataset bit rate %v, want 0.75", br)
+	}
+	if _, err := m.DatasetBitRate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := m.DatasetBitRate(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRateModelGuards(t *testing.T) {
+	m := &RateModel{Exponent: -0.5, Alpha: 1, Beta: 0.2, MinC: 0.1}
+	if c := m.Cm(-5); c < 0.1 {
+		t.Errorf("negative feature gave Cm %v below floor", c)
+	}
+	if br := m.BitRate(1, 0); !math.IsInf(br, 1) {
+		t.Errorf("eb=0 bit rate %v", br)
+	}
+	bad := &RateModel{Exponent: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("positive exponent validated")
+	}
+	var nilModel *RateModel
+	if err := nilModel.Validate(); err == nil {
+		t.Error("nil model validated")
+	}
+}
+
+func TestExactCms(t *testing.T) {
+	curves := syntheticCurves(10, -0.5, 11)
+	m, err := Calibrate(curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := m.ExactCms(curves)
+	if len(exact) != len(curves) {
+		t.Fatalf("got %d Cms", len(exact))
+	}
+	// Exact coefficients should predict the curves well.
+	for i, cu := range curves {
+		for j := range cu.EBs {
+			pred := exact[i] * math.Pow(cu.EBs[j], m.Exponent)
+			if math.Abs(pred-cu.BitRates[j])/cu.BitRates[j] > 0.15 {
+				t.Errorf("curve %d sample %d: pred %v vs %v", i, j, pred, cu.BitRates[j])
+			}
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median %v", m)
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Error("empty median not NaN")
+	}
+}
+
+// Property: MassFaultFromBoundaryCells is linear in a uniform eb scale.
+func TestQuickMassFaultLinearity(t *testing.T) {
+	f := func(scaleSeed uint8) bool {
+		scale := 0.1 + float64(scaleSeed)/64
+		n := []int{10, 20, 30}
+		eb1 := []float64{0.5, 1, 2}
+		eb2 := make([]float64, len(eb1))
+		for i := range eb1 {
+			eb2[i] = eb1[i] * scale
+		}
+		a, err1 := MassFaultFromBoundaryCells(88, 1, n, eb1)
+		b, err2 := MassFaultFromBoundaryCells(88, 1, n, eb2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(b-a*scale) < 1e-9*(1+a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Rate model (paper Eq. 15): per-partition bit rate is a power law in the
+// error bound,
+//
+//	b_m = C_m · eb^c,
+//
+// with one exponent c shared across partitions, fields, and snapshots, and
+// a per-partition coefficient C_m predicted from the partition's mean value
+// by a logarithmic fit (Fig. 10a):
+//
+//	C_m ≈ α + β · ln(feature_m).
+//
+// The feature is the mean of |value| — identical to the paper's plain mean
+// for the non-negative density/temperature fields, and well-defined for the
+// signed velocity fields where a plain mean can be ≈ 0 or negative.
+
+// RateModel is a calibrated Eq. 15.
+type RateModel struct {
+	// Exponent is c. It is negative: larger error bounds yield lower bit
+	// rates.
+	Exponent float64
+	// Alpha, Beta parameterize C_m = Alpha + Beta·ln(feature).
+	Alpha, Beta float64
+	// FitR2 is the R² of the C_m-vs-feature fit (diagnostic only).
+	FitR2 float64
+	// MinC floors predicted coefficients away from zero so the model
+	// never predicts a free lunch.
+	MinC float64
+}
+
+// Validate checks a calibrated model.
+func (m *RateModel) Validate() error {
+	if m == nil {
+		return errors.New("model: nil rate model")
+	}
+	if m.Exponent >= 0 {
+		return fmt.Errorf("model: rate exponent %v must be negative", m.Exponent)
+	}
+	if math.IsNaN(m.Alpha) || math.IsNaN(m.Beta) {
+		return errors.New("model: NaN coefficients")
+	}
+	return nil
+}
+
+// Cm predicts the rate coefficient of a partition from its feature value.
+func (m *RateModel) Cm(feature float64) float64 {
+	if feature <= 0 {
+		feature = 1e-30
+	}
+	c := m.Alpha + m.Beta*math.Log(feature)
+	if c < m.MinC {
+		c = m.MinC
+	}
+	return c
+}
+
+// BitRate predicts a partition's bit rate at the given error bound.
+func (m *RateModel) BitRate(feature, eb float64) float64 {
+	if eb <= 0 {
+		return math.Inf(1)
+	}
+	return m.Cm(feature) * math.Pow(eb, m.Exponent)
+}
+
+// DatasetBitRate predicts the dataset bit rate as the equal-weight average
+// of per-partition rates (Eq. 15's outer sum; partitions are equal-sized).
+func (m *RateModel) DatasetBitRate(features, ebs []float64) (float64, error) {
+	if len(features) != len(ebs) {
+		return 0, errors.New("model: feature and error-bound lists differ in length")
+	}
+	if len(features) == 0 {
+		return 0, errors.New("model: no partitions")
+	}
+	var sum float64
+	for i := range features {
+		sum += m.BitRate(features[i], ebs[i])
+	}
+	return sum / float64(len(features)), nil
+}
+
+// Curve is one partition's measured bit-rate/error-bound samples, used for
+// calibration. Feature is the partition's predictor value (mean |value|).
+type Curve struct {
+	Feature  float64
+	EBs      []float64
+	BitRates []float64
+}
+
+// Calibrate fits a RateModel from sampled curves:
+//
+//  1. fit a per-curve power law b = C·eb^c in log-log space;
+//  2. share the exponent: c* = median of per-curve exponents (the paper
+//     observes the exponent is common across partitions/fields/snapshots);
+//  3. re-fit each C_m under the shared exponent (closed form);
+//  4. logarithmic fit C_m against the curve features.
+func Calibrate(curves []Curve) (*RateModel, error) {
+	if len(curves) < 2 {
+		return nil, errors.New("model: need at least two curves to calibrate")
+	}
+	informative := make([]Curve, 0, len(curves))
+	exponents := make([]float64, 0, len(curves))
+	for i, cu := range curves {
+		if len(cu.EBs) != len(cu.BitRates) || len(cu.EBs) < 2 {
+			return nil, fmt.Errorf("model: curve %d has %d/%d samples", i, len(cu.EBs), len(cu.BitRates))
+		}
+		// Perfectly smooth partitions sit at the compressor's fixed floor
+		// (header + run tokens) where the bit rate no longer depends on
+		// the error bound; such flat curves carry no rate information and
+		// would drag the shared exponent toward zero. They are excluded
+		// here and covered by the MinC floor instead.
+		if isFlatCurve(cu) {
+			continue
+		}
+		_, c, _, err := stats.PowerLawFit(cu.EBs, cu.BitRates)
+		if err != nil {
+			return nil, fmt.Errorf("model: curve %d: %w", i, err)
+		}
+		informative = append(informative, cu)
+		exponents = append(exponents, c)
+	}
+	if len(informative) < 2 {
+		return nil, errors.New("model: fewer than two informative (non-flat) curves; data too smooth to calibrate")
+	}
+	curves = informative
+	cShared := median(exponents)
+	if cShared >= 0 {
+		return nil, fmt.Errorf("model: fitted exponent %v not negative; curves are not rate curves", cShared)
+	}
+
+	// Closed-form per-curve C under the shared exponent:
+	// ln C = mean(ln b − c·ln eb).
+	feats := make([]float64, 0, len(curves))
+	cms := make([]float64, 0, len(curves))
+	for _, cu := range curves {
+		var s float64
+		var n int
+		for j := range cu.EBs {
+			if cu.EBs[j] <= 0 || cu.BitRates[j] <= 0 {
+				continue
+			}
+			s += math.Log(cu.BitRates[j]) - cShared*math.Log(cu.EBs[j])
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		feat := cu.Feature
+		if feat <= 0 {
+			feat = 1e-30
+		}
+		feats = append(feats, feat)
+		cms = append(cms, math.Exp(s/float64(n)))
+	}
+	if len(feats) < 2 {
+		return nil, errors.New("model: not enough valid curves after filtering")
+	}
+	alpha, beta, r2, err := stats.LogFit(feats, cms)
+	if err != nil {
+		return nil, fmt.Errorf("model: C_m fit: %w", err)
+	}
+	minC := positiveMin(cms) / 4
+	return &RateModel{Exponent: cShared, Alpha: alpha, Beta: beta, FitR2: r2, MinC: minC}, nil
+}
+
+// ExactCms returns the per-curve coefficients under the model's exponent,
+// bypassing the feature fit. Used by the Fig. 10a accuracy experiment and
+// the C_m-source ablation.
+func (m *RateModel) ExactCms(curves []Curve) []float64 {
+	out := make([]float64, len(curves))
+	for i, cu := range curves {
+		var s float64
+		var n int
+		for j := range cu.EBs {
+			if cu.EBs[j] <= 0 || cu.BitRates[j] <= 0 {
+				continue
+			}
+			s += math.Log(cu.BitRates[j]) - m.Exponent*math.Log(cu.EBs[j])
+			n++
+		}
+		if n > 0 {
+			out[i] = math.Exp(s / float64(n))
+		}
+	}
+	return out
+}
+
+// isFlatCurve reports whether a curve's bit rate barely responds to the
+// error bound (relative span < 10 % and absolute span < 0.05 bits).
+func isFlatCurve(cu Curve) bool {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range cu.BitRates {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	if hi <= 0 {
+		return true
+	}
+	return hi-lo < 0.05 || hi/math.Max(lo, 1e-12) < 1.1
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	// insertion sort: calibration sets are small
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+func positiveMin(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x > 0 && x < m {
+			m = x
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,276 @@
+// Package mpi provides a small in-process message-passing runtime that
+// stands in for MPI in the paper's in situ protocol. Each "rank" is a
+// goroutine owning one compute partition; the collectives mirror the MPI
+// operations the paper uses (notably MPI_Allreduce for the global mean,
+// Sec. 3.6/4.3) with deterministic, rank-ordered reductions so runs are
+// bit-reproducible regardless of scheduling.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// OpSum adds contributions in rank order.
+	OpSum Op = iota
+	// OpMin takes the minimum.
+	OpMin
+	// OpMax takes the maximum.
+	OpMax
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		panic("mpi: unknown op")
+	}
+}
+
+// world is the shared state of one communicator.
+type world struct {
+	size int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	arrived    int
+	generation int64
+
+	slots  []float64   // one scalar slot per rank
+	slices [][]float64 // one vector slot per rank
+
+	// p2p[from*size+to] carries point-to-point messages.
+	p2p []chan []float64
+
+	// Stats.
+	collectives atomic.Int64
+	messages    atomic.Int64
+}
+
+// Comm is one rank's handle on the communicator.
+type Comm struct {
+	rank int
+	w    *world
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// Run launches size ranks, each executing fn with its own Comm, and waits
+// for all of them. The first non-nil error (lowest rank wins) is returned.
+// A panic in any rank is converted into an error rather than crashing the
+// whole process.
+func Run(size int, fn func(c *Comm) error) error {
+	if size <= 0 {
+		return errors.New("mpi: size must be positive")
+	}
+	w := &world{
+		size:   size,
+		slots:  make([]float64, size),
+		slices: make([][]float64, size),
+		p2p:    make([]chan []float64, size*size),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	for i := range w.p2p {
+		w.p2p[i] = make(chan []float64, 4)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Unblock peers stuck in a collective.
+					w.mu.Lock()
+					w.arrived = 0
+					w.generation++
+					w.cond.Broadcast()
+					w.mu.Unlock()
+				}
+			}()
+			errs[rank] = fn(&Comm{rank: rank, w: w})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.mu.Lock()
+	gen := w.generation
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.generation++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.generation {
+			w.cond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Allreduce combines one scalar per rank with op; every rank receives the
+// same result. The reduction is evaluated in rank order, so OpSum results
+// are identical across runs.
+func (c *Comm) Allreduce(v float64, op Op) float64 {
+	w := c.w
+	if c.rank == 0 {
+		w.collectives.Add(1)
+	}
+	w.slots[c.rank] = v
+	c.Barrier() // all deposits visible
+	acc := w.slots[0]
+	for r := 1; r < w.size; r++ {
+		acc = op.apply(acc, w.slots[r])
+	}
+	c.Barrier() // nobody overwrites slots until everyone has read
+	return acc
+}
+
+// AllreduceSlice element-wise reduces equal-length vectors. Every rank
+// receives a freshly allocated result.
+func (c *Comm) AllreduceSlice(v []float64, op Op) ([]float64, error) {
+	w := c.w
+	if c.rank == 0 {
+		w.collectives.Add(1)
+	}
+	w.slices[c.rank] = v
+	c.Barrier()
+	n := len(w.slices[0])
+	for r := 1; r < w.size; r++ {
+		if len(w.slices[r]) != n {
+			c.Barrier()
+			return nil, fmt.Errorf("mpi: AllreduceSlice length mismatch: rank 0 has %d, rank %d has %d",
+				n, r, len(w.slices[r]))
+		}
+	}
+	out := make([]float64, n)
+	copy(out, w.slices[0])
+	for r := 1; r < w.size; r++ {
+		src := w.slices[r]
+		for i := range out {
+			out[i] = op.apply(out[i], src[i])
+		}
+	}
+	c.Barrier()
+	return out, nil
+}
+
+// Allgather collects one scalar from every rank; every rank receives the
+// full rank-ordered vector.
+func (c *Comm) Allgather(v float64) []float64 {
+	w := c.w
+	if c.rank == 0 {
+		w.collectives.Add(1)
+	}
+	w.slots[c.rank] = v
+	c.Barrier()
+	out := make([]float64, w.size)
+	copy(out, w.slots)
+	c.Barrier()
+	return out
+}
+
+// AllgatherSlice concatenates per-rank vectors in rank order. Vectors may
+// have different lengths.
+func (c *Comm) AllgatherSlice(v []float64) []float64 {
+	w := c.w
+	if c.rank == 0 {
+		w.collectives.Add(1)
+	}
+	w.slices[c.rank] = v
+	c.Barrier()
+	var out []float64
+	for r := 0; r < w.size; r++ {
+		out = append(out, w.slices[r]...)
+	}
+	c.Barrier()
+	return out
+}
+
+// Bcast distributes root's value to every rank.
+func (c *Comm) Bcast(v float64, root int) float64 {
+	w := c.w
+	if c.rank == 0 {
+		w.collectives.Add(1)
+	}
+	if c.rank == root {
+		w.slots[root] = v
+	}
+	c.Barrier()
+	out := w.slots[root]
+	c.Barrier()
+	return out
+}
+
+// Send delivers a vector to rank `to` (buffered; blocks only if the peer
+// has 4 undelivered messages outstanding). The slice is copied.
+func (c *Comm) Send(to int, data []float64) error {
+	if to < 0 || to >= c.w.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", to)
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.w.messages.Add(1)
+	c.w.p2p[c.rank*c.w.size+to] <- cp
+	return nil
+}
+
+// Recv blocks for the next message from rank `from`.
+func (c *Comm) Recv(from int) ([]float64, error) {
+	if from < 0 || from >= c.w.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", from)
+	}
+	return <-c.w.p2p[from*c.w.size+c.rank], nil
+}
+
+// Stats reports how many collectives and point-to-point messages the
+// communicator has executed (for overhead accounting).
+func (c *Comm) Stats() (collectives, messages int64) {
+	return c.w.collectives.Load(), c.w.messages.Load()
+}

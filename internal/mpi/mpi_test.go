@@ -1,0 +1,318 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	var count atomic.Int64
+	err := Run(8, func(c *Comm) error {
+		if c.Size() != 8 {
+			t.Errorf("size = %d", c.Size())
+		}
+		if c.Rank() < 0 || c.Rank() >= 8 {
+			t.Errorf("rank = %d", c.Rank())
+		}
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("ran %d ranks", count.Load())
+	}
+}
+
+func TestRunRejectsZeroSize(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	want := errors.New("rank failure")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	err := Run(16, func(c *Comm) error {
+		got := c.Allreduce(float64(c.Rank()), OpSum)
+		if got != 120 { // 0+1+...+15
+			t.Errorf("rank %d: sum = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	err := Run(7, func(c *Comm) error {
+		v := float64(c.Rank()*3 - 5)
+		if got := c.Allreduce(v, OpMin); got != -5 {
+			t.Errorf("min = %v", got)
+		}
+		if got := c.Allreduce(v, OpMax); got != 13 {
+			t.Errorf("max = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	// Back-to-back collectives must not interfere (slot reuse is fenced).
+	err := Run(5, func(c *Comm) error {
+		for iter := 0; iter < 100; iter++ {
+			got := c.Allreduce(float64(c.Rank()+iter), OpSum)
+			want := float64(10 + 5*iter) // Σ ranks + size·iter
+			if got != want {
+				t.Errorf("iter %d: %v != %v", iter, got, want)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDeterministicOrder(t *testing.T) {
+	// Floating-point sums depend on order; our contract is rank order.
+	vals := []float64{1e16, 1, -1e16, 1}
+	want := ((vals[0] + vals[1]) + vals[2]) + vals[3]
+	for trial := 0; trial < 10; trial++ {
+		err := Run(4, func(c *Comm) error {
+			got := c.Allreduce(vals[c.Rank()], OpSum)
+			if got != want {
+				t.Errorf("trial %d: %v != %v", trial, got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceSlice(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		v := []float64{float64(c.Rank()), 1, -float64(c.Rank())}
+		got, err := c.AllreduceSlice(v, OpSum)
+		if err != nil {
+			return err
+		}
+		if got[0] != 6 || got[1] != 4 || got[2] != -6 {
+			t.Errorf("rank %d: %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSliceLengthMismatch(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		v := make([]float64, 2+c.Rank())
+		_, err := c.AllreduceSlice(v, OpSum)
+		return err
+	})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		got := c.Allgather(float64(c.Rank() * c.Rank()))
+		for r := 0; r < 6; r++ {
+			if got[r] != float64(r*r) {
+				t.Errorf("rank %d: got[%d] = %v", c.Rank(), r, got[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherSlice(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		mine := make([]float64, c.Rank()+1)
+		for i := range mine {
+			mine[i] = float64(c.Rank())
+		}
+		got := c.AllgatherSlice(mine)
+		want := []float64{0, 1, 1, 2, 2, 2}
+		if len(got) != len(want) {
+			t.Errorf("len %d", len(got))
+			return nil
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("got %v", got)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		v := -1.0
+		if c.Rank() == 2 {
+			v = 42
+		}
+		if got := c.Bcast(v, 2); got != 42 {
+			t.Errorf("rank %d: bcast = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, []float64{3.14, 2.71})
+		}
+		got, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			t.Errorf("recv %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1}
+			if err := c.Send(1, buf); err != nil {
+				return err
+			}
+			buf[0] = 999 // must not affect the receiver
+			return nil
+		}
+		got, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			t.Errorf("send aliased caller buffer: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvInvalidRank(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if err := c.Send(7, nil); err == nil {
+			t.Error("send to invalid rank accepted")
+		}
+		if _, err := c.Recv(-1); err == nil {
+			t.Error("recv from invalid rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier, every rank must observe all pre-barrier writes.
+	var stage [8]atomic.Int64
+	err := Run(8, func(c *Comm) error {
+		stage[c.Rank()].Store(1)
+		c.Barrier()
+		for r := 0; r < 8; r++ {
+			if stage[r].Load() != 1 {
+				t.Errorf("rank %d saw rank %d pre-barrier", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		c.Allreduce(1, OpSum)
+		c.Allgather(1)
+		c.Barrier()
+		coll, _ := c.Stats()
+		if coll != 2 {
+			t.Errorf("collectives = %d, want 2", coll)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalMeanPattern(t *testing.T) {
+	// The paper's exact pattern: each rank computes a local mean, the
+	// global mean comes from one Allreduce of (sum, count).
+	local := []float64{10, 20, 30, 40}
+	err := Run(4, func(c *Comm) error {
+		sum := c.Allreduce(local[c.Rank()], OpSum)
+		n := c.Allreduce(1, OpSum)
+		mean := sum / n
+		if math.Abs(mean-25) > 1e-12 {
+			t.Errorf("global mean %v", mean)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

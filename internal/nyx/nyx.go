@@ -1,0 +1,470 @@
+// Package nyx generates synthetic cosmology snapshots that stand in for the
+// Nyx simulation data evaluated in the paper (Table 2). The real datasets
+// (LBNL's 512³–2048³ Nyx runs) are not redistributable, so this package
+// builds the closest synthetic equivalent that exercises the same code
+// paths and exhibits the properties the adaptive-compression method
+// exploits:
+//
+//   - a Gaussian random field with a falling cosmological power spectrum
+//     (structure at all scales, P(k) decreasing in k);
+//   - lognormal baryon and dark-matter density fields — heavy-tailed, with
+//     dense halo-bearing regions and near-empty voids, so compute
+//     partitions differ sharply in information density and compressibility
+//     (paper Fig. 1);
+//   - a temperature–density power-law relation with scatter;
+//   - linear-theory peculiar velocities (irrotational, ∝ ∇Φ), which are the
+//     "highly random" fields the paper notes compress poorly;
+//   - redshift evolution via a growth factor, so earlier snapshots are
+//     smoother and later ones more clustered (paper Figs. 16–17).
+//
+// Field value ranges are matched to Table 2 of the paper: baryon density in
+// (0, 1e5) around mean 1, dark-matter density in (0, 1e4), temperature in
+// (1e2, 1e7), velocities within ±1e8.
+package nyx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// Canonical field names, matching the six Nyx fields in the paper.
+const (
+	FieldBaryonDensity     = "baryon_density"
+	FieldDarkMatterDensity = "dark_matter_density"
+	FieldTemperature       = "temperature"
+	FieldVelocityX         = "velocity_x"
+	FieldVelocityY         = "velocity_y"
+	FieldVelocityZ         = "velocity_z"
+)
+
+// FieldNames lists all six generated fields in canonical order.
+var FieldNames = []string{
+	FieldBaryonDensity, FieldDarkMatterDensity, FieldTemperature,
+	FieldVelocityX, FieldVelocityY, FieldVelocityZ,
+}
+
+// Params controls snapshot generation.
+type Params struct {
+	// N is the cubic grid dimension (must be ≥ 4; powers of two are
+	// fastest but not required).
+	N int
+	// Seed makes generation deterministic; snapshots at different
+	// redshifts with the same seed share their initial conditions, like
+	// successive dumps of one simulation.
+	Seed uint64
+	// Redshift z ≥ 0. Structure growth scales as 1/(1+z), normalized so
+	// RefRedshift has unit growth.
+	Redshift float64
+	// RefRedshift anchors the growth normalization (default 42, the
+	// latest snapshot used in the paper's Fig. 16).
+	RefRedshift float64
+	// SpectralIndex is the primordial tilt n_s (default 0.96).
+	SpectralIndex float64
+	// SigmaDelta is the standard deviation of the large-scale log-density
+	// at the reference redshift (default 1.9; larger → heavier lognormal
+	// tail → sparser, more clustered fields).
+	SigmaDelta float64
+	// AmpTilt couples small-scale roughness to the local large-scale
+	// density (default 1.0): dense regions are rough in log space, voids
+	// are nearly smooth — the property that makes per-partition rate
+	// coefficients differ by orders of magnitude (paper Figs. 1 and 9).
+	AmpTilt float64
+	// SmallScale is the base small-scale log roughness at mean density
+	// (default 0.5).
+	SmallScale float64
+	// BaryonBias and DarkMatterBias scale the lognormal exponent for the
+	// two density fields (defaults 1.0 and 0.85).
+	BaryonBias, DarkMatterBias float64
+	// Gamma is the temperature–density polytropic exponent (default 1.6).
+	Gamma float64
+	// TempScatter is the lognormal scatter of temperature around the
+	// power-law relation (default 0.4).
+	TempScatter float64
+	// T0 is the temperature at mean density (default 1e4 K).
+	T0 float64
+	// VelocityScale sets the RMS peculiar velocity (default 2e7, so the
+	// tails reach toward ±1e8 as in Table 2).
+	VelocityScale float64
+	// Workers bounds FFT parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults fills zero values with the documented defaults.
+func (p Params) withDefaults() Params {
+	if p.RefRedshift == 0 {
+		p.RefRedshift = 42
+	}
+	if p.SpectralIndex == 0 {
+		p.SpectralIndex = 0.96
+	}
+	if p.SigmaDelta == 0 {
+		p.SigmaDelta = 1.9
+	}
+	if p.AmpTilt == 0 {
+		p.AmpTilt = 1.0
+	}
+	if p.SmallScale == 0 {
+		p.SmallScale = 0.5
+	}
+	if p.BaryonBias == 0 {
+		p.BaryonBias = 1.0
+	}
+	if p.DarkMatterBias == 0 {
+		p.DarkMatterBias = 0.85
+	}
+	if p.Gamma == 0 {
+		p.Gamma = 1.6
+	}
+	if p.TempScatter == 0 {
+		p.TempScatter = 0.4
+	}
+	if p.T0 == 0 {
+		p.T0 = 1e4
+	}
+	if p.VelocityScale == 0 {
+		p.VelocityScale = 2e7
+	}
+	return p
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < 4 {
+		return fmt.Errorf("nyx: grid dimension %d too small", p.N)
+	}
+	if p.Redshift < 0 {
+		return fmt.Errorf("nyx: negative redshift %g", p.Redshift)
+	}
+	return nil
+}
+
+// Snapshot is one generated time step.
+type Snapshot struct {
+	Params Params
+	Fields map[string]*grid.Field3D
+}
+
+// Field returns a named field or an error listing what exists.
+func (s *Snapshot) Field(name string) (*grid.Field3D, error) {
+	f, ok := s.Fields[name]
+	if !ok {
+		return nil, fmt.Errorf("nyx: no field %q (have %v)", name, FieldNames)
+	}
+	return f, nil
+}
+
+// growthFactor is the linear growth normalized to 1 at the reference
+// redshift (Einstein–de Sitter scaling D ∝ 1/(1+z), adequate for the
+// matter-dominated regime these snapshots represent).
+func growthFactor(z, zRef float64) float64 {
+	return (1 + zRef) / (1 + z)
+}
+
+// Generate builds a full six-field snapshot.
+func Generate(p Params) (*Snapshot, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N
+
+	// 1. Linear density contrast δ in Fourier space. White noise is drawn
+	// in real space and filtered by sqrt(P(k)), which keeps the field real
+	// and the seed→field mapping trivially deterministic.
+	rng := stats.NewRNG(p.Seed)
+	delta := make([]complex128, n*n*n)
+	for i := range delta {
+		delta[i] = complex(rng.NormFloat64(), 0)
+	}
+	plan, err := fft.NewPlan3D(n, n, n, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Forward(delta); err != nil {
+		return nil, err
+	}
+	applySpectrumFilter(delta, n, p.SpectralIndex)
+
+	// Velocity fields come from the same modes: v⃗(k) ∝ i k⃗/k² δ(k).
+	velSpec := [3][]complex128{}
+	for d := 0; d < 3; d++ {
+		velSpec[d] = make([]complex128, len(delta))
+	}
+	fillVelocitySpectra(velSpec, delta, n)
+
+	// Split δ into large-scale (k ≤ kc) and small-scale components; the
+	// small scales are later modulated by the local large-scale density.
+	deltaL := make([]complex128, len(delta))
+	copy(deltaL, delta)
+	lowPassFilter(deltaL, n)
+	if err := plan.Inverse(delta); err != nil {
+		return nil, err
+	}
+	if err := plan.Inverse(deltaL); err != nil {
+		return nil, err
+	}
+	// δ_S = δ − δ_L, each normalized to unit variance separately.
+	deltaS := make([]float64, len(delta))
+	for i := range delta {
+		deltaS[i] = real(delta[i]) - real(deltaL[i])
+	}
+	largeScale := realParts(deltaL)
+	normalizeSlice(largeScale, 1)
+	normalizeSlice(deltaS, 1)
+
+	growth := growthFactor(p.Redshift, p.RefRedshift)
+	sigmaL := p.SigmaDelta * growth
+	sigmaS := p.SmallScale * growth
+
+	fields := make(map[string]*grid.Field3D, 6)
+
+	// 2. Lognormal densities with density-coupled roughness:
+	//    ln ρ = σ_L·δ_L + σ_S·exp(a·δ_L)·δ_S  (then normalized to mean 1).
+	// Voids (δ_L < 0) end up almost perfectly smooth, dense regions carry
+	// strong small-scale structure — the rate-heterogeneity the adaptive
+	// scheme exploits.
+	fields[FieldBaryonDensity] = modulatedLognormal(largeScale, deltaS, n,
+		p.BaryonBias*sigmaL, sigmaS, p.AmpTilt, 1e5)
+	fields[FieldDarkMatterDensity] = modulatedLognormal(largeScale, deltaS, n,
+		p.DarkMatterBias*sigmaL, sigmaS, p.AmpTilt, 1e4)
+
+	// 3. Temperature: T = T0 (ρ/ρ̄)^{γ−1} e^ε, clamped to Table 2's range.
+	// The scatter ε is density-coupled: shock-heated dense regions carry
+	// strong thermal structure while voids follow the polytrope almost
+	// exactly — so temperature partitions inherit the compressibility
+	// heterogeneity of the density field, as in real Nyx data.
+	tRNG := stats.NewRNG(p.Seed ^ 0x7431)
+	temp := grid.NewCube(n)
+	rb := fields[FieldBaryonDensity]
+	for i := range temp.Data {
+		rho := float64(rb.Data[i])
+		scatter := p.TempScatter * clamp(math.Pow(rho, 0.5), 0.02, 4)
+		t := p.T0 * math.Pow(rho, p.Gamma-1) * math.Exp(tRNG.NormFloat64()*scatter)
+		temp.Data[i] = float32(clamp(t, 1e2, 1e7))
+	}
+	fields[FieldTemperature] = temp
+
+	// 4. Velocities: inverse-transform the velocity spectra and scale to
+	// the target RMS (growth-scaled, matching linear theory's v ∝ D·f·H).
+	velNames := [3]string{FieldVelocityX, FieldVelocityY, FieldVelocityZ}
+	for d := 0; d < 3; d++ {
+		if err := plan.Inverse(velSpec[d]); err != nil {
+			return nil, err
+		}
+		normalizeReal(velSpec[d], p.VelocityScale*growth)
+		vf := grid.NewCube(n)
+		for i, v := range velSpec[d] {
+			vf.Data[i] = float32(clamp(real(v), -1e8, 1e8))
+		}
+		fields[velNames[d]] = vf
+	}
+
+	return &Snapshot{Params: p, Fields: fields}, nil
+}
+
+// applySpectrumFilter multiplies modes by sqrt(P(k)) with
+// P(k) ∝ k^ns / (1 + (k/k0)²)², a falling spectrum with a large-scale
+// turnover (BBKS-like shape). The DC mode is zeroed: δ has zero mean.
+func applySpectrumFilter(spec []complex128, n int, ns float64) {
+	// The turnover sits at low k so most variance lives in wavelengths of
+	// a quarter box and above; that is what makes partition means differ
+	// by an order of magnitude (the heterogeneity of the paper's Fig. 1).
+	k0 := float64(n) / 32
+	if k0 < 2 {
+		k0 = 2
+	}
+	idx := 0
+	for z := 0; z < n; z++ {
+		kz := float64(wrapFreq(z, n))
+		for y := 0; y < n; y++ {
+			ky := float64(wrapFreq(y, n))
+			for x := 0; x < n; x++ {
+				kx := float64(wrapFreq(x, n))
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 {
+					spec[idx] = 0
+				} else {
+					k := math.Sqrt(k2)
+					pk := math.Pow(k, ns) / math.Pow(1+(k/k0)*(k/k0), 2)
+					spec[idx] *= complex(math.Sqrt(pk), 0)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// fillVelocitySpectra computes v_d(k) = i·k_d/k² · δ(k) for d ∈ {x,y,z}.
+func fillVelocitySpectra(vel [3][]complex128, delta []complex128, n int) {
+	idx := 0
+	for z := 0; z < n; z++ {
+		kz := float64(wrapFreq(z, n))
+		for y := 0; y < n; y++ {
+			ky := float64(wrapFreq(y, n))
+			for x := 0; x < n; x++ {
+				kx := float64(wrapFreq(x, n))
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 {
+					vel[0][idx], vel[1][idx], vel[2][idx] = 0, 0, 0
+				} else {
+					base := delta[idx] * complex(0, 1/k2)
+					vel[0][idx] = base * complex(kx, 0)
+					vel[1][idx] = base * complex(ky, 0)
+					vel[2][idx] = base * complex(kz, 0)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func wrapFreq(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// normalizeReal rescales the real parts of data to the target standard
+// deviation (no-op for an all-zero field).
+func normalizeReal(data []complex128, sigmaTarget float64) {
+	var m stats.Moments
+	for _, v := range data {
+		m.Add(real(v))
+	}
+	sd := m.StdDev()
+	if sd == 0 {
+		return
+	}
+	scale := sigmaTarget / sd
+	for i, v := range data {
+		data[i] = complex(real(v)*scale, 0)
+	}
+}
+
+// realParts copies the real components out of a complex field.
+func realParts(data []complex128) []float64 {
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// normalizeSlice rescales a slice to zero mean and the target standard
+// deviation (no-op for a constant slice).
+func normalizeSlice(xs []float64, sigmaTarget float64) {
+	var m stats.Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	sd := m.StdDev()
+	if sd == 0 {
+		return
+	}
+	mean := m.Mean()
+	scale := sigmaTarget / sd
+	for i := range xs {
+		xs[i] = (xs[i] - mean) * scale
+	}
+}
+
+// lowPassFilter keeps only modes with |k| ≤ kc (cosine-tapered), where kc
+// is the spectrum turnover used by applySpectrumFilter.
+func lowPassFilter(spec []complex128, n int) {
+	kc := float64(n) / 32
+	if kc < 2 {
+		kc = 2
+	}
+	idx := 0
+	for z := 0; z < n; z++ {
+		kz := float64(wrapFreq(z, n))
+		for y := 0; y < n; y++ {
+			ky := float64(wrapFreq(y, n))
+			for x := 0; x < n; x++ {
+				kx := float64(wrapFreq(x, n))
+				k := math.Sqrt(kx*kx + ky*ky + kz*kz)
+				switch {
+				case k <= kc:
+					// keep
+				case k <= 2*kc:
+					w := 0.5 * (1 + math.Cos(math.Pi*(k-kc)/kc))
+					spec[idx] *= complex(w, 0)
+				default:
+					spec[idx] = 0
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// modulatedLognormal builds ρ = exp(σL·δ_L + σS·e^{a·δ_L}·δ_S), normalized
+// to mean 1 and clipped to (0, max).
+func modulatedLognormal(deltaL, deltaS []float64, n int, sigmaL, sigmaS, tilt, max float64) *grid.Field3D {
+	f := grid.NewCube(n)
+	logRho := make([]float64, len(deltaL))
+	var meanAcc float64
+	for i := range deltaL {
+		// The modulation argument is clamped so the roughness contrast
+		// between voids and halos is large (~e⁴ ≈ 60×) but the extreme
+		// tail cannot run away and dominate the global mean.
+		amp := math.Exp(tilt * clamp(deltaL[i], -3, 1.2))
+		lr := sigmaL*deltaL[i] + sigmaS*amp*deltaS[i]
+		if lr > 30 {
+			lr = 30
+		}
+		if lr < -30 {
+			lr = -30
+		}
+		logRho[i] = lr
+		meanAcc += math.Exp(lr)
+	}
+	meanAcc /= float64(len(deltaL))
+	for i, lr := range logRho {
+		rho := math.Exp(lr) / meanAcc
+		if rho > max {
+			rho = max
+		}
+		if rho < 1e-20 {
+			rho = 1e-20
+		}
+		f.Data[i] = float32(rho)
+	}
+	return f
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// GenerateSequence builds snapshots at several redshifts from shared
+// initial conditions (same seed), emulating successive dumps of one run.
+func GenerateSequence(base Params, redshifts []float64) ([]*Snapshot, error) {
+	out := make([]*Snapshot, 0, len(redshifts))
+	for _, z := range redshifts {
+		p := base
+		p.Redshift = z
+		s, err := Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("nyx: redshift %g: %w", z, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// DefaultHaloConfig returns the halo-finder thresholds used throughout the
+// experiments: t_boundary = 88.16 (the paper's Table 1 threshold, in units
+// of mean density) and a peak cut of 3× that.
+func DefaultHaloConfig() (boundary, peak float64) { return 88.16, 264.48 }

@@ -1,0 +1,240 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func testModel() *model.RateModel {
+	// C_m = 1.5 + 0.4·ln(feature), c = −0.5 — representative of the
+	// calibrations measured on the synthetic Nyx data.
+	return &model.RateModel{Exponent: -0.5, Alpha: 1.5, Beta: 0.4, MinC: 0.05}
+}
+
+func spreadFeatures(n int, seed uint64) []float64 {
+	r := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Pow(10, r.Uniform(-1, 1.5))
+	}
+	return out
+}
+
+func TestAllocatePreservesMeanAndBox(t *testing.T) {
+	rm := testModel()
+	features := spreadFeatures(512, 1)
+	cfg := Config{AvgEB: 0.2}
+	res, err := Allocate(rm, features, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EBs) != 512 {
+		t.Fatalf("allocated %d bounds", len(res.EBs))
+	}
+	mean := stats.MeanOf(res.EBs)
+	if math.Abs(mean-0.2) > 1e-6 {
+		t.Errorf("mean eb = %v, want 0.2", mean)
+	}
+	for i, eb := range res.EBs {
+		if eb < 0.2/4-1e-12 || eb > 0.2*4+1e-12 {
+			t.Fatalf("eb[%d] = %v outside clamp box", i, eb)
+		}
+	}
+}
+
+func TestAllocateImprovesOnUniform(t *testing.T) {
+	rm := testModel()
+	features := spreadFeatures(256, 2)
+	res, err := Allocate(rm, features, Config{AvgEB: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedBitRate >= res.UniformBitRate {
+		t.Errorf("optimized bit rate %v not below uniform %v",
+			res.PredictedBitRate, res.UniformBitRate)
+	}
+	if res.PredictedImprovement() <= 0 {
+		t.Errorf("predicted improvement %v", res.PredictedImprovement())
+	}
+}
+
+func TestAllocateDirection(t *testing.T) {
+	// Under EqualDerivative with c<0, less compressible partitions
+	// (higher C_m, i.e. higher feature) must receive larger error bounds.
+	rm := testModel()
+	features := []float64{0.1, 1, 10, 100}
+	res, err := Allocate(rm, features, Config{AvgEB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.EBs); i++ {
+		if res.EBs[i] < res.EBs[i-1] {
+			t.Errorf("allocation not monotone in compressibility: %v", res.EBs)
+		}
+	}
+}
+
+func TestHomogeneousFeaturesGiveUniform(t *testing.T) {
+	rm := testModel()
+	features := []float64{5, 5, 5, 5}
+	res, err := Allocate(rm, features, Config{AvgEB: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eb := range res.EBs {
+		if math.Abs(eb-0.3) > 1e-9 {
+			t.Errorf("homogeneous data should get uniform bounds, got %v", res.EBs)
+		}
+	}
+	if imp := res.PredictedImprovement(); math.Abs(imp) > 1e-9 {
+		t.Errorf("improvement on homogeneous data = %v", imp)
+	}
+}
+
+func TestPaperEq16Strategy(t *testing.T) {
+	rm := testModel()
+	features := []float64{0.1, 1, 10}
+	res, err := Allocate(rm, features, Config{AvgEB: 1, Strategy: PaperEq16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean and box still hold regardless of strategy.
+	if math.Abs(stats.MeanOf(res.EBs)-1) > 1e-6 {
+		t.Errorf("mean %v", stats.MeanOf(res.EBs))
+	}
+	// With c < 0, Eq. 16 as printed allocates in the opposite direction.
+	if res.EBs[0] < res.EBs[2] {
+		t.Errorf("PaperEq16 direction unexpected: %v", res.EBs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rm := testModel()
+	if _, err := Allocate(rm, []float64{1}, Config{AvgEB: 0}); err == nil {
+		t.Error("zero AvgEB accepted")
+	}
+	if _, err := Allocate(rm, []float64{1}, Config{AvgEB: 1, ClampFactor: 0.5}); err == nil {
+		t.Error("clamp < 1 accepted")
+	}
+	if _, err := Allocate(rm, nil, Config{AvgEB: 1}); err == nil {
+		t.Error("no partitions accepted")
+	}
+	if _, err := Allocate(&model.RateModel{Exponent: 1}, []float64{1}, Config{AvgEB: 1}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestClampFactorRespected(t *testing.T) {
+	rm := &model.RateModel{Exponent: -0.9, Alpha: 1, Beta: 2, MinC: 0.01}
+	features := spreadFeatures(64, 3)
+	for _, k := range []float64{2, 4, 8} {
+		res, err := Allocate(rm, features, Config{AvgEB: 1, ClampFactor: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eb := range res.EBs {
+			if eb < 1/k-1e-9 || eb > k+1e-9 {
+				t.Fatalf("k=%v: eb %v outside box", k, eb)
+			}
+		}
+		if math.Abs(stats.MeanOf(res.EBs)-1) > 1e-6 {
+			t.Errorf("k=%v: mean %v", k, stats.MeanOf(res.EBs))
+		}
+	}
+}
+
+func TestAllocateWithHaloUnderBudget(t *testing.T) {
+	rm := testModel()
+	features := spreadFeatures(16, 4)
+	hc := HaloConstraint{
+		TBoundary:     88.16,
+		RefEB:         1,
+		BoundaryCells: make([]int, 16), // no boundary cells → no distortion
+		MassBudget:    100,
+	}
+	res, err := AllocateWithHalo(rm, features, Config{AvgEB: 0.5}, hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HaloScaled || res.HaloScale != 1 {
+		t.Errorf("scaled without violation: %+v", res)
+	}
+}
+
+func TestAllocateWithHaloOverBudget(t *testing.T) {
+	rm := testModel()
+	features := spreadFeatures(16, 5)
+	cells := make([]int, 16)
+	for i := range cells {
+		cells[i] = 1000
+	}
+	hc := HaloConstraint{
+		TBoundary:     88.16,
+		RefEB:         1,
+		BoundaryCells: cells,
+		MassBudget:    10, // tiny budget forces scaling
+	}
+	res, err := AllocateWithHalo(rm, features, Config{AvgEB: 0.5}, hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HaloScaled || res.HaloScale >= 1 {
+		t.Fatalf("expected halo scaling, got %+v", res)
+	}
+	// After scaling, the estimate must meet the budget exactly (linearity).
+	est, err := model.MassFaultFromBoundaryCells(hc.TBoundary, hc.RefEB, cells, res.EBs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est > hc.MassBudget*(1+1e-9) {
+		t.Errorf("post-scale estimate %v > budget %v", est, hc.MassBudget)
+	}
+}
+
+func TestHaloConstraintValidation(t *testing.T) {
+	rm := testModel()
+	features := []float64{1, 2}
+	bad := []HaloConstraint{
+		{TBoundary: 0, RefEB: 1, BoundaryCells: []int{1, 2}, MassBudget: 1},
+		{TBoundary: 1, RefEB: 0, BoundaryCells: []int{1, 2}, MassBudget: 1},
+		{TBoundary: 1, RefEB: 1, BoundaryCells: []int{1}, MassBudget: 1},
+		{TBoundary: 1, RefEB: 1, BoundaryCells: []int{1, 2}, MassBudget: 0},
+	}
+	for i, hc := range bad {
+		if _, err := AllocateWithHalo(rm, features, Config{AvgEB: 1}, hc); err == nil {
+			t.Errorf("case %d accepted: %+v", i, hc)
+		}
+	}
+}
+
+// Property: for arbitrary feature spreads and budgets, the allocation
+// preserves the mean budget, respects the box, and never loses to the
+// uniform baseline under the model.
+func TestQuickAllocationInvariants(t *testing.T) {
+	rm := testModel()
+	f := func(seed uint64, avgSeed uint8) bool {
+		nParts := 8 + int(seed%56)
+		features := spreadFeatures(nParts, seed)
+		avg := math.Pow(10, float64(avgSeed%5)-2) // 1e-2 .. 1e2
+		res, err := Allocate(rm, features, Config{AvgEB: avg})
+		if err != nil {
+			return false
+		}
+		if math.Abs(stats.MeanOf(res.EBs)-avg) > 1e-5*avg {
+			return false
+		}
+		for _, eb := range res.EBs {
+			if eb <= 0 || eb < avg/4-1e-9*avg || eb > avg*4+1e-9*avg {
+				return false
+			}
+		}
+		return res.PredictedBitRate <= res.UniformBitRate*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package snapio reads and writes snapshot containers: named 3-D float32
+// fields in a simple binary format. It stands in for the HDF5 files the
+// paper's Nyx datasets ship in — the payload is the same (named single
+// precision 3-D arrays); only the container differs.
+//
+// Format (little endian):
+//
+//	offset size  field
+//	0      8     magic "NYXSNAP1"
+//	8      4     version (1)
+//	12     8     redshift (float64)
+//	20     4     field count F
+//	then F field records:
+//	  uint16 name length, name bytes (UTF-8)
+//	  uint32 nx, ny, nz
+//	  uint32 CRC32-C of the raw data
+//	  nx·ny·nz float32 values
+package snapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+const (
+	magic   = "NYXSNAP1"
+	version = 1
+	// maxFieldCells guards against allocating absurd amounts of memory
+	// when reading a corrupt header (2³¹ cells ≈ 8 GiB of float32).
+	maxFieldCells = 1 << 31
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is a named collection of fields plus the redshift it was
+// generated at.
+type Snapshot struct {
+	Redshift float64
+	Fields   map[string]*grid.Field3D
+}
+
+// Write serializes the snapshot to w. Fields are written in sorted name
+// order so output is deterministic.
+func Write(w io.Writer, s *Snapshot) error {
+	if s == nil || len(s.Fields) == 0 {
+		return errors.New("snapio: empty snapshot")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], version)
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(s.Redshift))
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(s.Fields)))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.Fields))
+	for name := range s.Fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := s.Fields[name]
+		if f == nil || len(f.Data) != f.Nx*f.Ny*f.Nz {
+			return fmt.Errorf("snapio: field %q malformed", name)
+		}
+		if len(name) > 65535 {
+			return fmt.Errorf("snapio: field name too long (%d bytes)", len(name))
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(name)))
+		if _, err := bw.Write(scratch[:2]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		for _, dim := range []int{f.Nx, f.Ny, f.Nz} {
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(dim))
+			if _, err := bw.Write(scratch[:4]); err != nil {
+				return err
+			}
+		}
+		raw := float32Bytes(f.Data)
+		binary.LittleEndian.PutUint32(scratch[:4], crc32.Checksum(raw, crcTable))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a snapshot from r.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("snapio: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("snapio: bad magic %q", head)
+	}
+	var b4 [4]byte
+	var b8 [8]byte
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(b4[:]); v != version {
+		return nil, fmt.Errorf("snapio: unsupported version %d", v)
+	}
+	if _, err := io.ReadFull(br, b8[:]); err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Redshift: math.Float64frombits(binary.LittleEndian.Uint64(b8[:])),
+		Fields:   make(map[string]*grid.Field3D),
+	}
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(b4[:])
+	if count == 0 || count > 4096 {
+		return nil, fmt.Errorf("snapio: implausible field count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		var b2 [2]byte
+		if _, err := io.ReadFull(br, b2[:]); err != nil {
+			return nil, fmt.Errorf("snapio: field %d name length: %w", i, err)
+		}
+		nameLen := binary.LittleEndian.Uint16(b2[:])
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, fmt.Errorf("snapio: field %d name: %w", i, err)
+		}
+		name := string(nameBytes)
+		var dims [3]int
+		for d := 0; d < 3; d++ {
+			if _, err := io.ReadFull(br, b4[:]); err != nil {
+				return nil, fmt.Errorf("snapio: field %q dims: %w", name, err)
+			}
+			dims[d] = int(binary.LittleEndian.Uint32(b4[:]))
+			if dims[d] <= 0 {
+				return nil, fmt.Errorf("snapio: field %q has dimension %d", name, dims[d])
+			}
+		}
+		cells := dims[0] * dims[1] * dims[2]
+		if cells <= 0 || cells > maxFieldCells {
+			return nil, fmt.Errorf("snapio: field %q implausibly large (%d cells)", name, cells)
+		}
+		if _, err := io.ReadFull(br, b4[:]); err != nil {
+			return nil, err
+		}
+		wantCRC := binary.LittleEndian.Uint32(b4[:])
+		raw := make([]byte, cells*4)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("snapio: field %q data: %w", name, err)
+		}
+		if crc := crc32.Checksum(raw, crcTable); crc != wantCRC {
+			return nil, fmt.Errorf("snapio: field %q CRC mismatch", name)
+		}
+		if _, dup := s.Fields[name]; dup {
+			return nil, fmt.Errorf("snapio: duplicate field %q", name)
+		}
+		s.Fields[name] = &grid.Field3D{
+			Nx: dims[0], Ny: dims[1], Nz: dims[2],
+			Data: bytesFloat32(raw),
+		}
+	}
+	return s, nil
+}
+
+// WriteFile writes a snapshot to a file path.
+func WriteFile(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a snapshot from a file path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func float32Bytes(xs []float32) []byte {
+	out := make([]byte, len(xs)*4)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(x))
+	}
+	return out
+}
+
+func bytesFloat32(raw []byte) []float32 {
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package snapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func sampleSnapshot() *Snapshot {
+	r := stats.NewRNG(1)
+	mk := func(n int) *grid.Field3D {
+		f := grid.NewCube(n)
+		for i := range f.Data {
+			f.Data[i] = float32(r.NormFloat64() * 100)
+		}
+		return f
+	}
+	return &Snapshot{
+		Redshift: 42.5,
+		Fields: map[string]*grid.Field3D{
+			"baryon_density": mk(8),
+			"temperature":    mk(8),
+			"velocity_x":     mk(4),
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Redshift != 42.5 {
+		t.Errorf("redshift %v", got.Redshift)
+	}
+	if len(got.Fields) != 3 {
+		t.Fatalf("fields %d", len(got.Fields))
+	}
+	for name, f := range s.Fields {
+		g, ok := got.Fields[name]
+		if !ok {
+			t.Fatalf("missing field %q", name)
+		}
+		if !f.SameShape(g) {
+			t.Fatalf("%q shape changed", name)
+		}
+		for i := range f.Data {
+			if f.Data[i] != g.Data[i] {
+				t.Fatalf("%q data changed at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.nyx")
+	s := sampleSnapshot()
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != len(s.Fields) {
+		t.Fatalf("fields %d", len(got.Fields))
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.nyx")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	s := sampleSnapshot()
+	var a, b bytes.Buffer
+	if err := Write(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("output not deterministic")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if err := Write(&bytes.Buffer{}, &Snapshot{}); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	bad := &Snapshot{Fields: map[string]*grid.Field3D{
+		"x": {Nx: 2, Ny: 2, Nz: 2, Data: make([]float32, 3)},
+	}}
+	if err := Write(&bytes.Buffer{}, bad); err == nil {
+		t.Error("malformed field accepted")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	s := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"empty":        func(b []byte) []byte { return nil },
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":  func(b []byte) []byte { b[8] = 99; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)/2] },
+		"data bitflip": func(b []byte) []byte { b[len(b)-3] ^= 0x10; return b },
+	}
+	for name, corrupt := range cases {
+		bad := corrupt(bytes.Clone(blob))
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadRejectsHugeHeader(t *testing.T) {
+	// Craft a header announcing an absurd field size; Read must reject it
+	// before allocating.
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.Write([]byte{1, 0, 0, 0})             // version
+	buf.Write(make([]byte, 8))                // redshift
+	buf.Write([]byte{1, 0, 0, 0})             // 1 field
+	buf.Write([]byte{1, 0})                   // name len 1
+	buf.WriteString("x")                      // name
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // nx huge
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // ny huge
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // nz huge
+	buf.Write([]byte{0, 0, 0, 0})             // crc
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("implausible dims accepted")
+	}
+}
+
+func TestWriteFileToBadPath(t *testing.T) {
+	s := sampleSnapshot()
+	err := WriteFile(filepath.Join(os.DevNull, "nope", "x.nyx"), s)
+	if err == nil {
+		t.Error("write to impossible path succeeded")
+	}
+}

@@ -1,0 +1,183 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func TestConstantFieldIsDCOnly(t *testing.T) {
+	f := grid.NewCube(16)
+	f.Fill(7)
+	s, err := Compute(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P[0] == 0 {
+		t.Error("DC shell empty for constant field")
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.P[i] > 1e-12 {
+			t.Errorf("shell %d has power %g for constant field", i, s.P[i])
+		}
+	}
+}
+
+func TestSingleModeLandsInRightShell(t *testing.T) {
+	// A plane wave with wavevector (3,0,0) must put all its power in
+	// shell k=3.
+	n := 32
+	f := grid.NewCube(n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, float32(math.Cos(2*math.Pi*3*float64(x)/float64(n))))
+			}
+		}
+	}
+	s, err := Compute(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := 1; i < s.Len(); i++ {
+		if s.P[i]*float64(s.Counts[i]) > s.P[best]*float64(s.Counts[best]) {
+			best = i
+		}
+	}
+	if best != 3 {
+		t.Errorf("dominant shell = %d, want 3", best)
+	}
+}
+
+func TestParsevalTotalPower(t *testing.T) {
+	r := stats.NewRNG(3)
+	n := 16
+	f := grid.NewCube(n)
+	var ms float64
+	for i := range f.Data {
+		f.Data[i] = float32(r.NormFloat64())
+		ms += float64(f.Data[i]) * float64(f.Data[i])
+	}
+	ms /= float64(f.Len())
+	s, err := Compute(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shells only cover |k| < maxShell; modes in the corners beyond
+	// sqrt(3)·nyquist are included by construction, so totals match.
+	if math.Abs(s.TotalPower()-ms) > 1e-6*ms {
+		t.Errorf("total power %v, mean square %v", s.TotalPower(), ms)
+	}
+}
+
+func TestContrastMode(t *testing.T) {
+	f := grid.NewCube(8)
+	f.Fill(5)
+	s, err := Compute(f, Options{Contrast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ of a constant field is identically zero.
+	for i := 0; i < s.Len(); i++ {
+		if s.P[i] != 0 {
+			t.Errorf("shell %d nonzero for zero contrast", i)
+		}
+	}
+	zero := grid.NewCube(8)
+	if _, err := Compute(zero, Options{Contrast: true}); err == nil {
+		t.Error("zero-mean contrast accepted")
+	}
+}
+
+func TestNonCubicRejected(t *testing.T) {
+	f := grid.NewField3D(8, 8, 4)
+	if _, err := Compute(f, Options{}); err == nil {
+		t.Error("non-cubic field accepted")
+	}
+}
+
+func TestRatioAndDeviation(t *testing.T) {
+	r := stats.NewRNG(5)
+	n := 16
+	f := grid.NewCube(n)
+	for i := range f.Data {
+		f.Data[i] = float32(100 + 10*r.NormFloat64())
+	}
+	orig, err := Compute(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical field → ratio exactly 1 everywhere.
+	same, _ := Compute(f, Options{})
+	ratios, err := Ratio(orig, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range ratios {
+		if orig.Counts[i] > 0 && math.Abs(rt-1) > 1e-12 {
+			t.Errorf("shell %d self-ratio %v", i, rt)
+		}
+	}
+	d, err := MaxDeviation(orig, same, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self deviation %v", d)
+	}
+	ok, _ := WithinBand(orig, same, 10, 0.01)
+	if !ok {
+		t.Error("identical spectra not within band")
+	}
+
+	// A slightly perturbed field must yield a small but nonzero deviation.
+	g := f.Clone()
+	for i := range g.Data {
+		g.Data[i] += float32(r.Uniform(-1, 1))
+	}
+	recon, _ := Compute(g, Options{})
+	d2, _ := MaxDeviation(orig, recon, 10)
+	if d2 <= 0 {
+		t.Error("perturbed field has zero deviation")
+	}
+	// And a heavily perturbed field must break the ±1 % band.
+	h := f.Clone()
+	for i := range h.Data {
+		h.Data[i] += float32(r.Uniform(-50, 50))
+	}
+	recon2, _ := Compute(h, Options{})
+	ok2, _ := WithinBand(orig, recon2, 10, 0.01)
+	if ok2 {
+		t.Error("heavy distortion stayed within ±1 % band")
+	}
+}
+
+func TestRatioLengthMismatch(t *testing.T) {
+	a := &Spectrum{K: []float64{0, 1}, P: []float64{1, 1}, Counts: []int64{1, 1}}
+	b := &Spectrum{K: []float64{0}, P: []float64{1}, Counts: []int64{1}}
+	if _, err := Ratio(a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MaxDeviation(a, b, 10); err == nil {
+		t.Error("length mismatch accepted by MaxDeviation")
+	}
+}
+
+func TestShellCountsCoverAllModes(t *testing.T) {
+	n := 8
+	f := grid.NewCube(n)
+	s, err := Compute(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != int64(n*n*n) {
+		t.Errorf("shells cover %d modes, want %d", total, n*n*n)
+	}
+}

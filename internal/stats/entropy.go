@@ -1,0 +1,62 @@
+package stats
+
+import "math"
+
+// QuantizedEntropy estimates the Shannon entropy (bits/value) of a float32
+// slice after quantizing it into the given number of levels across its value
+// range. The paper notes partition entropy correlates with the rate
+// coefficient C_m but is more expensive than the mean; we keep it available
+// for the C_m-source ablation.
+func QuantizedEntropy(xs []float32, levels int) float64 {
+	if len(xs) == 0 || levels <= 1 {
+		return 0
+	}
+	var mom Moments
+	mom.AddSlice(xs)
+	lo, hi := mom.Min(), mom.Max()
+	if hi == lo {
+		return 0
+	}
+	counts := make([]int, levels)
+	scale := float64(levels) / (hi - lo)
+	for _, x := range xs {
+		i := int((float64(x) - lo) * scale)
+		if i >= levels {
+			i = levels - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	n := float64(len(xs))
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// SymbolEntropy returns the Shannon entropy (bits/symbol) of an integer
+// symbol stream, used to sanity-check the Huffman coder against its
+// theoretical lower bound.
+func SymbolEntropy(symbols []int) float64 {
+	if len(symbols) == 0 {
+		return 0
+	}
+	counts := make(map[int]int, 256)
+	for _, s := range symbols {
+		counts[s]++
+	}
+	n := float64(len(symbols))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegenerateFit is returned when a fit has too few or collinear points.
+var ErrDegenerateFit = errors.New("stats: degenerate least-squares fit")
+
+// LinearFit computes the ordinary least-squares line y = a + b·x and the
+// coefficient of determination R².
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, ErrMismatchedLengths
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return 0, 0, 0, ErrDegenerateFit
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, ErrDegenerateFit
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	// R² = 1 − SS_res/SS_tot
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1, nil
+	}
+	var ssRes float64
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2, nil
+}
+
+// PowerLawFit fits y = C·x^c by least squares in log-log space. All inputs
+// must be strictly positive. This is the form of the paper's Eq. 15
+// bit-rate model b_m = C_m·eb^c.
+func PowerLawFit(xs, ys []float64) (coeff, exponent, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, ErrMismatchedLengths
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue // power-law domain; callers filter, this is a guard
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	a, b, r2, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return math.Exp(a), b, r2, nil
+}
+
+// LogFit fits y = a + b·ln(x) by least squares; x must be positive. The
+// paper predicts a partition's rate coefficient C_m from its mean value via
+// a logarithmic fit (Sec. 3.5, Fig. 10a).
+func LogFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, ErrMismatchedLengths
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Polyfit2 fits y = a + b·x + c·x² via the normal equations. It backs the
+// ablation that compares richer C_m predictors against the paper's
+// logarithmic fit.
+func Polyfit2(xs, ys []float64) (a, b, c float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, ErrMismatchedLengths
+	}
+	if len(xs) < 3 {
+		return 0, 0, 0, ErrDegenerateFit
+	}
+	// Accumulate the moments of the 3x3 normal system.
+	var s0, s1, s2, s3, s4, t0, t1, t2 float64
+	s0 = float64(len(xs))
+	for i := range xs {
+		x := xs[i]
+		x2 := x * x
+		s1 += x
+		s2 += x2
+		s3 += x2 * x
+		s4 += x2 * x2
+		t0 += ys[i]
+		t1 += x * ys[i]
+		t2 += x2 * ys[i]
+	}
+	m := [3][4]float64{
+		{s0, s1, s2, t0},
+		{s1, s2, s3, t1},
+		{s2, s3, s4, t2},
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if m[p][col] == 0 {
+			return 0, 0, 0, ErrDegenerateFit
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	return m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2], nil
+}

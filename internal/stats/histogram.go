@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Values outside
+// the range are counted in Under/Over rather than silently dropped, because
+// the halo-finder feature extraction cares about exactly how many cells fall
+// inside a narrow band around the density threshold.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%g, %g)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard FP rounding at the top edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddSlice counts every element of a float32 slice.
+func (h *Histogram) AddSlice(xs []float32) {
+	for _, x := range xs {
+		h.Add(float64(x))
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// InRange returns the number of observations that landed in a bin.
+func (h *Histogram) InRange() int64 { return h.total - h.Under - h.Over }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the probability density estimate for bin i
+// (count / (total·width)), or 0 when the histogram is empty.
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.total) * h.BinWidth())
+}
+
+// Fractions returns the per-bin fraction of in-range observations.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	in := h.InRange()
+	if in == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(in)
+	}
+	return out
+}
+
+// ChiSquareUniform returns the chi-square statistic of the in-range counts
+// against a uniform distribution across the bins. Small values mean the
+// histogram is close to uniform; the SZ error-distribution experiments
+// (paper Fig. 3) use this as their closeness score.
+func (h *Histogram) ChiSquareUniform() float64 {
+	in := h.InRange()
+	if in == 0 {
+		return 0
+	}
+	expected := float64(in) / float64(len(h.Counts))
+	var chi2 float64
+	for _, c := range h.Counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// MaxDeviationFromUniform returns max_i |fraction_i − 1/bins| over in-range
+// counts, a Kolmogorov-style uniformity score in [0, 1).
+func (h *Histogram) MaxDeviationFromUniform() float64 {
+	in := h.InRange()
+	if in == 0 {
+		return 0
+	}
+	u := 1.0 / float64(len(h.Counts))
+	var m float64
+	for _, c := range h.Counts {
+		d := math.Abs(float64(c)/float64(in) - u)
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// String renders a compact ASCII sparkline of the histogram, useful in the
+// experiment CLIs.
+func (h *Histogram) String() string {
+	var max int64
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%g,%g) n=%d ", h.Lo, h.Hi, h.total)
+	for _, c := range h.Counts {
+		idx := 0
+		if max > 0 {
+			idx = int(float64(c) / float64(max) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// CountInBand returns how many elements of xs fall inside [lo, hi). This is
+// the "effective cell" extraction of the paper (cells whose value lies in
+// (t_boundary − eb, t_boundary + eb)) and runs in a single pass.
+func CountInBand(xs []float32, lo, hi float64) int {
+	n := 0
+	for _, x := range xs {
+		v := float64(x)
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Moments accumulates count, mean, and variance in a single pass using
+// Welford's algorithm, plus min/max. The zero value is ready to use.
+//
+// The adaptive configurator extracts the mean of every partition in situ
+// (Sec. 3.5 of the paper); Welford keeps that numerically stable even for
+// fields like velocity whose values span ±1e8.
+type Moments struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (m *Moments) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddSlice folds a float32 slice into the accumulator.
+func (m *Moments) AddSlice(xs []float32) {
+	for _, x := range xs {
+		m.Add(float64(x))
+	}
+}
+
+// Merge combines two accumulators (Chan et al. parallel update). It is the
+// reduction operator used when partitions are processed by worker pools.
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n1, n2 := float64(m.n), float64(o.n)
+	d := o.mean - m.mean
+	tot := n1 + n2
+	m.mean += d * n2 / tot
+	m.m2 += o.m2 + d*d*n1*n2/tot
+	m.n += o.n
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (m *Moments) Count() int64 { return m.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (m *Moments) Max() float64 { return m.max }
+
+// Range returns max − min.
+func (m *Moments) Range() float64 { return m.max - m.min }
+
+// ErrMismatchedLengths is returned by pairwise metrics when the two inputs
+// have different lengths.
+var ErrMismatchedLengths = errors.New("stats: slices have different lengths")
+
+// MSE returns the mean squared error between two equal-length slices.
+func MSE(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrMismatchedLengths
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		sum += d * d
+	}
+	return sum / float64(len(a)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB, using the value range
+// of a as the peak, matching how Foresight and the SZ literature report it.
+// It returns +Inf for identical inputs.
+func PSNR(a, b []float32) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	var mom Moments
+	mom.AddSlice(a)
+	rng := mom.Range()
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	if rng == 0 {
+		return 0, nil
+	}
+	return 20*math.Log10(rng) - 10*math.Log10(mse), nil
+}
+
+// MaxAbsError returns the largest pointwise |a[i]−b[i]|. The compressor
+// tests use it to verify the error-bound guarantee.
+func MaxAbsError(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrMismatchedLengths
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// MaxRelError returns the largest pointwise |a[i]−b[i]| / |a[i]| over
+// entries where a[i] != 0. Entries with a[i] == 0 are skipped, matching
+// SZ's PW_REL semantics for strictly positive fields.
+func MaxRelError(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrMismatchedLengths
+	}
+	var m float64
+	for i := range a {
+		if a[i] == 0 {
+			continue
+		}
+		d := math.Abs(float64(a[i])-float64(b[i])) / math.Abs(float64(a[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// MeanRelError returns the mean of |a[i]−b[i]| / |a[i]| over non-zero a.
+func MeanRelError(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrMismatchedLengths
+	}
+	var sum float64
+	var n int
+	for i := range a {
+		if a[i] == 0 {
+			continue
+		}
+		sum += math.Abs(float64(a[i])-float64(b[i])) / math.Abs(float64(a[i]))
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// RMSE returns the root mean squared error between two slices.
+func RMSE(a, b []float32) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(mse), nil
+}
+
+// MeanOf returns the arithmetic mean of a float64 slice (0 for empty).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SumOf returns the sum of a float64 slice.
+func SumOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+// Package stats provides the numerical building blocks shared by the
+// reproduction: deterministic pseudo-random number generation, histograms,
+// running moments, least-squares fitting, entropy estimation, and
+// distribution helpers used by the rate-quality models.
+//
+// Everything in this package is allocation-conscious and safe for use from
+// multiple goroutines as long as each goroutine owns its own RNG and
+// accumulators; the types themselves are not internally synchronized.
+package stats
+
+import "math"
+
+// RNG is a deterministic xoshiro256** pseudo-random number generator.
+//
+// The reproduction must generate identical synthetic cosmology fields for a
+// given seed on every platform, so we cannot rely on math/rand's unspecified
+// global state or on its version-dependent algorithms. xoshiro256** is
+// small, fast, and has a 256-bit state with good statistical properties for
+// simulation workloads (it is not cryptographically secure, which is fine
+// here).
+type RNG struct {
+	s [4]uint64
+	// cached second normal deviate for NormFloat64 (polar method)
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG returns an RNG seeded from a single 64-bit seed using SplitMix64
+// to fill the state, as recommended by the xoshiro authors. Any seed,
+// including zero, yields a valid generator.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is negligible for the n used in this repo (n << 2^64),
+	// but we still reject the biased tail to keep sequences exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal deviate using the Marsaglia polar
+// method. Two deviates are produced per round trip; the second is cached.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split returns a new RNG deterministically derived from this one.
+// It is used to hand independent streams to worker goroutines without
+// sharing state.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
+}

@@ -1,0 +1,492 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGUniformMoments(t *testing.T) {
+	r := NewRNG(3)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Uniform(-2, 2))
+	}
+	if math.Abs(m.Mean()) > 0.02 {
+		t.Errorf("uniform mean = %v, want ~0", m.Mean())
+	}
+	// variance of U[-2,2] is (4)^2/12 = 4/3
+	if math.Abs(m.Variance()-4.0/3.0) > 0.03 {
+		t.Errorf("uniform variance = %v, want ~%v", m.Variance(), 4.0/3.0)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if math.Abs(m.Mean()) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", m.Mean())
+	}
+	if math.Abs(m.Variance()-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", m.Variance())
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit %d distinct values in 1000 draws, want 7", len(seen))
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(13)
+	s := r.Split()
+	// The split stream must not mirror the parent.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream mirrors parent (%d/100 equal)", same)
+	}
+}
+
+func TestMomentsBasics(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Add(x)
+	}
+	if m.Count() != 5 {
+		t.Errorf("count = %d", m.Count())
+	}
+	if m.Mean() != 3 {
+		t.Errorf("mean = %v, want 3", m.Mean())
+	}
+	if m.Min() != 1 || m.Max() != 5 {
+		t.Errorf("min/max = %v/%v", m.Min(), m.Max())
+	}
+	if math.Abs(m.Variance()-2) > 1e-12 {
+		t.Errorf("variance = %v, want 2", m.Variance())
+	}
+	if math.Abs(m.Range()-4) > 1e-12 {
+		t.Errorf("range = %v, want 4", m.Range())
+	}
+}
+
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	r := NewRNG(17)
+	var all, left, right Moments
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64() * 10
+		all.Add(x)
+		if i < 400 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if left.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", left.Count(), all.Count())
+	}
+	if math.Abs(left.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v != %v", left.Mean(), all.Mean())
+	}
+	if math.Abs(left.Variance()-all.Variance()) > 1e-9*all.Variance() {
+		t.Errorf("merged variance %v != %v", left.Variance(), all.Variance())
+	}
+	if left.Min() != all.Min() || left.Max() != all.Max() {
+		t.Errorf("merged min/max mismatch")
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Errorf("merge with empty changed accumulator: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 5 {
+		t.Errorf("merge into empty failed: %+v", b)
+	}
+}
+
+func TestPairwiseMetrics(t *testing.T) {
+	a := []float32{0, 1, 2, 3}
+	b := []float32{0, 1, 2, 4}
+	mse, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mse-0.25) > 1e-12 {
+		t.Errorf("mse = %v, want 0.25", mse)
+	}
+	mx, _ := MaxAbsError(a, b)
+	if mx != 1 {
+		t.Errorf("max abs err = %v, want 1", mx)
+	}
+	rel, _ := MaxRelError(a, b)
+	if math.Abs(rel-1.0/3.0) > 1e-12 {
+		t.Errorf("max rel err = %v, want 1/3", rel)
+	}
+	rmse, _ := RMSE(a, b)
+	if math.Abs(rmse-0.5) > 1e-12 {
+		t.Errorf("rmse = %v, want 0.5", rmse)
+	}
+	if _, err := MSE(a, b[:3]); err == nil {
+		t.Error("MSE on mismatched lengths did not error")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := []float32{0, 1, 2, 3, 4}
+	psnr, err := PSNR(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(psnr, 1) {
+		t.Errorf("PSNR of identical = %v, want +Inf", psnr)
+	}
+	b := []float32{0, 1, 2, 3, 4.4}
+	psnr, _ = PSNR(a, b)
+	if psnr < 20 || psnr > 60 {
+		t.Errorf("PSNR = %v, expected a sane finite value", psnr)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Total() != 12 || h.Under != 1 || h.Over != 1 || h.InRange() != 10 {
+		t.Fatalf("counts wrong: %+v", h)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if h.BinWidth() != 1 {
+		t.Errorf("bin width = %v", h.BinWidth())
+	}
+	if h.BinCenter(0) != 0.5 {
+		t.Errorf("bin center = %v", h.BinCenter(0))
+	}
+	if h.ChiSquareUniform() != 0 {
+		t.Errorf("chi2 of exactly-uniform = %v, want 0", h.ChiSquareUniform())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	h, _ := NewHistogram(0, 1, 4)
+	h.Add(0)                    // lowest in-range value
+	h.Add(math.Nextafter(1, 0)) // just below the top edge
+	if h.InRange() != 2 {
+		t.Errorf("edge values mishandled: %+v", h)
+	}
+}
+
+func TestHistogramUniformityOfRNG(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 50)
+	r := NewRNG(23)
+	for i := 0; i < 100000; i++ {
+		h.Add(r.Float64())
+	}
+	if dev := h.MaxDeviationFromUniform(); dev > 0.005 {
+		t.Errorf("uniform RNG deviates %v from uniform histogram", dev)
+	}
+}
+
+func TestCountInBand(t *testing.T) {
+	xs := []float32{1, 2, 3, 4, 5}
+	if n := CountInBand(xs, 2, 4); n != 2 {
+		t.Errorf("CountInBand = %d, want 2 (half-open interval)", n)
+	}
+	if n := CountInBand(nil, 0, 1); n != 0 {
+		t.Errorf("CountInBand(nil) = %d", n)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = (%v, %v, r2=%v), want (1, 2, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single-point fit accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("collinear-x fit accepted")
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 3 x^{-0.5}
+	xs := []float64{0.25, 1, 4, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, -0.5)
+	}
+	coeff, exp, r2, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coeff-3) > 1e-9 || math.Abs(exp+0.5) > 1e-9 || r2 < 0.999999 {
+		t.Errorf("power fit = (%v, %v, %v)", coeff, exp, r2)
+	}
+}
+
+func TestLogFitExact(t *testing.T) {
+	// y = 2 + 0.7 ln x
+	xs := []float64{1, math.E, math.E * math.E, 10}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 0.7*math.Log(x)
+	}
+	a, b, r2, err := LogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-0.7) > 1e-9 || r2 < 0.999999 {
+		t.Errorf("log fit = (%v, %v, %v)", a, b, r2)
+	}
+}
+
+func TestPolyfit2Exact(t *testing.T) {
+	// y = 1 - 2x + 0.5x²
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 - 2*x + 0.5*x*x
+	}
+	a, b, c, err := Polyfit2(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b+2) > 1e-9 || math.Abs(c-0.5) > 1e-9 {
+		t.Errorf("polyfit = (%v, %v, %v)", a, b, c)
+	}
+}
+
+func TestQuantizedEntropy(t *testing.T) {
+	// Constant data has zero entropy.
+	if h := QuantizedEntropy([]float32{5, 5, 5, 5}, 16); h != 0 {
+		t.Errorf("entropy of constant = %v", h)
+	}
+	// Two equiprobable levels → 1 bit.
+	xs := make([]float32, 1000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 0
+		} else {
+			xs[i] = 1
+		}
+	}
+	if h := QuantizedEntropy(xs, 2); math.Abs(h-1) > 1e-9 {
+		t.Errorf("entropy of fair coin = %v, want 1", h)
+	}
+	// Uniform over k levels → log2 k.
+	r := NewRNG(31)
+	u := make([]float32, 200000)
+	for i := range u {
+		u[i] = float32(r.Float64())
+	}
+	if h := QuantizedEntropy(u, 64); math.Abs(h-6) > 0.01 {
+		t.Errorf("entropy of uniform = %v, want ~6", h)
+	}
+}
+
+func TestSymbolEntropy(t *testing.T) {
+	if h := SymbolEntropy([]int{7, 7, 7}); h != 0 {
+		t.Errorf("constant symbols entropy = %v", h)
+	}
+	if h := SymbolEntropy([]int{0, 1, 2, 3}); math.Abs(h-2) > 1e-12 {
+		t.Errorf("4 distinct symbols entropy = %v, want 2", h)
+	}
+}
+
+func TestNormalCDFQuantileInverse(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); math.Abs(got-p) > 1e-8 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if z := NormalQuantile(0.5); math.Abs(z) > 1e-9 {
+		t.Errorf("median quantile = %v, want 0", z)
+	}
+}
+
+func TestConfidenceFactor(t *testing.T) {
+	// ±2σ ↔ 95.45 %, the paper's choice.
+	if k := ConfidenceFactor(TwoSigmaConfidence); math.Abs(k-2) > 1e-6 {
+		t.Errorf("ConfidenceFactor(95.45%%) = %v, want 2", k)
+	}
+	if k := ConfidenceFactor(0.6826894921370859); math.Abs(k-1) > 1e-6 {
+		t.Errorf("ConfidenceFactor(68.27%%) = %v, want 1", k)
+	}
+}
+
+func TestUniformVariance(t *testing.T) {
+	if v := UniformVariance(3); math.Abs(v-3) > 1e-12 {
+		t.Errorf("UniformVariance(3) = %v, want 3", v)
+	}
+	// Empirically check with the RNG.
+	r := NewRNG(37)
+	var m Moments
+	eb := 2.5
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Uniform(-eb, eb))
+	}
+	if math.Abs(m.Variance()-UniformVariance(eb)) > 0.03*UniformVariance(eb) {
+		t.Errorf("empirical variance %v vs model %v", m.Variance(), UniformVariance(eb))
+	}
+}
+
+// Property: Moments.Merge is equivalent to sequential accumulation for
+// arbitrary float inputs.
+func TestQuickMomentsMerge(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		// Filter NaN/Inf which have no meaningful moments.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		xs = clean
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var all, a, b Moments
+		for i, x := range xs {
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		tol := 1e-6 * (1 + math.Abs(all.Variance()))
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) <= 1e-6*(1+math.Abs(all.Mean())) &&
+			math.Abs(a.Variance()-all.Variance()) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total is always Under+Over+sum(bins).
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(xs []float64) bool {
+		h, _ := NewHistogram(-1, 1, 8)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+		}
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return h.Total() == sum+h.Under+h.Over
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,287 @@
+package sz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/huffman"
+)
+
+// Compressed holds one compressed 3-D brick plus the metadata needed to
+// reconstruct it and to account for its storage cost.
+type Compressed struct {
+	Nx, Ny, Nz int
+	Opt        Options
+
+	// codeStream is the Huffman-coded, RLE-expanded quantization stream.
+	codeStream []byte
+	// outliers are the verbatim values (ABS mode) or lattice coordinates
+	// (pre-quantized mode) of unpredictable points, in encounter order.
+	outliers []byte
+	// logShift is the PW_REL transform offset (0 in ABS mode).
+	logShift float64
+}
+
+// N returns the number of cells in the brick.
+func (c *Compressed) N() int { return c.Nx * c.Ny * c.Nz }
+
+// CompressedSize returns the payload size in bytes, including the stream
+// header written by Bytes. This is the figure used for compression ratios.
+func (c *Compressed) CompressedSize() int {
+	return headerSize + len(c.codeStream) + len(c.outliers)
+}
+
+// BitRate returns bits per value (the paper's "bit rate"; raw fp32 is 32).
+func (c *Compressed) BitRate() float64 {
+	return float64(c.CompressedSize()) * 8 / float64(c.N())
+}
+
+// Ratio returns the compression ratio relative to fp32 storage.
+func (c *Compressed) Ratio() float64 {
+	return float64(4*c.N()) / float64(c.CompressedSize())
+}
+
+// Compress compresses a field under the given options.
+func Compress(f *grid.Field3D, opt Options) (*Compressed, error) {
+	return CompressSlice(f.Data, f.Nx, f.Ny, f.Nz, opt)
+}
+
+// CompressSlice compresses a flat x-fastest brick of dimensions nx×ny×nz.
+func CompressSlice(data []float32, nx, ny, nz int, opt Options) (*Compressed, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != nx*ny*nz || len(data) == 0 {
+		return nil, fmt.Errorf("sz: data length %d != %d×%d×%d", len(data), nx, ny, nz)
+	}
+
+	work := data
+	var logShift float64
+	if opt.Mode == PWREL {
+		var err error
+		work, logShift, err = logTransform(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var symbols []int
+	var outliers []byte
+	eb := effectiveABSBound(opt)
+	if opt.QuantizeBeforePredict {
+		symbols, outliers = quantizeThenPredict(work, nx, ny, nz, eb, opt)
+	} else {
+		symbols, outliers = predictThenQuantize(work, nx, ny, nz, eb, opt)
+	}
+
+	radius := opt.radius()
+	runBase := 2 * radius
+	tokens := rleEncode(symbols, radius, runBase)
+	stream, err := huffman.Compress(tokens)
+	if err != nil {
+		return nil, fmt.Errorf("sz: entropy coding: %w", err)
+	}
+	return &Compressed{
+		Nx: nx, Ny: ny, Nz: nz,
+		Opt:        opt,
+		codeStream: stream,
+		outliers:   outliers,
+		logShift:   logShift,
+	}, nil
+}
+
+// effectiveABSBound maps the user error bound to the absolute bound applied
+// in (possibly transformed) space. For PW_REL the log transform turns the
+// relative bound r into an absolute bound on ln(x): bounding ln-space error
+// by ln(1+r) guarantees x̂/x ∈ [1/(1+r), 1+r] ⊂ [1−r, 1+r].
+func effectiveABSBound(opt Options) float64 {
+	if opt.Mode == PWREL {
+		return math.Log(1 + opt.ErrorBound)
+	}
+	return opt.ErrorBound
+}
+
+// errPositiveOnly is returned by PW_REL compression on non-positive data.
+var errPositiveOnly = errors.New("sz: PW_REL mode requires strictly positive data")
+
+// logTransform maps strictly positive data to ln(x). The shift is reserved
+// for future signed support and is currently always 0.
+func logTransform(data []float32) ([]float32, float64, error) {
+	out := make([]float32, len(data))
+	for i, v := range data {
+		if v <= 0 {
+			return nil, 0, errPositiveOnly
+		}
+		out[i] = float32(math.Log(float64(v)))
+	}
+	return out, 0, nil
+}
+
+// predictThenQuantize is the CPU-SZ formulation: predict from already
+// reconstructed neighbours, quantize the residual in units of 2·eb, verify
+// the bound, and fall back to a verbatim outlier when quantization cannot
+// honour it. Symbol layout: 0 = outlier; [1, 2·radius) = code + radius.
+func predictThenQuantize(data []float32, nx, ny, nz int, eb float64, opt Options) ([]int, []byte) {
+	n := len(data)
+	radius := opt.radius()
+	recon := make([]float32, n)
+	symbols := make([]int, n)
+	outliers := make([]byte, 0, 64)
+	twoEB := 2 * eb
+
+	idx := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				pred := predict(recon, nx, ny, x, y, z, idx, opt.Predictor)
+				v := float64(data[idx])
+				diff := v - pred
+				q := int(math.Floor(diff/twoEB + 0.5))
+				ok := q > -radius && q < radius
+				if ok {
+					dec := pred + twoEB*float64(q)
+					// Float rounding can push the reconstruction just past
+					// the bound; verify like SZ does.
+					if math.Abs(float64(float32(dec))-v) <= eb {
+						symbols[idx] = q + radius
+						recon[idx] = float32(dec)
+						idx++
+						continue
+					}
+				}
+				symbols[idx] = 0
+				outliers = appendFloat32(outliers, data[idx])
+				recon[idx] = data[idx]
+				idx++
+			}
+		}
+	}
+	return symbols, outliers
+}
+
+// quantizeThenPredict is the GPU-SZ/cuSZ formulation: values are first
+// snapped to the 2·eb lattice, then Lorenzo runs on the lattice integers.
+// Outliers store the verbatim fp32 value; the decoder re-derives the
+// lattice coordinate from it, so encoder and decoder lattices agree
+// bit-exactly. A point also becomes an outlier when fp32 rounding of the
+// lattice reconstruction would breach the bound, keeping the error-bound
+// guarantee strict.
+func quantizeThenPredict(data []float32, nx, ny, nz int, eb float64, opt Options) ([]int, []byte) {
+	n := len(data)
+	radius := opt.radius()
+	twoEB := 2 * eb
+	lattice := make([]int64, n)
+	for i, v := range data {
+		lattice[i] = int64(math.Floor(float64(v)/twoEB + 0.5))
+	}
+	symbols := make([]int, n)
+	outliers := make([]byte, 0, 64)
+	idx := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				pred := predictInt(lattice, nx, ny, x, y, z)
+				d := lattice[idx] - pred
+				inRange := d > int64(-radius) && d < int64(radius)
+				exact := math.Abs(float64(float32(twoEB*float64(lattice[idx])))-
+					float64(data[idx])) <= eb
+				if inRange && exact {
+					symbols[idx] = int(d) + radius
+				} else {
+					symbols[idx] = 0
+					outliers = appendFloat32(outliers, data[idx])
+				}
+				idx++
+			}
+		}
+	}
+	return symbols, outliers
+}
+
+// predict computes the causal prediction for cell (x,y,z) from the
+// reconstructed buffer.
+func predict(recon []float32, nx, ny int, x, y, z, idx int, p Predictor) float64 {
+	// Causal neighbour offsets in the flat buffer.
+	var fx, fy, fz, fxy, fxz, fyz, fxyz float64
+	hasX, hasY, hasZ := x > 0, y > 0, z > 0
+	if hasX {
+		fx = float64(recon[idx-1])
+	}
+	if hasY {
+		fy = float64(recon[idx-nx])
+	}
+	if hasZ {
+		fz = float64(recon[idx-nx*ny])
+	}
+	if p == MeanNeighbor {
+		var sum float64
+		var cnt int
+		if hasX {
+			sum += fx
+			cnt++
+		}
+		if hasY {
+			sum += fy
+			cnt++
+		}
+		if hasZ {
+			sum += fz
+			cnt++
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	if hasX && hasY {
+		fxy = float64(recon[idx-1-nx])
+	}
+	if hasX && hasZ {
+		fxz = float64(recon[idx-1-nx*ny])
+	}
+	if hasY && hasZ {
+		fyz = float64(recon[idx-nx-nx*ny])
+	}
+	if hasX && hasY && hasZ {
+		fxyz = float64(recon[idx-1-nx-nx*ny])
+	}
+	// First-order 3-D Lorenzo: missing neighbours contribute 0, which
+	// makes boundary planes degrade gracefully to 2-D/1-D Lorenzo.
+	return fx + fy + fz - fxy - fxz - fyz + fxyz
+}
+
+// predictInt is the Lorenzo predictor on the integer lattice.
+func predictInt(lat []int64, nx, ny int, x, y, z int) int64 {
+	idx := (z*ny+y)*nx + x
+	var fx, fy, fz, fxy, fxz, fyz, fxyz int64
+	hasX, hasY, hasZ := x > 0, y > 0, z > 0
+	if hasX {
+		fx = lat[idx-1]
+	}
+	if hasY {
+		fy = lat[idx-nx]
+	}
+	if hasZ {
+		fz = lat[idx-nx*ny]
+	}
+	if hasX && hasY {
+		fxy = lat[idx-1-nx]
+	}
+	if hasX && hasZ {
+		fxz = lat[idx-1-nx*ny]
+	}
+	if hasY && hasZ {
+		fyz = lat[idx-nx-nx*ny]
+	}
+	if hasX && hasY && hasZ {
+		fxyz = lat[idx-1-nx-nx*ny]
+	}
+	return fx + fy + fz - fxy - fxz - fyz + fxyz
+}
+
+func appendFloat32(buf []byte, v float32) []byte {
+	b := math.Float32bits(v)
+	return append(buf, byte(b), byte(b>>8), byte(b>>16), byte(b>>24))
+}

@@ -1,0 +1,140 @@
+package sz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/huffman"
+)
+
+// ErrCorrupt is wrapped by all decompression-time integrity failures.
+var ErrCorrupt = errors.New("sz: corrupt compressed stream")
+
+// Decompress reconstructs the field from a Compressed brick.
+func Decompress(c *Compressed) (*grid.Field3D, error) {
+	data, err := DecompressSlice(c)
+	if err != nil {
+		return nil, err
+	}
+	return &grid.Field3D{Nx: c.Nx, Ny: c.Ny, Nz: c.Nz, Data: data}, nil
+}
+
+// DecompressSlice reconstructs the flat brick values.
+func DecompressSlice(c *Compressed) ([]float32, error) {
+	n := c.N()
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: empty brick", ErrCorrupt)
+	}
+	radius := c.Opt.radius()
+	runBase := 2 * radius
+	tokens, err := huffman.Decompress(c.codeStream)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	symbols, err := rleDecode(tokens, radius, runBase, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	eb := effectiveABSBound(c.Opt)
+	var out []float32
+	if c.Opt.QuantizeBeforePredict {
+		out, err = reconstructLattice(symbols, c, eb)
+	} else {
+		out, err = reconstructDirect(symbols, c, eb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.Opt.Mode == PWREL {
+		for i, v := range out {
+			out[i] = float32(math.Exp(float64(v)))
+		}
+	}
+	return out, nil
+}
+
+func reconstructDirect(symbols []int, c *Compressed, eb float64) ([]float32, error) {
+	nx, ny, nz := c.Nx, c.Ny, c.Nz
+	radius := c.Opt.radius()
+	twoEB := 2 * eb
+	recon := make([]float32, len(symbols))
+	outPos := 0
+	idx := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				s := symbols[idx]
+				if s == 0 {
+					v, pos, err := readFloat32(c.outliers, outPos)
+					if err != nil {
+						return nil, err
+					}
+					recon[idx] = v
+					outPos = pos
+				} else {
+					pred := predict(recon, nx, ny, x, y, z, idx, c.Opt.Predictor)
+					q := s - radius
+					recon[idx] = float32(pred + twoEB*float64(q))
+				}
+				idx++
+			}
+		}
+	}
+	if outPos != len(c.outliers) {
+		return nil, fmt.Errorf("%w: %d unread outlier bytes", ErrCorrupt, len(c.outliers)-outPos)
+	}
+	return recon, nil
+}
+
+func reconstructLattice(symbols []int, c *Compressed, eb float64) ([]float32, error) {
+	nx, ny, nz := c.Nx, c.Ny, c.Nz
+	radius := c.Opt.radius()
+	twoEB := 2 * eb
+	lat := make([]int64, len(symbols))
+	out := make([]float32, len(symbols))
+	verbatim := make([]bool, len(symbols))
+	outPos := 0
+	idx := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				s := symbols[idx]
+				if s == 0 {
+					v, pos, err := readFloat32(c.outliers, outPos)
+					if err != nil {
+						return nil, err
+					}
+					// Re-derive the encoder's lattice coordinate from the
+					// verbatim value so neighbour prediction stays exact.
+					lat[idx] = int64(math.Floor(float64(v)/twoEB + 0.5))
+					out[idx] = v
+					verbatim[idx] = true
+					outPos = pos
+				} else {
+					lat[idx] = predictInt(lat, nx, ny, x, y, z) + int64(s-radius)
+				}
+				idx++
+			}
+		}
+	}
+	if outPos != len(c.outliers) {
+		return nil, fmt.Errorf("%w: %d unread outlier bytes", ErrCorrupt, len(c.outliers)-outPos)
+	}
+	for i, q := range lat {
+		if !verbatim[i] {
+			out[i] = float32(twoEB * float64(q))
+		}
+	}
+	return out, nil
+}
+
+func readFloat32(buf []byte, pos int) (float32, int, error) {
+	if pos+4 > len(buf) {
+		return 0, 0, fmt.Errorf("%w: outlier stream truncated", ErrCorrupt)
+	}
+	b := uint32(buf[pos]) | uint32(buf[pos+1])<<8 | uint32(buf[pos+2])<<16 | uint32(buf[pos+3])<<24
+	return math.Float32frombits(b), pos + 4, nil
+}

@@ -1,0 +1,517 @@
+// Package zfp implements a simplified ZFP-style fixed-rate transform codec
+// (Lindstrom 2014), the compressor the paper compares SZ against before
+// choosing SZ (Sec. 2.2: ZFP offers fixed-rate mode but lacks the absolute
+// error-bound mode the method needs). It exists so the repository can
+// substantiate that choice with a measured rate-distortion comparison
+// (see the compressor ablation in internal/experiments).
+//
+// The pipeline follows ZFP's structure:
+//
+//  1. partition the field into 4×4×4 blocks (edge blocks are padded by
+//     replicating the last layer);
+//  2. block-floating-point: align all 64 values to the block's largest
+//     exponent and convert to fixed point;
+//  3. the reversible integer lifting transform along x, y, z;
+//  4. reorder coefficients by total sequency;
+//  5. negabinary mapping and embedded group-tested bit-plane coding,
+//     truncated at the per-block bit budget (rate × 64 bits).
+//
+// Unlike internal/sz the codec is fixed-rate, not error-bounded: the
+// compressed size is exact and the pointwise error is whatever the budget
+// allows — precisely the trade-off the paper rejects for its use case.
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/huffman"
+)
+
+const (
+	blockDim   = 4
+	blockSize  = blockDim * blockDim * blockDim // 64
+	maxPlanes  = 40                             // fixed-point precision in bit planes
+	guardBits  = 4                              // transform headroom
+	headerSize = 28
+	magic      = "ZFPG"
+)
+
+// Options configures fixed-rate compression.
+type Options struct {
+	// Rate is the bit budget per value (0.5 ≤ Rate ≤ 32).
+	Rate float64
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Rate < 0.5 || o.Rate > 32 {
+		return fmt.Errorf("zfp: rate %v outside [0.5, 32]", o.Rate)
+	}
+	return nil
+}
+
+// Compressed is one fixed-rate compressed field.
+type Compressed struct {
+	Nx, Ny, Nz int
+	Rate       float64
+	payload    []byte
+}
+
+// N returns the number of cells.
+func (c *Compressed) N() int { return c.Nx * c.Ny * c.Nz }
+
+// CompressedSize returns the total size in bytes including the header.
+func (c *Compressed) CompressedSize() int { return headerSize + len(c.payload) }
+
+// BitRate returns achieved bits per value (≈ Rate plus header amortization
+// and block padding).
+func (c *Compressed) BitRate() float64 {
+	return float64(c.CompressedSize()) * 8 / float64(c.N())
+}
+
+// Ratio returns the compression ratio relative to fp32.
+func (c *Compressed) Ratio() float64 {
+	return float64(4*c.N()) / float64(c.CompressedSize())
+}
+
+// sequency is the coefficient visiting order: by total frequency i+j+k,
+// ties broken lexicographically — a precomputed permutation of [0,64).
+var sequency = buildSequency()
+
+func buildSequency() [blockSize]int {
+	type entry struct{ idx, key int }
+	var entries []entry
+	for z := 0; z < blockDim; z++ {
+		for y := 0; y < blockDim; y++ {
+			for x := 0; x < blockDim; x++ {
+				idx := (z*blockDim+y)*blockDim + x
+				// key: total sequency first, then coordinates for a
+				// stable, deterministic order.
+				key := (x+y+z)<<12 | z<<8 | y<<4 | x
+				entries = append(entries, entry{idx, key})
+			}
+		}
+	}
+	for i := 1; i < len(entries); i++ { // insertion sort, tiny n
+		for j := i; j > 0 && entries[j].key < entries[j-1].key; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	var out [blockSize]int
+	for rank, e := range entries {
+		out[rank] = e.idx
+	}
+	return out
+}
+
+// liftForward is ZFP's reversible 4-point integer lifting transform.
+func liftForward(p []int64, stride int) {
+	x := p[0*stride]
+	y := p[1*stride]
+	z := p[2*stride]
+	w := p[3*stride]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0*stride] = x
+	p[1*stride] = y
+	p[2*stride] = z
+	p[3*stride] = w
+}
+
+// liftInverse is ZFP's inverse lift. Like the original, it reverses
+// liftForward only up to the low bits the forward shifts discard — the
+// transform is nearly orthogonal, not bit-exact, which is fine for a codec
+// that truncates bit planes anyway (the guard bits absorb the loss).
+func liftInverse(p []int64, stride int) {
+	x := p[0*stride]
+	y := p[1*stride]
+	z := p[2*stride]
+	w := p[3*stride]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0*stride] = x
+	p[1*stride] = y
+	p[2*stride] = z
+	p[3*stride] = w
+}
+
+// transformBlock applies the lifting along each axis (forward).
+func transformBlock(b *[blockSize]int64) {
+	// x lines
+	for z := 0; z < blockDim; z++ {
+		for y := 0; y < blockDim; y++ {
+			liftForward(b[(z*blockDim+y)*blockDim:], 1)
+		}
+	}
+	// y lines
+	for z := 0; z < blockDim; z++ {
+		for x := 0; x < blockDim; x++ {
+			liftForward(b[z*blockDim*blockDim+x:], blockDim)
+		}
+	}
+	// z lines
+	for y := 0; y < blockDim; y++ {
+		for x := 0; x < blockDim; x++ {
+			liftForward(b[y*blockDim+x:], blockDim*blockDim)
+		}
+	}
+}
+
+func inverseBlock(b *[blockSize]int64) {
+	for y := 0; y < blockDim; y++ {
+		for x := 0; x < blockDim; x++ {
+			liftInverse(b[y*blockDim+x:], blockDim*blockDim)
+		}
+	}
+	for z := 0; z < blockDim; z++ {
+		for x := 0; x < blockDim; x++ {
+			liftInverse(b[z*blockDim*blockDim+x:], blockDim)
+		}
+	}
+	for z := 0; z < blockDim; z++ {
+		for y := 0; y < blockDim; y++ {
+			liftInverse(b[(z*blockDim+y)*blockDim:], 1)
+		}
+	}
+}
+
+// negabinary maps signed to unsigned such that magnitude ordering is
+// roughly preserved across bit planes.
+func negabinary(x int64) uint64 {
+	const mask = 0xaaaaaaaaaaaaaaaa
+	return (uint64(x) + mask) ^ mask
+}
+
+func negabinaryInv(u uint64) int64 {
+	const mask = 0xaaaaaaaaaaaaaaaa
+	return int64((u ^ mask) - mask)
+}
+
+// Compress compresses a field at the fixed rate.
+func Compress(f *grid.Field3D, opt Options) (*Compressed, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if f.Len() == 0 {
+		return nil, errors.New("zfp: empty field")
+	}
+	budget := int(opt.Rate * blockSize)
+	if budget < blockSize/8 {
+		budget = blockSize / 8
+	}
+	w := huffman.NewBitWriter(f.Len() / 2)
+	var block [blockSize]float64
+	var ints [blockSize]int64
+	for z0 := 0; z0 < f.Nz; z0 += blockDim {
+		for y0 := 0; y0 < f.Ny; y0 += blockDim {
+			for x0 := 0; x0 < f.Nx; x0 += blockDim {
+				gatherBlock(f, x0, y0, z0, &block)
+				encodeBlock(w, &block, &ints, budget)
+			}
+		}
+	}
+	return &Compressed{Nx: f.Nx, Ny: f.Ny, Nz: f.Nz, Rate: opt.Rate, payload: w.Bytes()}, nil
+}
+
+// gatherBlock copies a 4³ block, clamping coordinates at the field edge
+// (replication padding).
+func gatherBlock(f *grid.Field3D, x0, y0, z0 int, out *[blockSize]float64) {
+	for dz := 0; dz < blockDim; dz++ {
+		z := min(z0+dz, f.Nz-1)
+		for dy := 0; dy < blockDim; dy++ {
+			y := min(y0+dy, f.Ny-1)
+			for dx := 0; dx < blockDim; dx++ {
+				x := min(x0+dx, f.Nx-1)
+				out[(dz*blockDim+dy)*blockDim+dx] = float64(f.At(x, y, z))
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// encodeBlock writes one block: 1 bit all-zero flag, 12-bit biased
+// exponent, then the embedded coefficient planes up to the bit budget.
+func encodeBlock(w *huffman.BitWriter, vals *[blockSize]float64, ints *[blockSize]int64, budget int) {
+	// Block exponent.
+	var maxAbs float64
+	for _, v := range vals {
+		a := math.Abs(v)
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		w.WriteBit(0) // all-zero block
+		return
+	}
+	w.WriteBit(1)
+	emax := math.Ilogb(maxAbs)
+	w.WriteBits(uint64(emax+2048), 12)
+
+	// Fixed point: scale so values fit maxPlanes bits with guard room.
+	scale := math.Ldexp(1, maxPlanes-guardBits-1-emax)
+	for i, v := range vals {
+		ints[i] = int64(v * scale)
+	}
+	transformBlock(ints)
+
+	// Negabinary in sequency order.
+	var coeffs [blockSize]uint64
+	for rank, idx := range sequency {
+		coeffs[rank] = negabinary(ints[idx])
+	}
+	encodePlanes(w, &coeffs, budget)
+}
+
+// encodePlanes is the embedded group-tested bit-plane coder. The decoder
+// mirrors the control flow exactly, so the bit budget acts as a shared
+// truncation point.
+func encodePlanes(w *huffman.BitWriter, coeffs *[blockSize]uint64, budget int) {
+	spent := 0
+	emit := func(bit uint) bool {
+		if spent >= budget {
+			return false
+		}
+		w.WriteBit(bit)
+		spent++
+		return true
+	}
+	sigPrefix := 0
+	for plane := maxPlanes - 1; plane >= 0 && spent < budget; plane-- {
+		// Verbatim bits for the significant prefix.
+		for i := 0; i < sigPrefix; i++ {
+			if !emit(uint(coeffs[i]>>plane) & 1) {
+				return
+			}
+		}
+		// Group-test the tail.
+		i := sigPrefix
+		for i < blockSize {
+			any := uint(0)
+			for j := i; j < blockSize; j++ {
+				if (coeffs[j]>>plane)&1 == 1 {
+					any = 1
+					break
+				}
+			}
+			if !emit(any) {
+				return
+			}
+			if any == 0 {
+				break
+			}
+			for i < blockSize {
+				b := uint(coeffs[i]>>plane) & 1
+				if !emit(b) {
+					return
+				}
+				i++
+				if b == 1 {
+					break
+				}
+			}
+		}
+		if i > sigPrefix {
+			sigPrefix = i
+		}
+	}
+}
+
+// Decompress reconstructs the field.
+func Decompress(c *Compressed) (*grid.Field3D, error) {
+	if c.Nx <= 0 || c.Ny <= 0 || c.Nz <= 0 {
+		return nil, errors.New("zfp: invalid dimensions")
+	}
+	if err := (Options{Rate: c.Rate}).Validate(); err != nil {
+		return nil, err
+	}
+	budget := int(c.Rate * blockSize)
+	if budget < blockSize/8 {
+		budget = blockSize / 8
+	}
+	out := grid.NewField3D(c.Nx, c.Ny, c.Nz)
+	r := huffman.NewBitReader(c.payload)
+	var block [blockSize]float64
+	for z0 := 0; z0 < c.Nz; z0 += blockDim {
+		for y0 := 0; y0 < c.Ny; y0 += blockDim {
+			for x0 := 0; x0 < c.Nx; x0 += blockDim {
+				if err := decodeBlock(r, &block, budget); err != nil {
+					return nil, fmt.Errorf("zfp: block (%d,%d,%d): %w", x0, y0, z0, err)
+				}
+				scatterBlock(out, x0, y0, z0, &block)
+			}
+		}
+	}
+	return out, nil
+}
+
+func decodeBlock(r *huffman.BitReader, vals *[blockSize]float64, budget int) error {
+	zeroFlag, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if zeroFlag == 0 {
+		for i := range vals {
+			vals[i] = 0
+		}
+		return nil
+	}
+	e, err := r.ReadBits(12)
+	if err != nil {
+		return err
+	}
+	emax := int(e) - 2048
+	var coeffs [blockSize]uint64
+	if err := decodePlanes(r, &coeffs, budget); err != nil {
+		return err
+	}
+	var ints [blockSize]int64
+	for rank, idx := range sequency {
+		ints[idx] = negabinaryInv(coeffs[rank])
+	}
+	inverseBlock(&ints)
+	scale := math.Ldexp(1, -(maxPlanes - guardBits - 1 - emax))
+	for i, v := range ints {
+		vals[i] = float64(v) * scale
+	}
+	return nil
+}
+
+func decodePlanes(r *huffman.BitReader, coeffs *[blockSize]uint64, budget int) error {
+	spent := 0
+	read := func() (uint, bool, error) {
+		if spent >= budget {
+			return 0, false, nil
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, false, err
+		}
+		spent++
+		return b, true, nil
+	}
+	sigPrefix := 0
+	for plane := maxPlanes - 1; plane >= 0 && spent < budget; plane-- {
+		for i := 0; i < sigPrefix; i++ {
+			b, ok, err := read()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			coeffs[i] |= uint64(b) << plane
+		}
+		i := sigPrefix
+		for i < blockSize {
+			any, ok, err := read()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if any == 0 {
+				break
+			}
+			for i < blockSize {
+				b, ok, err := read()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				coeffs[i] |= uint64(b) << plane
+				i++
+				if b == 1 {
+					break
+				}
+			}
+		}
+		if i > sigPrefix {
+			sigPrefix = i
+		}
+	}
+	return nil
+}
+
+func scatterBlock(f *grid.Field3D, x0, y0, z0 int, vals *[blockSize]float64) {
+	for dz := 0; dz < blockDim && z0+dz < f.Nz; dz++ {
+		for dy := 0; dy < blockDim && y0+dy < f.Ny; dy++ {
+			for dx := 0; dx < blockDim && x0+dx < f.Nx; dx++ {
+				f.Set(x0+dx, y0+dy, z0+dz, float32(vals[(dz*blockDim+dy)*blockDim+dx]))
+			}
+		}
+	}
+}
+
+// Bytes serializes the compressed field.
+func (c *Compressed) Bytes() []byte {
+	out := make([]byte, headerSize, headerSize+len(c.payload))
+	copy(out[0:4], magic)
+	binary.LittleEndian.PutUint32(out[4:8], 1)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(c.Nx))
+	binary.LittleEndian.PutUint32(out[12:16], uint32(c.Ny))
+	binary.LittleEndian.PutUint32(out[16:20], uint32(c.Nz))
+	binary.LittleEndian.PutUint64(out[20:28], math.Float64bits(c.Rate))
+	return append(out, c.payload...)
+}
+
+// Parse deserializes a compressed field.
+func Parse(data []byte) (*Compressed, error) {
+	if len(data) < headerSize {
+		return nil, errors.New("zfp: stream shorter than header")
+	}
+	if string(data[0:4]) != magic {
+		return nil, fmt.Errorf("zfp: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != 1 {
+		return nil, fmt.Errorf("zfp: unsupported version %d", v)
+	}
+	c := &Compressed{
+		Nx:      int(binary.LittleEndian.Uint32(data[8:12])),
+		Ny:      int(binary.LittleEndian.Uint32(data[12:16])),
+		Nz:      int(binary.LittleEndian.Uint32(data[16:20])),
+		Rate:    math.Float64frombits(binary.LittleEndian.Uint64(data[20:28])),
+		payload: data[headerSize:],
+	}
+	if c.Nx <= 0 || c.Ny <= 0 || c.Nz <= 0 {
+		return nil, errors.New("zfp: invalid dimensions")
+	}
+	return c, nil
+}

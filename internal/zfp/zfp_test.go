@@ -1,0 +1,280 @@
+package zfp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func smoothField(n int, seed uint64) *grid.Field3D {
+	r := stats.NewRNG(seed)
+	f := grid.NewCube(n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v := 100*math.Sin(float64(x)/5)*math.Cos(float64(y)/7) +
+					30*math.Sin(float64(z)/4) + r.NormFloat64()*0.1
+				f.Set(x, y, z, float32(v))
+			}
+		}
+	}
+	return f
+}
+
+func TestLiftInverseNearExact(t *testing.T) {
+	// ZFP's lift pair loses only the bits its forward shifts discard:
+	// the round trip must agree up to a few low bits.
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 1000; trial++ {
+		var p, q [4]int64
+		for i := range p {
+			p[i] = int64(r.Intn(1<<30)) - (1 << 29)
+			q[i] = p[i]
+		}
+		liftForward(q[:], 1)
+		liftInverse(q[:], 1)
+		for i := range p {
+			if d := p[i] - q[i]; d < -4 || d > 4 {
+				t.Fatalf("lift round trip lost %d: %v -> %v", d, p, q)
+			}
+		}
+	}
+}
+
+func TestTransformBlockInverseNearExact(t *testing.T) {
+	r := stats.NewRNG(2)
+	for trial := 0; trial < 100; trial++ {
+		var b, ref [blockSize]int64
+		for i := range b {
+			b[i] = int64(r.Intn(1<<24)) - (1 << 23)
+			ref[i] = b[i]
+		}
+		transformBlock(&b)
+		inverseBlock(&b)
+		for i := range b {
+			if d := b[i] - ref[i]; d < -64 || d > 64 {
+				t.Fatalf("3-D transform lost %d at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 2, -2, 1 << 30, -(1 << 30), math.MaxInt32, math.MinInt32}
+	for _, v := range vals {
+		if got := negabinaryInv(negabinary(v)); got != v {
+			t.Errorf("negabinary(%d) inverted to %d", v, got)
+		}
+	}
+}
+
+func TestSequencyIsPermutation(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, idx := range sequency {
+		if idx < 0 || idx >= blockSize || seen[idx] {
+			t.Fatalf("sequency not a permutation: %v", sequency)
+		}
+		seen[idx] = true
+	}
+	if sequency[0] != 0 {
+		t.Errorf("DC coefficient not first: %d", sequency[0])
+	}
+}
+
+func TestHighRateNearLossless(t *testing.T) {
+	f := smoothField(16, 3)
+	c, err := Compress(f, Options{Rate: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, _ := stats.PSNR(f.Data, g.Data)
+	if psnr < 90 {
+		t.Errorf("rate-28 PSNR %v too low", psnr)
+	}
+}
+
+func TestRateControlsSize(t *testing.T) {
+	f := smoothField(32, 4)
+	var prevSize int
+	var prevPSNR float64
+	for _, rate := range []float64{1, 2, 4, 8, 16} {
+		c, err := Compress(f, Options{Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Achieved bit rate stays within ~25 % of the request (header and
+		// group-test overhead).
+		if br := c.BitRate(); br > rate*1.3+0.5 {
+			t.Errorf("rate %v: achieved %v", rate, br)
+		}
+		if c.CompressedSize() <= prevSize {
+			t.Errorf("size did not grow with rate")
+		}
+		prevSize = c.CompressedSize()
+		g, err := Decompress(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr, _ := stats.PSNR(f.Data, g.Data)
+		if psnr < prevPSNR-1 {
+			t.Errorf("PSNR fell with rate: %v after %v", psnr, prevPSNR)
+		}
+		prevPSNR = psnr
+	}
+	if prevPSNR < 60 {
+		t.Errorf("rate-16 PSNR %v too low", prevPSNR)
+	}
+}
+
+func TestZeroField(t *testing.T) {
+	f := grid.NewCube(8)
+	c, err := Compress(f, Options{Rate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero blocks cost 1 bit each.
+	if c.CompressedSize() > headerSize+8 {
+		t.Errorf("zero field compressed to %d bytes", c.CompressedSize())
+	}
+	g, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Data {
+		if v != 0 {
+			t.Fatalf("zero field reconstructed nonzero at %d: %v", i, v)
+		}
+	}
+}
+
+func TestNonMultipleOfFourDims(t *testing.T) {
+	r := stats.NewRNG(5)
+	f := grid.NewField3D(7, 5, 6)
+	for i := range f.Data {
+		f.Data[i] = float32(r.NormFloat64() * 10)
+	}
+	c, err := Compress(f, Options{Rate: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameShape(g) {
+		t.Fatalf("shape changed: %v", g)
+	}
+	psnr, _ := stats.PSNR(f.Data, g.Data)
+	if psnr < 30 {
+		t.Errorf("padded-block PSNR %v", psnr)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{Rate: 0.1}).Validate(); err == nil {
+		t.Error("rate below 0.5 accepted")
+	}
+	if err := (Options{Rate: 64}).Validate(); err == nil {
+		t.Error("rate above 32 accepted")
+	}
+	if _, err := Compress(grid.NewCube(4), Options{Rate: 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestBytesParseRoundTrip(t *testing.T) {
+	f := smoothField(8, 6)
+	c, err := Compress(f, Options{Rate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompress(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("parse round trip changed reconstruction")
+		}
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	f := smoothField(8, 7)
+	c, _ := Compress(f, Options{Rate: 8})
+	blob := c.Bytes()
+	cases := map[string]func([]byte) []byte{
+		"short": func(b []byte) []byte { return b[:10] },
+		"magic": func(b []byte) []byte { b[0] = 'x'; return b },
+		"dims":  func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0, 0, 0, 0; return b },
+	}
+	for name, corrupt := range cases {
+		if _, err := Parse(corrupt(bytes.Clone(blob))); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Truncated payload: decoding must error or degrade, never panic.
+	c.payload = c.payload[:len(c.payload)/2]
+	if _, err := Decompress(c); err == nil {
+		t.Log("truncated payload decoded partially; acceptable (no panic)")
+	}
+}
+
+func TestFixedRateIsExact(t *testing.T) {
+	// Two very different fields at the same rate must compress to the same
+	// size modulo zero-block shortcuts — the fixed-rate property the paper
+	// contrasts with error-bounded mode.
+	a := smoothField(16, 8)
+	r := stats.NewRNG(9)
+	b := grid.NewCube(16)
+	for i := range b.Data {
+		b.Data[i] = float32(r.NormFloat64() * 1e6)
+	}
+	ca, _ := Compress(a, Options{Rate: 8})
+	cb, _ := Compress(b, Options{Rate: 8})
+	if d := math.Abs(float64(ca.CompressedSize()-cb.CompressedSize())) /
+		float64(ca.CompressedSize()); d > 0.15 {
+		t.Errorf("fixed-rate sizes differ %v%%: %d vs %d", d*100, ca.CompressedSize(), cb.CompressedSize())
+	}
+}
+
+// Property: reconstruction error is bounded relative to block magnitude at
+// a generous rate, for arbitrary inputs.
+func TestQuickReasonableError(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		fld := grid.NewCube(8)
+		for i := range fld.Data {
+			fld.Data[i] = float32(r.NormFloat64() * math.Pow(10, r.Uniform(-3, 6)))
+		}
+		c, err := Compress(fld, Options{Rate: 24})
+		if err != nil {
+			return false
+		}
+		g, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		psnr, _ := stats.PSNR(fld.Data, g.Data)
+		return psnr > 40 || math.IsInf(psnr, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
