@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fft"
@@ -86,7 +87,7 @@ func BenchmarkFig18PartitionSize(b *testing.B)          { benchExperiment(b, "fi
 func BenchmarkFig19SimulationScale(b *testing.B)        { benchExperiment(b, "fig19") }
 func BenchmarkSec43Overhead(b *testing.B)               { benchExperiment(b, "sec43") }
 
-// Ablation benches (DESIGN.md Sec. 5).
+// Ablation benches (design-choice studies; see README.md).
 func BenchmarkAblationPredictor(b *testing.B)         { benchExperiment(b, "ablation-predictor") }
 func BenchmarkAblationQuantPlacement(b *testing.B)    { benchExperiment(b, "ablation-quant") }
 func BenchmarkAblationClamp(b *testing.B)             { benchExperiment(b, "ablation-clamp") }
@@ -201,26 +202,33 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 
 func BenchmarkAdaptivePipeline(b *testing.B) {
 	// End-to-end: plan + adaptive compression (calibration excluded, as it
-	// is a one-time offline step).
+	// is a one-time offline step), once per registered codec. Allocation
+	// counts are reported because the per-partition path is pooled
+	// (sync.Pool scratch buffers) and must stay that way.
 	f := benchDensity(b)
-	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
-	if err != nil {
-		b.Fatal(err)
-	}
-	cal, err := eng.Calibrate(f)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(4 * f.Len()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		plan, err := eng.Plan(f, cal, core.PlanOptions{AvgEB: 0.1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := eng.CompressAdaptive(f, plan); err != nil {
-			b.Fatal(err)
-		}
+	for _, id := range []codec.ID{codec.SZ, codec.ZFP} {
+		b.Run(string(id), func(b *testing.B) {
+			eng, err := core.NewEngine(core.Config{PartitionDim: 16, Codec: id})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cal, err := eng.Calibrate(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(4 * f.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := eng.Plan(f, cal, core.PlanOptions{AvgEB: 0.1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.CompressAdaptive(f, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -233,3 +241,4 @@ func BenchmarkNyxGenerate(b *testing.B) {
 }
 
 func BenchmarkAblationCompressor(b *testing.B) { benchExperiment(b, "ablation-compressor") }
+func BenchmarkCrossCodecAdaptive(b *testing.B) { benchExperiment(b, "codec-adaptive") }

@@ -6,10 +6,12 @@
 // Usage:
 //
 //	adaptivecfg -snapshot data/snapshot_z42.nyx -field baryon_density \
-//	            -partition 16 [-avg-eb 0.1] [-halo] [-save out.acfd]
+//	            -partition 16 [-codec sz] [-avg-eb 0.1] [-halo] [-save out.acfd]
 //
 // When -avg-eb is omitted the budget is derived from the power-spectrum
 // quality target (±1 % for k < 10 at 2σ confidence, the paper's setting).
+// -codec selects the compression backend from the codec registry (sz by
+// default; zfp approximates each planned bound with its fixed-rate search).
 package main
 
 import (
@@ -17,7 +19,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/halo"
@@ -33,11 +37,13 @@ func main() {
 		snapPath  = flag.String("snapshot", "", "snapshot file from nyxgen (required)")
 		fieldName = flag.String("field", nyx.FieldBaryonDensity, "field to compress")
 		partition = flag.Int("partition", 16, "partition brick dimension")
-		avgEB     = flag.Float64("avg-eb", 0, "average error-bound budget (0 = derive from spectrum target)")
-		tol       = flag.Float64("tolerance", 0.01, "power-spectrum tolerance for the derived budget")
-		useHalo   = flag.Bool("halo", false, "apply the halo-finder mass budget (density fields)")
-		savePath  = flag.String("save", "", "write the adaptive archive to this path")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		codecName = flag.String("codec", string(codec.SZ),
+			fmt.Sprintf("compression backend (%s)", idList()))
+		avgEB    = flag.Float64("avg-eb", 0, "average error-bound budget (0 = derive from spectrum target)")
+		tol      = flag.Float64("tolerance", 0.01, "power-spectrum tolerance for the derived budget")
+		useHalo  = flag.Bool("halo", false, "apply the halo-finder mass budget (density fields)")
+		savePath = flag.String("save", "", "write the adaptive archive to this path")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 	)
 	flag.Parse()
 	if *snapPath == "" {
@@ -53,12 +59,16 @@ func main() {
 	if !ok {
 		log.Fatalf("field %q not in snapshot (have %v)", *fieldName, keys(snap.Fields))
 	}
-	eng, err := core.NewEngine(core.Config{PartitionDim: *partition, Workers: *workers})
+	eng, err := core.NewEngine(core.Config{
+		PartitionDim: *partition,
+		Workers:      *workers,
+		Codec:        codec.ID(*codecName),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("calibrating rate model on %s (%s)...\n", *fieldName, f)
+	fmt.Printf("calibrating rate model on %s (%s) via %s...\n", *fieldName, f, eng.Config().Codec)
 	cal, err := eng.Calibrate(f)
 	if err != nil {
 		log.Fatal(err)
@@ -139,4 +149,13 @@ func keys(m map[string]*grid.Field3D) []string {
 
 func haloConfig(boundary, peak float64) halo.Config {
 	return halo.Config{BoundaryThreshold: boundary, HaloThreshold: peak, Periodic: true}
+}
+
+func idList() string {
+	ids := codec.IDs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = string(id)
+	}
+	return strings.Join(names, "|")
 }

@@ -3,13 +3,15 @@
 // Rate-Quality Modeling" (Jin et al., HPDC '21).
 //
 // The public entry points live in internal/core (the adaptive
-// configurator), with the substrates in internal/sz (the error-bounded
-// compressor), internal/nyx (the synthetic cosmology generator),
-// internal/spectrum and internal/halo (the post-hoc analyses),
-// internal/model and internal/optimizer (the paper's rate-quality models
-// and error-bound allocation), and internal/experiments (one function per
-// paper table/figure). See README.md for the architecture overview and
-// DESIGN.md for the system inventory.
+// configurator), which drives its compressors through the pluggable codec
+// layer in internal/codec (a name-keyed registry of backends: internal/sz,
+// the error-bounded compressor the paper configures, and internal/zfp, the
+// fixed-rate comparison codec). The remaining substrates are internal/nyx
+// (the synthetic cosmology generator), internal/spectrum and internal/halo
+// (the post-hoc analyses), internal/model and internal/optimizer (the
+// paper's rate-quality models and error-bound allocation), and
+// internal/experiments (one function per paper table/figure). See
+// README.md for the architecture overview.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -29,10 +29,13 @@ func main() {
 	}
 
 	// 2. An engine that cuts the field into 16³ bricks (64 partitions).
+	// Config.Codec picks the compression backend from the codec registry;
+	// the default is "sz", and "zfp" runs the same pipeline fixed-rate.
 	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("engine codec: %s\n", eng.Config().Codec)
 
 	// 3. Calibrate the bit-rate/error-bound model once (paper Eq. 15).
 	cal, err := eng.Calibrate(density)

@@ -11,11 +11,12 @@ import (
 	"log"
 	"math"
 
+	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/nyx"
 	"repro/internal/spectrum"
-	"repro/internal/sz"
 )
 
 func main() {
@@ -27,6 +28,12 @@ func main() {
 		log.Fatal(err)
 	}
 	density, err := snap.Field(nyx.FieldBaryonDensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The compressor comes out of the codec registry — swap codec.SZ for
+	// codec.ZFP (or any registered backend) to rerun the study cross-codec.
+	comp, err := codec.Lookup(codec.SZ)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,14 +57,16 @@ func main() {
 
 	for _, scale := range []float64{1, 8, 64} {
 		eb := avgEB * scale
-		c, err := sz.Compress(density, sz.Options{Mode: sz.ABS, ErrorBound: eb})
+		c, err := comp.Compress(density.Data, density.Nx, density.Ny, density.Nz,
+			codec.Options{ErrorBound: eb}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		recon, err := sz.Decompress(c)
+		values, err := c.Decompress()
 		if err != nil {
 			log.Fatal(err)
 		}
+		recon := &grid.Field3D{Nx: density.Nx, Ny: density.Ny, Nz: density.Nz, Data: values}
 		rec, err := spectrum.Compute(recon, spectrum.Options{})
 		if err != nil {
 			log.Fatal(err)
@@ -75,14 +84,16 @@ func main() {
 	}
 
 	// Show the per-shell ratios at the budget bound.
-	c, err := sz.Compress(density, sz.Options{Mode: sz.ABS, ErrorBound: avgEB})
+	c, err := comp.Compress(density.Data, density.Nx, density.Ny, density.Nz,
+		codec.Options{ErrorBound: avgEB}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	recon, err := sz.Decompress(c)
+	values, err := c.Decompress()
 	if err != nil {
 		log.Fatal(err)
 	}
+	recon := &grid.Field3D{Nx: density.Nx, Ny: density.Ny, Nz: density.Nz, Data: values}
 	rec, err := spectrum.Compute(recon, spectrum.Options{})
 	if err != nil {
 		log.Fatal(err)

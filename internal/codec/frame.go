@@ -1,0 +1,63 @@
+package codec
+
+import "fmt"
+
+// Frame envelope: the self-describing wrapper around a codec-native stream.
+//
+//	offset size  field
+//	0      4     magic "CFRM"
+//	4      1     envelope version (1)
+//	5      1     codec ID length L (1 ≤ L ≤ 32)
+//	6      L     codec ID (ASCII)
+//	6+L    ...   codec-native stream (own magic, version, CRC)
+//
+// The envelope carries only identity; integrity and geometry live in the
+// codec-native stream it wraps, which every backend already versions and
+// (for sz) checksums.
+const (
+	frameMagic      = "CFRM"
+	frameVersion    = 1
+	frameFixedBytes = 6
+	maxIDLen        = 32
+)
+
+// EncodeFrame serializes a frame with its self-describing codec header.
+func EncodeFrame(f Frame) []byte {
+	id := f.CodecID()
+	body := f.Bytes()
+	out := make([]byte, 0, frameFixedBytes+len(id)+len(body))
+	out = append(out, frameMagic...)
+	out = append(out, frameVersion, byte(len(id)))
+	out = append(out, id...)
+	return append(out, body...)
+}
+
+// DecodeFrame reverses EncodeFrame, resolving the named codec in this
+// registry and handing it the codec-native body.
+func (r *Registry) DecodeFrame(data []byte) (Frame, error) {
+	if len(data) < frameFixedBytes {
+		return nil, fmt.Errorf("codec: frame shorter than envelope header")
+	}
+	if string(data[0:4]) != frameMagic {
+		return nil, fmt.Errorf("codec: bad frame magic %q", data[0:4])
+	}
+	if data[4] != frameVersion {
+		return nil, fmt.Errorf("codec: unsupported frame version %d", data[4])
+	}
+	idLen := int(data[5])
+	if idLen == 0 || idLen > maxIDLen {
+		return nil, fmt.Errorf("codec: invalid codec ID length %d", idLen)
+	}
+	if len(data) < frameFixedBytes+idLen {
+		return nil, fmt.Errorf("codec: frame truncated inside codec ID")
+	}
+	id := ID(data[frameFixedBytes : frameFixedBytes+idLen])
+	c, err := r.Lookup(id)
+	if err != nil {
+		return nil, fmt.Errorf("codec: frame header: %w", err)
+	}
+	return c.Parse(data[frameFixedBytes+idLen:])
+}
+
+// DecodeFrame decodes a self-describing frame against the Default registry.
+func DecodeFrame(data []byte) (Frame, error) { return Default.DecodeFrame(data) }

@@ -1,0 +1,66 @@
+package codec
+
+import "repro/internal/sz"
+
+// szCodec adapts internal/sz (prediction-based, error-bounded) to the
+// Codec interface. It is the default backend: the only one whose frames
+// carry a hard pointwise error guarantee, which the paper's error control
+// requires (Sec. 2.2).
+type szCodec struct{}
+
+func (szCodec) ID() ID { return SZ }
+
+func (szCodec) Compress(data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error) {
+	if err := validateDims(data, nx, ny, nz); err != nil {
+		return nil, err
+	}
+	c, err := sz.CompressSliceWith(data, nx, ny, nz, szOptions(opt), szScratch(s))
+	if err != nil {
+		return nil, err
+	}
+	return szFrame{c}, nil
+}
+
+func (szCodec) Parse(body []byte) (Frame, error) {
+	c, err := sz.Parse(body)
+	if err != nil {
+		return nil, err
+	}
+	return szFrame{c}, nil
+}
+
+// szOptions maps the codec-agnostic knobs onto SZ's option set. The enums
+// are value-compatible by construction (see the Mode/Predictor constants).
+func szOptions(opt Options) sz.Options {
+	return sz.Options{
+		Mode:                  sz.Mode(opt.Mode),
+		ErrorBound:            opt.ErrorBound,
+		Radius:                opt.Radius,
+		Predictor:             sz.Predictor(opt.Predictor),
+		QuantizeBeforePredict: opt.QuantizeBeforePredict,
+	}
+}
+
+// szScratch lazily materializes the SZ working buffers inside the shared
+// per-worker scratch.
+func szScratch(s *Scratch) *sz.Scratch {
+	if s == nil {
+		return nil
+	}
+	if s.sz == nil {
+		s.sz = &sz.Scratch{}
+	}
+	return s.sz
+}
+
+type szFrame struct{ c *sz.Compressed }
+
+func (f szFrame) CodecID() ID                    { return SZ }
+func (f szFrame) Dims() (int, int, int)          { return f.c.Nx, f.c.Ny, f.c.Nz }
+func (f szFrame) N() int                         { return f.c.N() }
+func (f szFrame) CompressedSize() int            { return f.c.CompressedSize() }
+func (f szFrame) BitRate() float64               { return f.c.BitRate() }
+func (f szFrame) Ratio() float64                 { return f.c.Ratio() }
+func (f szFrame) ErrorBound() float64            { return f.c.Opt.ErrorBound }
+func (f szFrame) Bytes() []byte                  { return f.c.Bytes() }
+func (f szFrame) Decompress() ([]float32, error) { return sz.DecompressSlice(f.c) }

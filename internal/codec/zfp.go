@@ -1,0 +1,147 @@
+package codec
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/zfp"
+)
+
+// zfpCodec adapts internal/zfp (transform-based, fixed-rate) to the Codec
+// interface. Two behaviours:
+//
+//   - Options.Rate > 0: plain fixed-rate compression, ZFP's native mode.
+//   - Options.Rate == 0, ErrorBound > 0: the adapter searches for the
+//     cheapest rate whose measured max error meets the bound (geometric
+//     ladder then bisection refinement). This is what lets a fixed-rate
+//     codec consume the configurator's per-partition error-bound plans —
+//     the bound is best effort: if even the maximum rate misses it, the
+//     max-rate frame is returned, which is precisely the failure mode the
+//     paper cites for rejecting fixed-rate codecs (Sec. 2.2).
+type zfpCodec struct{}
+
+func (zfpCodec) ID() ID { return ZFP }
+
+// Rate search bounds: ZFP accepts rates in [0.5, 32] bits/value.
+const (
+	zfpMinRate     = 0.5
+	zfpMaxRate     = 32
+	zfpRefineSteps = 3
+)
+
+func (zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, _ *Scratch) (Frame, error) {
+	if err := validateDims(data, nx, ny, nz); err != nil {
+		return nil, err
+	}
+	f := &grid.Field3D{Nx: nx, Ny: ny, Nz: nz, Data: data}
+	if opt.Rate > 0 {
+		c, err := zfp.Compress(f, zfp.Options{Rate: opt.Rate})
+		if err != nil {
+			return nil, err
+		}
+		return zfpFrame{c: c}, nil
+	}
+	if opt.ErrorBound <= 0 {
+		return nil, errors.New("codec: zfp needs Options.Rate or Options.ErrorBound")
+	}
+	if opt.Mode != ABS {
+		return nil, errors.New("codec: zfp rate search supports ABS error bounds only")
+	}
+	return compressBounded(f, opt.ErrorBound)
+}
+
+// compressBounded finds the cheapest fixed rate meeting an absolute error
+// bound: double the rate until the measured max error fits, then bisect
+// between the last failing and first passing rate to shave bits.
+func compressBounded(f *grid.Field3D, eb float64) (Frame, error) {
+	try := func(rate float64) (*zfp.Compressed, float64, error) {
+		c, err := zfp.Compress(f, zfp.Options{Rate: rate})
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := zfp.Decompress(c)
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, maxAbsErr(f.Data, r.Data), nil
+	}
+	lo := 0.0 // highest rate known to miss the bound
+	var hit, last *zfp.Compressed
+	hi := zfpMaxRate + 1.0
+	for rate := zfpMinRate; rate <= zfpMaxRate; rate *= 2 {
+		c, maxErr, err := try(rate)
+		if err != nil {
+			return nil, err
+		}
+		last = c
+		if maxErr <= eb {
+			hit, hi = c, rate
+			break
+		}
+		lo = rate
+	}
+	if hit == nil {
+		// Even the maximum rate misses the bound: the ladder's final frame
+		// (rate 32) is the best the codec can do; return it with
+		// ErrorBound 0 to signal "no guarantee".
+		return zfpFrame{c: last}, nil
+	}
+	for i := 0; i < zfpRefineSteps && hi-lo > 0.25 && lo >= zfpMinRate; i++ {
+		mid := (lo + hi) / 2
+		c, maxErr, err := try(mid)
+		if err != nil {
+			return nil, err
+		}
+		if maxErr <= eb {
+			hit, hi = c, mid
+		} else {
+			lo = mid
+		}
+	}
+	return zfpFrame{c: hit, eb: eb}, nil
+}
+
+func maxAbsErr(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (zfpCodec) Parse(body []byte) (Frame, error) {
+	c, err := zfp.Parse(body)
+	if err != nil {
+		return nil, err
+	}
+	return zfpFrame{c: c}, nil
+}
+
+// zfpFrame wraps a fixed-rate stream. eb is the bound the rate search
+// verified, kept in memory only: ZFP's native serialization has no bound
+// field, so parsed frames report ErrorBound 0 (no guarantee recorded).
+type zfpFrame struct {
+	c  *zfp.Compressed
+	eb float64
+}
+
+func (f zfpFrame) CodecID() ID           { return ZFP }
+func (f zfpFrame) Dims() (int, int, int) { return f.c.Nx, f.c.Ny, f.c.Nz }
+func (f zfpFrame) N() int                { return f.c.N() }
+func (f zfpFrame) CompressedSize() int   { return f.c.CompressedSize() }
+func (f zfpFrame) BitRate() float64      { return f.c.BitRate() }
+func (f zfpFrame) Ratio() float64        { return f.c.Ratio() }
+func (f zfpFrame) ErrorBound() float64   { return f.eb }
+func (f zfpFrame) Bytes() []byte         { return f.c.Bytes() }
+
+func (f zfpFrame) Decompress() ([]float32, error) {
+	g, err := zfp.Decompress(f.c)
+	if err != nil {
+		return nil, err
+	}
+	return g.Data, nil
+}

@@ -4,29 +4,36 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/sz"
+	"repro/internal/codec"
 )
 
 // Archive framing for a CompressedField: a small header followed by
-// length-prefixed sz streams, one per partition in partition-ID order.
+// length-prefixed self-describing codec frames, one per partition in
+// partition-ID order.
 //
 //	offset size  field
 //	0      4     magic "ACFD"
-//	4      4     version (1)
+//	4      4     version (2)
 //	8      12    nx, ny, nz (uint32)
 //	20     4     partition dim
 //	24     4     partition count
-//	28     ...   per partition: uint32 length + sz stream bytes
+//	28     ...   per partition: uint32 length + codec frame envelope
+//
+// Version 2 switched the per-partition payload from raw sz streams to
+// codec envelopes (codec ID + version + native stream), so archives decode
+// without out-of-band knowledge of the producing backend — including
+// archives whose partitions mix codecs.
 const (
 	archiveMagic   = "ACFD"
-	archiveVersion = 1
+	archiveVersion = 2
 	archiveHeader  = 28
 )
 
-// Bytes serializes the compressed field. Each partition's stream carries
-// its own CRC (see sz.Parse), so the archive needs no extra checksum.
+// Bytes serializes the compressed field. Each partition's native stream
+// carries its own integrity checks (sz CRCs its payload), so the archive
+// needs no extra checksum.
 func (cf *CompressedField) Bytes() []byte {
-	out := make([]byte, archiveHeader, archiveHeader+cf.CompressedSize()+4*len(cf.Parts))
+	out := make([]byte, archiveHeader, archiveHeader+cf.CompressedSize()+16*len(cf.Parts))
 	copy(out[0:4], archiveMagic)
 	binary.LittleEndian.PutUint32(out[4:8], archiveVersion)
 	binary.LittleEndian.PutUint32(out[8:12], uint32(cf.Nx))
@@ -35,7 +42,7 @@ func (cf *CompressedField) Bytes() []byte {
 	binary.LittleEndian.PutUint32(out[20:24], uint32(cf.PartitionDim))
 	binary.LittleEndian.PutUint32(out[24:28], uint32(len(cf.Parts)))
 	for _, p := range cf.Parts {
-		blob := p.Bytes()
+		blob := codec.EncodeFrame(p)
 		var lenBuf [4]byte
 		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
 		out = append(out, lenBuf[:]...)
@@ -44,8 +51,15 @@ func (cf *CompressedField) Bytes() []byte {
 	return out
 }
 
-// ParseCompressedField reverses Bytes, validating every partition stream.
+// ParseCompressedField reverses Bytes, resolving each partition's codec
+// from its frame header and validating every stream.
 func ParseCompressedField(data []byte) (*CompressedField, error) {
+	return ParseCompressedFieldWith(data, codec.Default)
+}
+
+// ParseCompressedFieldWith is ParseCompressedField against a specific
+// codec registry.
+func ParseCompressedFieldWith(data []byte, reg *codec.Registry) (*CompressedField, error) {
 	if len(data) < archiveHeader {
 		return nil, fmt.Errorf("core: archive shorter than header")
 	}
@@ -67,7 +81,7 @@ func ParseCompressedField(data []byte) (*CompressedField, error) {
 			cf.Nx, cf.Ny, cf.Nz, cf.PartitionDim, count)
 	}
 	pos := archiveHeader
-	cf.Parts = make([]*sz.Compressed, 0, count)
+	cf.Parts = make([]codec.Frame, 0, count)
 	for i := 0; i < count; i++ {
 		if pos+4 > len(data) {
 			return nil, fmt.Errorf("core: archive truncated at partition %d", i)
@@ -77,7 +91,7 @@ func ParseCompressedField(data []byte) (*CompressedField, error) {
 		if pos+n > len(data) {
 			return nil, fmt.Errorf("core: partition %d stream truncated", i)
 		}
-		p, err := sz.Parse(data[pos : pos+n])
+		p, err := reg.DecodeFrame(data[pos : pos+n])
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
@@ -87,5 +101,6 @@ func ParseCompressedField(data []byte) (*CompressedField, error) {
 	if pos != len(data) {
 		return nil, fmt.Errorf("core: %d trailing bytes in archive", len(data)-pos)
 	}
+	cf.Codec = cf.Parts[0].CodecID()
 	return cf, nil
 }

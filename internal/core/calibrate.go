@@ -9,7 +9,6 @@ import (
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/sz"
 )
 
 // Calibration is a fitted rate model for one field kind. The paper fits the
@@ -134,17 +133,22 @@ func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibr
 	}
 	samples = uniq
 
+	// The curves are sampled through the engine's configured codec, so the
+	// fitted rate model describes the backend that will actually compress —
+	// cross-codec calibration for free.
 	curves := make([]model.Curve, 0, len(samples))
 	ids := make([]int, 0, len(samples))
 	parts := p.Partitions()
+	scratch := e.getScratch()
+	defer e.putScratch(scratch)
 	for _, pi := range samples {
 		part := parts[pi]
-		data := grid.Extract(f, part)
+		data := e.brick(scratch, f, part)
 		nx, ny, nz := part.Dims()
 		cu := model.Curve{Feature: features[pi], EBs: ebs}
 		rates := make([]float64, len(ebs))
 		for j, eb := range ebs {
-			c, err := sz.CompressSlice(data, nx, ny, nz, e.szOptions(eb))
+			c, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(eb), scratch)
 			if err != nil {
 				return nil, fmt.Errorf("core: calibration compress (partition %d, eb %g): %w", pi, eb, err)
 			}

@@ -14,6 +14,11 @@
 // The static baseline (one error bound everywhere) is CompressStatic; the
 // two paths share everything but the allocation, so their ratio difference
 // is exactly the paper's claimed improvement.
+//
+// The engine is codec-agnostic: Config.Codec names a backend in the
+// internal/codec registry ("sz" by default, "zfp" for the fixed-rate
+// comparison), and everything downstream — calibration, planning, the in
+// situ protocol, archives — runs through the codec interface.
 package core
 
 import (
@@ -22,10 +27,10 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/optimizer"
-	"repro/internal/sz"
 )
 
 // Config configures an Engine.
@@ -34,11 +39,14 @@ type Config struct {
 	// 512³ data; the benches default to 16 on 128³, the same 512-brick
 	// layout at CI scale). Field dims must be divisible by it.
 	PartitionDim int
-	// Mode is the compressor mode (default ABS, as required by the
+	// Codec names the compression backend in the codec registry
+	// (default codec.SZ, the paper's choice).
+	Codec codec.ID
+	// Mode is the error-bound semantics (default ABS, as required by the
 	// paper's error control).
-	Mode sz.Mode
-	// Predictor forwards to the compressor (default Lorenzo3D).
-	Predictor sz.Predictor
+	Mode codec.Mode
+	// Predictor forwards to prediction-based codecs (default Lorenzo3D).
+	Predictor codec.Predictor
 	// QuantizeBeforePredict forwards to the compressor (GPU-SZ style).
 	QuantizeBeforePredict bool
 	// Workers bounds parallelism (0 = GOMAXPROCS).
@@ -52,6 +60,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.PartitionDim == 0 {
 		c.PartitionDim = 16
+	}
+	if c.Codec == "" {
+		c.Codec = codec.SZ
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -76,19 +87,40 @@ func (c Config) Validate() error {
 // Engine is the adaptive configurator.
 type Engine struct {
 	cfg Config
+	cdc codec.Codec
+	// scratch pools per-worker compression state so the hot per-partition
+	// paths allocate O(1) transient memory per snapshot.
+	scratch sync.Pool
 }
 
-// NewEngine builds an engine.
+// NewEngine builds an engine, resolving the configured codec in the
+// registry so an unknown backend fails here rather than mid-compression.
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg}, nil
+	cdc, err := codec.Lookup(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, cdc: cdc}, nil
 }
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Codec returns the resolved compression backend.
+func (e *Engine) Codec() codec.Codec { return e.cdc }
+
+func (e *Engine) getScratch() *codec.Scratch {
+	if s, ok := e.scratch.Get().(*codec.Scratch); ok {
+		return s
+	}
+	return &codec.Scratch{}
+}
+
+func (e *Engine) putScratch(s *codec.Scratch) { e.scratch.Put(s) }
 
 // partitioner builds the brick layout for a field.
 func (e *Engine) partitioner(f *grid.Field3D) (*grid.Partitioner, error) {
@@ -99,9 +131,13 @@ func (e *Engine) partitioner(f *grid.Field3D) (*grid.Partitioner, error) {
 	return grid.NewPartitioner(f.Nx, f.Ny, f.Nz, f.Nx/d, f.Ny/d, f.Nz/d)
 }
 
-// szOptions builds compressor options at a given error bound.
-func (e *Engine) szOptions(eb float64) sz.Options {
-	return sz.Options{
+// codecOptions builds compressor options at a given error bound. The
+// engine never sets Options.Rate: it exists to *configure* bounds, so
+// fixed-rate codecs must derive their rate from each partition's bound
+// (plain fixed-rate compression is available on the codec interface
+// directly).
+func (e *Engine) codecOptions(eb float64) codec.Options {
+	return codec.Options{
 		Mode:                  e.cfg.Mode,
 		ErrorBound:            eb,
 		Predictor:             e.cfg.Predictor,
@@ -165,28 +201,32 @@ func (e *Engine) Plan(f *grid.Field3D, cal *Calibration, opt PlanOptions) (*Plan
 func (e *Engine) extractFeatures(f *grid.Field3D, p *grid.Partitioner) []float64 {
 	parts := p.Partitions()
 	out := make([]float64, len(parts))
-	e.forEachPartition(len(parts), func(w, i int, buf *[]float32) {
+	e.forEachPartition(len(parts), func(w, i int, s *codec.Scratch) {
 		part := parts[i]
-		data := e.brick(buf, f, part)
-		var s float64
+		data := e.brick(s, f, part)
+		var sum float64
 		for _, v := range data {
 			if v < 0 {
-				s -= float64(v)
+				sum -= float64(v)
 			} else {
-				s += float64(v)
+				sum += float64(v)
 			}
 		}
-		out[i] = s / float64(len(data))
+		out[i] = sum / float64(len(data))
 	})
 	return out
 }
 
-// CompressedField is a field compressed partition-by-partition.
+// CompressedField is a field compressed partition-by-partition. Parts are
+// codec-tagged frames; mixed-codec fields decode fine, but every frame an
+// engine produces uses the engine's configured codec.
 type CompressedField struct {
 	Nx, Ny, Nz   int
 	PartitionDim int
-	Parts        []*sz.Compressed
-	partitioner  *grid.Partitioner
+	// Codec records the backend that produced the partition frames.
+	Codec       codec.ID
+	Parts       []codec.Frame
+	partitioner *grid.Partitioner
 }
 
 // CompressAdaptive compresses each partition with its planned error bound.
@@ -227,18 +267,19 @@ func (e *Engine) compressWith(f *grid.Field3D, p *grid.Partitioner, ebOf func(in
 	cf := &CompressedField{
 		Nx: f.Nx, Ny: f.Ny, Nz: f.Nz,
 		PartitionDim: e.cfg.PartitionDim,
-		Parts:        make([]*sz.Compressed, len(parts)),
+		Codec:        e.cfg.Codec,
+		Parts:        make([]codec.Frame, len(parts)),
 		partitioner:  p,
 	}
 	var firstErr error
 	var mu sync.Mutex
-	e.forEachPartition(len(parts), func(w, i int, buf *[]float32) {
+	e.forEachPartition(len(parts), func(w, i int, s *codec.Scratch) {
 		part := parts[i]
-		data := e.brick(buf, f, part)
+		data := e.brick(s, f, part)
 		nx, ny, nz := part.Dims()
-		// CompressSlice retains the input only during the call, so the
-		// per-worker buffer can be reused across partitions.
-		c, err := sz.CompressSlice(data, nx, ny, nz, e.szOptions(ebOf(i)))
+		// The codec retains neither the input nor the scratch past the
+		// call, so the per-worker buffers are reused across partitions.
+		c, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(ebOf(i)), s)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -255,28 +296,29 @@ func (e *Engine) compressWith(f *grid.Field3D, p *grid.Partitioner, ebOf func(in
 	return cf, nil
 }
 
-// brick extracts partition data into the worker buffer.
-func (e *Engine) brick(buf *[]float32, f *grid.Field3D, part grid.Partition) []float32 {
-	if cap(*buf) < part.Len() {
-		*buf = make([]float32, part.Len())
+// brick extracts partition data into the worker's scratch buffer.
+func (e *Engine) brick(s *codec.Scratch, f *grid.Field3D, part grid.Partition) []float32 {
+	if cap(s.Brick) < part.Len() {
+		s.Brick = make([]float32, part.Len())
 	}
-	data := (*buf)[:part.Len()]
+	data := s.Brick[:part.Len()]
 	grid.ExtractInto(data, f, part)
 	return data
 }
 
 // forEachPartition fans partition indices out over a worker pool; each
-// worker owns one scratch buffer.
-func (e *Engine) forEachPartition(n int, fn func(worker, i int, buf *[]float32)) {
+// worker checks one scratch out of the engine pool for the duration.
+func (e *Engine) forEachPartition(n int, fn func(worker, i int, s *codec.Scratch)) {
 	workers := e.cfg.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		var buf []float32
+		s := e.getScratch()
 		for i := 0; i < n; i++ {
-			fn(0, i, &buf)
+			fn(0, i, s)
 		}
+		e.putScratch(s)
 		return
 	}
 	var wg sync.WaitGroup
@@ -285,9 +327,10 @@ func (e *Engine) forEachPartition(n int, fn func(worker, i int, buf *[]float32))
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var buf []float32
+			s := e.getScratch()
+			defer e.putScratch(s)
 			for i := range next {
-				fn(w, i, &buf)
+				fn(w, i, s)
 			}
 		}(w)
 	}
@@ -323,7 +366,7 @@ func (cf *CompressedField) Decompress() (*grid.Field3D, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			data, err := sz.DecompressSlice(cf.Parts[i])
+			data, err := cf.Parts[i].Decompress()
 			if err == nil {
 				err = grid.Insert(out, parts[i], data)
 			}
@@ -365,11 +408,12 @@ func (cf *CompressedField) BitRate() float64 {
 	return float64(cf.CompressedSize()) * 8 / float64(cf.N())
 }
 
-// PartitionEBs returns the per-partition error bounds actually stored.
+// PartitionEBs returns the per-partition error bounds actually stored
+// (0 for frames that carry no bound, e.g. fixed-rate codecs).
 func (cf *CompressedField) PartitionEBs() []float64 {
 	out := make([]float64, len(cf.Parts))
 	for i, p := range cf.Parts {
-		out[i] = p.Opt.ErrorBound
+		out[i] = p.ErrorBound()
 	}
 	return out
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/halo"
 	"repro/internal/nyx"
@@ -53,6 +55,88 @@ func TestNewEngineDefaults(t *testing.T) {
 	}
 	if _, err := NewEngine(Config{ClampFactor: 0.2}); err == nil {
 		t.Error("clamp < 1 accepted")
+	}
+}
+
+func TestNewEngineRejectsUnknownCodec(t *testing.T) {
+	if _, err := NewEngine(Config{Codec: "lz4"}); !errors.Is(err, codec.ErrUnknownCodec) {
+		t.Errorf("unknown codec: got %v, want ErrUnknownCodec", err)
+	}
+	e := engine(t, Config{})
+	if e.Config().Codec != codec.SZ {
+		t.Errorf("default codec %q, want sz", e.Config().Codec)
+	}
+}
+
+// TestAdaptivePipelinePerCodec runs calibrate → plan → adaptive compress →
+// decompress → archive round trip through every registered backend: the
+// configurator must be codec-agnostic end to end.
+func TestAdaptivePipelinePerCodec(t *testing.T) {
+	f := field(t, nyx.FieldBaryonDensity)
+	for _, id := range codec.IDs() {
+		t.Run(string(id), func(t *testing.T) {
+			e := engine(t, Config{PartitionDim: 16, Codec: id})
+			cal, err := e.Calibrate(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cf, err := e.CompressAdaptive(f, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cf.Codec != id {
+				t.Errorf("field tagged %q", cf.Codec)
+			}
+			for i, p := range cf.Parts {
+				if p.CodecID() != id {
+					t.Fatalf("partition %d tagged %q", i, p.CodecID())
+				}
+			}
+			if r := cf.Ratio(); r <= 1 {
+				t.Errorf("ratio %.2f not compressive", r)
+			}
+			recon, err := cf.Decompress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// SZ guarantees each partition's planned bound; ZFP's rate
+			// search is best-effort, so only sanity-check reconstruction.
+			mx, _ := stats.MaxAbsError(f.Data, recon.Data)
+			if id == codec.SZ {
+				maxEB := 0.0
+				for _, eb := range plan.EBs {
+					maxEB = math.Max(maxEB, eb)
+				}
+				if mx > maxEB*(1+1e-5) {
+					t.Errorf("max error %v beyond largest bound %v", mx, maxEB)
+				}
+			} else if math.IsNaN(mx) || math.IsInf(mx, 0) {
+				t.Errorf("bad reconstruction error %v", mx)
+			}
+
+			// Archives are self-describing: parse back without telling the
+			// parser which codec wrote them.
+			parsed, err := ParseCompressedField(cf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parsed.Codec != id {
+				t.Errorf("parsed archive tagged %q, want %q", parsed.Codec, id)
+			}
+			back, err := parsed.Decompress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range recon.Data {
+				if recon.Data[i] != back.Data[i] {
+					t.Fatalf("archive round trip changed data at %d", i)
+				}
+			}
+		})
 	}
 }
 

@@ -6,10 +6,10 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/mpi"
 	"repro/internal/optimizer"
-	"repro/internal/sz"
 )
 
 // In situ path (paper Secs. 3.6, 4.3). Each MPI rank owns a set of
@@ -104,7 +104,7 @@ func (e *Engine) CompressInSitu(f *grid.Field3D, cal *Calibration, opt InSituOpt
 	hi := opt.AvgEB * e.cfg.ClampFactor
 
 	ebs := make([]float64, nParts)
-	compressed := make([]*sz.Compressed, nParts)
+	compressed := make([]codec.Frame, nParts)
 	featT := make([]float64, ranks)
 	optT := make([]float64, ranks)
 	compT := make([]float64, ranks)
@@ -128,7 +128,8 @@ func (e *Engine) CompressInSitu(f *grid.Field3D, cal *Calibration, opt InSituOpt
 		t0 := time.Now()
 		feats := make([]float64, len(mine))
 		bcells := make([]float64, len(mine))
-		var buf []float32
+		scratch := e.getScratch()
+		defer e.putScratch(scratch)
 		for j, pi := range mine {
 			part := parts[pi]
 			var s float64
@@ -209,9 +210,9 @@ func (e *Engine) CompressInSitu(f *grid.Field3D, cal *Calibration, opt InSituOpt
 		t2 := time.Now()
 		for j, pi := range mine {
 			part := parts[pi]
-			data := e.brick(&buf, f, part)
+			data := e.brick(scratch, f, part)
 			nx, ny, nz := part.Dims()
-			cc, err := sz.CompressSlice(data, nx, ny, nz, e.szOptions(myEBs[j]))
+			cc, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(myEBs[j]), scratch)
 			if err != nil {
 				return fmt.Errorf("core: rank %d partition %d: %w", rank, pi, err)
 			}
@@ -230,6 +231,7 @@ func (e *Engine) CompressInSitu(f *grid.Field3D, cal *Calibration, opt InSituOpt
 	cf := &CompressedField{
 		Nx: f.Nx, Ny: f.Ny, Nz: f.Nz,
 		PartitionDim: e.cfg.PartitionDim,
+		Codec:        e.cfg.Codec,
 		Parts:        compressed,
 		partitioner:  p,
 	}

@@ -4,20 +4,21 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/nyx"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
-	"repro/internal/sz"
 )
 
 // gridExtract and logOf are small aliases keeping the ablation code terse.
 func gridExtract(f *grid.Field3D, part grid.Partition) []float32 { return grid.Extract(f, part) }
 func logOf(v float64) float64                                    { return math.Log(v) }
 
-// Ablations for the design choices DESIGN.md calls out. Each runs the
-// end-to-end adaptive-vs-static comparison under one modified knob.
+// Ablations for the reproduction's design choices (see README.md). Each
+// runs the end-to-end adaptive-vs-static comparison under one modified
+// knob.
 
 // ablate runs adaptive-vs-static on baryon density with a custom engine.
 func ablate(ctx *Context, engCfg core.Config) (adaptive, static float64, err error) {
@@ -27,6 +28,9 @@ func ablate(ctx *Context, engCfg core.Config) (adaptive, static float64, err err
 	}
 	engCfg.PartitionDim = ctx.Cfg.PartitionDim
 	engCfg.Workers = ctx.Cfg.Workers
+	if engCfg.Codec == "" {
+		engCfg.Codec = ctx.Cfg.Codec
+	}
 	eng, err := core.NewEngine(engCfg)
 	if err != nil {
 		return 0, 0, err
@@ -51,7 +55,7 @@ func AblationPredictor(ctx *Context) (*Result, error) {
 		Title: "Ablation: predictor choice (baryon density)",
 		Cols:  []string{"predictor", "adaptive", "static", "improvement"},
 	}
-	for _, p := range []sz.Predictor{sz.Lorenzo3D, sz.MeanNeighbor} {
+	for _, p := range []codec.Predictor{codec.Lorenzo3D, codec.MeanNeighbor} {
 		a, s, err := ablate(ctx, core.Config{Predictor: p})
 		if err != nil {
 			return nil, err

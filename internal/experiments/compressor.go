@@ -4,22 +4,33 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/nyx"
 	"repro/internal/stats"
-	"repro/internal/sz"
-	"repro/internal/zfp"
 )
 
 // AblationCompressor substantiates the paper's Sec. 2.2 compressor choice:
 // SZ (prediction-based, error-bounded) versus ZFP (transform-based,
-// fixed-rate). For a set of ZFP rates, each codec compresses the
-// temperature field; SZ's error bound is bisected until its bit rate
-// matches ZFP's, and the PSNRs are compared at that matched rate. The
-// paper states SZ "provides a higher compression ratio than ZFP and offers
-// the absolute error-bound mode that ZFP does not support".
+// fixed-rate). Both backends are resolved by name from the codec registry
+// and exercised through the Codec interface — the same path the engine
+// uses — so the comparison measures exactly what a backend swap would
+// deliver. For a set of ZFP rates, each codec compresses the temperature
+// field; SZ's error bound is bisected until its bit rate matches ZFP's,
+// and the PSNRs are compared at that matched rate. The paper states SZ
+// "provides a higher compression ratio than ZFP and offers the absolute
+// error-bound mode that ZFP does not support".
 func AblationCompressor(ctx *Context) (*Result, error) {
 	f, err := ctx.Field(nyx.FieldTemperature)
+	if err != nil {
+		return nil, err
+	}
+	szc, err := codec.Lookup(codec.SZ)
+	if err != nil {
+		return nil, err
+	}
+	zfpc, err := codec.Lookup(codec.ZFP)
 	if err != nil {
 		return nil, err
 	}
@@ -31,28 +42,28 @@ func AblationCompressor(ctx *Context) (*Result, error) {
 	}
 	szWins := 0
 	for _, rate := range []float64{1, 2, 4, 8} {
-		zc, err := zfp.Compress(f, zfp.Options{Rate: rate})
+		zc, err := zfpc.Compress(f.Data, f.Nx, f.Ny, f.Nz, codec.Options{Rate: rate}, nil)
 		if err != nil {
 			return nil, err
 		}
-		zr, err := zfp.Decompress(zc)
+		zr, err := zc.Decompress()
 		if err != nil {
 			return nil, err
 		}
-		zPSNR, _ := stats.PSNR(f.Data, zr.Data)
-		zMax, _ := stats.MaxAbsError(f.Data, zr.Data)
+		zPSNR, _ := stats.PSNR(f.Data, zr)
+		zMax, _ := stats.MaxAbsError(f.Data, zr)
 
 		// Bisect SZ's error bound to hit the same achieved bit rate.
-		eb, sc, err := szAtBitRate(f, zc.BitRate())
+		eb, sc, err := codecAtBitRate(szc, f, zc.BitRate())
 		if err != nil {
 			return nil, err
 		}
-		sr, err := sz.Decompress(sc)
+		sr, err := sc.Decompress()
 		if err != nil {
 			return nil, err
 		}
-		sPSNR, _ := stats.PSNR(f.Data, sr.Data)
-		sMax, _ := stats.MaxAbsError(f.Data, sr.Data)
+		sPSNR, _ := stats.PSNR(f.Data, sr)
+		sMax, _ := stats.MaxAbsError(f.Data, sr)
 		if sPSNR >= zPSNR {
 			szWins++
 		}
@@ -63,26 +74,66 @@ func AblationCompressor(ctx *Context) (*Result, error) {
 	return res, nil
 }
 
-// szAtBitRate bisects the ABS error bound until SZ's achieved bit rate is
-// within 3 % of the target (bit rate is monotone decreasing in eb). The
-// geometric bisection spans the whole plausible eb range, anchored on the
-// field's magnitude.
-func szAtBitRate(f *grid.Field3D, target float64) (float64, *sz.Compressed, error) {
+// CrossCodecAdaptive runs the full adaptive-vs-static pipeline once per
+// registered codec: calibrate the rate model through the backend, plan
+// per-partition error bounds, and compress both ways. This is the
+// registry's point — the paper's configurator is compressor-agnostic, so
+// the adaptive gain should survive a backend swap (for ZFP the per-
+// partition bounds drive its error-bound rate search).
+func CrossCodecAdaptive(ctx *Context) (*Result, error) {
+	f, err := ctx.Field(nyx.FieldBaryonDensity)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "codec-adaptive",
+		Title: "Cross-codec adaptive vs static (baryon density)",
+		Cols:  []string{"codec", "rate_exponent", "adaptive", "static", "improvement"},
+	}
+	for _, id := range codec.IDs() {
+		eng, err := core.NewEngine(core.Config{
+			PartitionDim: ctx.Cfg.PartitionDim,
+			Workers:      ctx.Cfg.Workers,
+			Codec:        id,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cal, err := eng.Calibrate(f)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s calibration: %w", id, err)
+		}
+		adaptive, static, _, err := adaptiveVsStatic(eng, f, cal, 0.1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s adaptive run: %w", id, err)
+		}
+		res.AddRow(string(id), fnum(cal.Model.Exponent), fnum(adaptive), fnum(static),
+			fmt.Sprintf("%+.1f%%", (adaptive/static-1)*100))
+	}
+	res.Notef("every backend runs through the same Engine/Plan path via the codec registry; SZ honors the planned bounds exactly, ZFP approximates them with its fixed-rate search")
+	return res, nil
+}
+
+// codecAtBitRate bisects the ABS error bound until the codec's achieved
+// bit rate is within 3 % of the target (bit rate is monotone decreasing in
+// eb). The geometric bisection spans the whole plausible eb range,
+// anchored on the field's magnitude.
+func codecAtBitRate(c codec.Codec, f *grid.Field3D, target float64) (float64, codec.Frame, error) {
 	absMax := f.AbsMax()
 	if absMax <= 0 {
 		return 0, nil, fmt.Errorf("experiments: constant field")
 	}
 	lo, hi := absMax*1e-12, absMax*10
-	var best *sz.Compressed
+	var best codec.Frame
 	var bestEB float64
 	for i := 0; i < 40; i++ {
 		mid := math.Sqrt(lo * hi)
-		c, err := sz.Compress(f, sz.Options{Mode: sz.ABS, ErrorBound: mid})
+		fr, err := c.Compress(f.Data, f.Nx, f.Ny, f.Nz, codec.Options{ErrorBound: mid}, nil)
 		if err != nil {
 			return 0, nil, err
 		}
-		best, bestEB = c, mid
-		br := c.BitRate()
+		best, bestEB = fr, mid
+		br := fr.BitRate()
 		if math.Abs(br-target) <= 0.03*target {
 			break
 		}

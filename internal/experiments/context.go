@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/halo"
@@ -34,6 +35,10 @@ type Config struct {
 	Redshift float64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Codec selects the compression backend for every engine the context
+	// builds (default codec.SZ), so any rate-quality experiment can run
+	// cross-codec by flipping one knob.
+	Codec codec.ID
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +75,7 @@ func NewContext(cfg Config) (*Context, error) {
 	eng, err := core.NewEngine(core.Config{
 		PartitionDim: cfg.PartitionDim,
 		Workers:      cfg.Workers,
+		Codec:        cfg.Codec,
 	})
 	if err != nil {
 		return nil, err
@@ -138,7 +144,9 @@ func (ctx *Context) EngineFor(partitionDim int) (*core.Engine, error) {
 	if e, ok := ctx.engDim[partitionDim]; ok {
 		return e, nil
 	}
-	e, err := core.NewEngine(core.Config{PartitionDim: partitionDim, Workers: ctx.Cfg.Workers})
+	e, err := core.NewEngine(core.Config{
+		PartitionDim: partitionDim, Workers: ctx.Cfg.Workers, Codec: ctx.Cfg.Codec,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,7 @@ var All = []Experiment{
 	{"ablation-strategy", "Ablation: allocation strategy", AblationStrategy},
 	{"ablation-cm", "Ablation: C_m predictor source", AblationCmSource},
 	{"ablation-compressor", "Ablation: SZ vs ZFP", AblationCompressor},
+	{"codec-adaptive", "Cross-codec adaptive vs static", CrossCodecAdaptive},
 }
 
 // ByID returns the experiment with the given ID.

@@ -43,6 +43,48 @@ func (c *Compressed) Ratio() float64 {
 	return float64(4*c.N()) / float64(c.CompressedSize())
 }
 
+// Scratch holds the O(n) working state of one compression call — the
+// prediction, quantization, and RLE buffers that are dead once the entropy
+// stage has run. The hot in situ path compresses thousands of equally sized
+// partitions, so reusing one Scratch per worker removes almost all transient
+// allocation from the pipeline. A Scratch must not be used concurrently;
+// the zero value is ready to use.
+type Scratch struct {
+	symbols []int
+	recon   []float32
+	logged  []float32
+	lattice []int64
+	tokens  []int
+}
+
+func (s *Scratch) symbolBuf(n int) []int {
+	if cap(s.symbols) < n {
+		s.symbols = make([]int, n)
+	}
+	return s.symbols[:n]
+}
+
+func (s *Scratch) reconBuf(n int) []float32 {
+	if cap(s.recon) < n {
+		s.recon = make([]float32, n)
+	}
+	return s.recon[:n]
+}
+
+func (s *Scratch) loggedBuf(n int) []float32 {
+	if cap(s.logged) < n {
+		s.logged = make([]float32, n)
+	}
+	return s.logged[:n]
+}
+
+func (s *Scratch) latticeBuf(n int) []int64 {
+	if cap(s.lattice) < n {
+		s.lattice = make([]int64, n)
+	}
+	return s.lattice[:n]
+}
+
 // Compress compresses a field under the given options.
 func Compress(f *grid.Field3D, opt Options) (*Compressed, error) {
 	return CompressSlice(f.Data, f.Nx, f.Ny, f.Nz, opt)
@@ -50,18 +92,28 @@ func Compress(f *grid.Field3D, opt Options) (*Compressed, error) {
 
 // CompressSlice compresses a flat x-fastest brick of dimensions nx×ny×nz.
 func CompressSlice(data []float32, nx, ny, nz int, opt Options) (*Compressed, error) {
+	return CompressSliceWith(data, nx, ny, nz, opt, nil)
+}
+
+// CompressSliceWith is CompressSlice with caller-owned scratch buffers; a
+// nil scratch allocates fresh working state. The input and the scratch are
+// only retained during the call.
+func CompressSliceWith(data []float32, nx, ny, nz int, opt Options, s *Scratch) (*Compressed, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if len(data) != nx*ny*nz || len(data) == 0 {
 		return nil, fmt.Errorf("sz: data length %d != %d×%d×%d", len(data), nx, ny, nz)
 	}
+	if s == nil {
+		s = &Scratch{}
+	}
 
 	work := data
 	var logShift float64
 	if opt.Mode == PWREL {
 		var err error
-		work, logShift, err = logTransform(data)
+		work, logShift, err = logTransform(data, s)
 		if err != nil {
 			return nil, err
 		}
@@ -71,15 +123,15 @@ func CompressSlice(data []float32, nx, ny, nz int, opt Options) (*Compressed, er
 	var outliers []byte
 	eb := effectiveABSBound(opt)
 	if opt.QuantizeBeforePredict {
-		symbols, outliers = quantizeThenPredict(work, nx, ny, nz, eb, opt)
+		symbols, outliers = quantizeThenPredict(work, nx, ny, nz, eb, opt, s)
 	} else {
-		symbols, outliers = predictThenQuantize(work, nx, ny, nz, eb, opt)
+		symbols, outliers = predictThenQuantize(work, nx, ny, nz, eb, opt, s)
 	}
 
 	radius := opt.radius()
 	runBase := 2 * radius
-	tokens := rleEncode(symbols, radius, runBase)
-	stream, err := huffman.Compress(tokens)
+	s.tokens = rleEncodeInto(s.tokens, symbols, radius, runBase)
+	stream, err := huffman.Compress(s.tokens)
 	if err != nil {
 		return nil, fmt.Errorf("sz: entropy coding: %w", err)
 	}
@@ -108,8 +160,8 @@ var errPositiveOnly = errors.New("sz: PW_REL mode requires strictly positive dat
 
 // logTransform maps strictly positive data to ln(x). The shift is reserved
 // for future signed support and is currently always 0.
-func logTransform(data []float32) ([]float32, float64, error) {
-	out := make([]float32, len(data))
+func logTransform(data []float32, s *Scratch) ([]float32, float64, error) {
+	out := s.loggedBuf(len(data))
 	for i, v := range data {
 		if v <= 0 {
 			return nil, 0, errPositiveOnly
@@ -123,11 +175,11 @@ func logTransform(data []float32) ([]float32, float64, error) {
 // reconstructed neighbours, quantize the residual in units of 2·eb, verify
 // the bound, and fall back to a verbatim outlier when quantization cannot
 // honour it. Symbol layout: 0 = outlier; [1, 2·radius) = code + radius.
-func predictThenQuantize(data []float32, nx, ny, nz int, eb float64, opt Options) ([]int, []byte) {
+func predictThenQuantize(data []float32, nx, ny, nz int, eb float64, opt Options, s *Scratch) ([]int, []byte) {
 	n := len(data)
 	radius := opt.radius()
-	recon := make([]float32, n)
-	symbols := make([]int, n)
+	recon := s.reconBuf(n)
+	symbols := s.symbolBuf(n)
 	outliers := make([]byte, 0, 64)
 	twoEB := 2 * eb
 
@@ -168,15 +220,15 @@ func predictThenQuantize(data []float32, nx, ny, nz int, eb float64, opt Options
 // bit-exactly. A point also becomes an outlier when fp32 rounding of the
 // lattice reconstruction would breach the bound, keeping the error-bound
 // guarantee strict.
-func quantizeThenPredict(data []float32, nx, ny, nz int, eb float64, opt Options) ([]int, []byte) {
+func quantizeThenPredict(data []float32, nx, ny, nz int, eb float64, opt Options, s *Scratch) ([]int, []byte) {
 	n := len(data)
 	radius := opt.radius()
 	twoEB := 2 * eb
-	lattice := make([]int64, n)
+	lattice := s.latticeBuf(n)
 	for i, v := range data {
 		lattice[i] = int64(math.Floor(float64(v)/twoEB + 0.5))
 	}
-	symbols := make([]int, n)
+	symbols := s.symbolBuf(n)
 	outliers := make([]byte, 0, 64)
 	idx := 0
 	for z := 0; z < nz; z++ {

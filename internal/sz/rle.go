@@ -23,7 +23,13 @@ const maxRunExp = 40 // 2^40 cells ≫ any field in this repo
 // rleEncode expands symbol runs of hitSym into run tokens with base
 // runBase. Symbols must be < runBase.
 func rleEncode(symbols []int, hitSym, runBase int) []int {
-	out := make([]int, 0, len(symbols)/2+16)
+	return rleEncodeInto(make([]int, 0, len(symbols)/2+16), symbols, hitSym, runBase)
+}
+
+// rleEncodeInto is rleEncode appending into a caller-owned buffer (reset to
+// length 0 first), so the hot per-partition path can reuse token storage.
+func rleEncodeInto(out, symbols []int, hitSym, runBase int) []int {
+	out = out[:0]
 	i := 0
 	for i < len(symbols) {
 		s := symbols[i]

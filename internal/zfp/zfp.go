@@ -256,13 +256,6 @@ func gatherBlock(f *grid.Field3D, x0, y0, z0 int, out *[blockSize]float64) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // encodeBlock writes one block: 1 bit all-zero flag, 12-bit biased
 // exponent, then the embedded coefficient planes up to the bit budget.
 func encodeBlock(w *huffman.BitWriter, vals *[blockSize]float64, ints *[blockSize]int64, budget int) {
