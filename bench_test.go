@@ -14,6 +14,7 @@ package repro
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/halo"
 	"repro/internal/nyx"
+	"repro/internal/pipeline"
 	"repro/internal/spectrum"
 	"repro/internal/sz"
 )
@@ -227,6 +229,66 @@ func BenchmarkAdaptivePipeline(b *testing.B) {
 				if _, err := eng.CompressAdaptive(f, plan); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineStream measures steady-state streaming throughput: a
+// pre-materialized evolving run is pushed through the pipeline driver with
+// the calibration already fitted (CalibrateOnce + warmup run), so the
+// numbers are the amortized per-step cost the in situ deployment pays —
+// bytes/op is uncompressed field bytes consumed per run, and steps/sec is
+// reported as a custom metric.
+func BenchmarkPipelineStream(b *testing.B) {
+	stream, err := nyx.NewStream(nyx.StreamParams{
+		Base:   nyx.Params{N: 64, Seed: 11, Redshift: 42},
+		Steps:  8,
+		Fields: []string{nyx.FieldBaryonDensity},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps []map[string]*grid.Field3D
+	for {
+		snap, err := stream.Next()
+		if err != nil {
+			break
+		}
+		steps = append(steps, snap)
+	}
+	var cells int64
+	for _, s := range steps {
+		for _, f := range s {
+			cells += int64(f.Len())
+		}
+	}
+	for _, id := range []codec.ID{codec.SZ, codec.ZFP} {
+		b.Run(string(id), func(b *testing.B) {
+			drv, err := pipeline.New(core.Config{PartitionDim: 16, Codec: id},
+				pipeline.Options{Policy: pipeline.CalibrateOnce})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := drv.Run(pipeline.FromSnapshots(steps)); err != nil {
+				b.Fatal(err) // warmup: fit the calibration once
+			}
+			b.ReportAllocs()
+			b.SetBytes(4 * cells)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				run, err := drv.Run(pipeline.FromSnapshots(steps))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if run.Recalibrations != 0 {
+					b.Fatalf("steady state recalibrated %d times", run.Recalibrations)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(steps))/elapsed, "steps/sec")
 			}
 		})
 	}

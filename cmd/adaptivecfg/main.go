@@ -12,6 +12,12 @@
 // quality target (±1 % for k < 10 at 2σ confidence, the paper's setting).
 // -codec selects the compression backend from the codec registry (sz by
 // default; zfp approximates each planned bound with its fixed-rate search).
+//
+// With -steps N (N > 1) the command switches to the streaming pipeline: it
+// evolves the loaded snapshot N timesteps (deterministic synthetic drift),
+// calibrates once, recalibrates per -policy/-drift, and reports per-step
+// ratios and the run's calibration amortization. -save then writes an
+// archive v3 multi-snapshot stream instead of a single-field archive.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/halo"
 	"repro/internal/nyx"
+	"repro/internal/pipeline"
 	"repro/internal/snapio"
 	"repro/internal/stats"
 )
@@ -44,6 +51,9 @@ func main() {
 		useHalo  = flag.Bool("halo", false, "apply the halo-finder mass budget (density fields)")
 		savePath = flag.String("save", "", "write the adaptive archive to this path")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		steps    = flag.Int("steps", 1, "stream this many evolving timesteps through the pipeline (1 = single-snapshot mode)")
+		drift    = flag.Float64("drift", 0.25, "relative feature drift that triggers recalibration (streaming mode)")
+		policy   = flag.String("policy", "drift", "recalibration policy: drift|once|every (streaming mode)")
 	)
 	flag.Parse()
 	if *snapPath == "" {
@@ -66,6 +76,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *steps > 1 {
+		runStream(eng, *fieldName, f, *steps, *drift, *policy, *avgEB, *savePath)
+		return
 	}
 
 	fmt.Printf("calibrating rate model on %s (%s) via %s...\n", *fieldName, f, eng.Config().Codec)
@@ -136,6 +151,90 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  archive written to %s\n", *savePath)
+	}
+}
+
+// runStream drives the streaming pipeline: the loaded field is evolved
+// into a deterministic synthetic run and compressed step by step with
+// calibration reuse.
+func runStream(eng *core.Engine, name string, f *grid.Field3D, steps int, drift float64, policyName string, avgEB float64, savePath string) {
+	var pol pipeline.Policy
+	switch policyName {
+	case "drift":
+		pol = pipeline.DriftTriggered
+		// The library treats 0 as "use the default", so a literal
+		// -drift 0 would silently become 0.25; catch it here instead.
+		if drift <= 0 {
+			log.Fatalf("-drift must be positive with -policy drift (use -policy every to recalibrate on every step)")
+		}
+	case "once":
+		pol = pipeline.CalibrateOnce
+	case "every":
+		pol = pipeline.CalibrateEveryStep
+	default:
+		log.Fatalf("unknown policy %q (want drift|once|every)", policyName)
+	}
+	opt := pipeline.Options{
+		Policy:         pol,
+		DriftThreshold: drift,
+		OnStep: func(st *pipeline.StepStats) {
+			fs := st.Fields[0]
+			marker := ""
+			if fs.Recalibrated {
+				marker = "  [recalibrated]"
+			}
+			fmt.Printf("  step %2d: ratio %6.2f  %6.3f bits/value  drift %5.1f%%%s\n",
+				st.Step, st.Ratio(), st.BitRate(), fs.Drift*100, marker)
+		},
+	}
+	if avgEB > 0 {
+		opt.AvgEBs = map[string]float64{name: avgEB}
+	}
+	var out *os.File
+	if savePath != "" {
+		var err error
+		out, err = os.Create(savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if opt.Writer, err = core.NewStreamWriter(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	src, err := nyx.NewStreamFrom(map[string]*grid.Field3D{name: f}, nyx.StreamParams{
+		Steps: steps, Fields: []string{name},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drv, err := pipeline.NewWithEngine(eng, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming %d steps of %s (%s) via %s, policy %s (drift threshold %.0f%%):\n",
+		steps, name, f, eng.Config().Codec, pol, drift*100)
+	run, err := drv.Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run summary:\n")
+	fmt.Printf("  ratio %.2f, %.3f bits/value over %d steps\n", run.Ratio(), run.BitRate(), len(run.Steps))
+	fmt.Printf("  %d (re)calibrations for %d field-steps (%.2f fits/step amortized)\n",
+		run.Recalibrations, len(run.Steps), float64(run.Recalibrations)/float64(len(run.Steps)))
+	fmt.Printf("  phase seconds: calibrate %.3f, plan %.3f, compress %.3f, write %.3f\n",
+		run.CalibrateSeconds, run.PlanSeconds, run.CompressSeconds, run.WriteSeconds)
+
+	if opt.Writer != nil {
+		if err := opt.Writer.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := out.Stat()
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stream archive (%d steps, %d bytes) written to %s\n",
+			steps, info.Size(), savePath)
 	}
 }
 

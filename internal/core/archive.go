@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
+	"sort"
 
 	"repro/internal/codec"
 )
@@ -76,7 +78,15 @@ func ParseCompressedFieldWith(data []byte, reg *codec.Registry) (*CompressedFiel
 		PartitionDim: int(binary.LittleEndian.Uint32(data[20:24])),
 	}
 	count := int(binary.LittleEndian.Uint32(data[24:28]))
-	if cf.Nx <= 0 || cf.Ny <= 0 || cf.Nz <= 0 || cf.PartitionDim <= 0 || count <= 0 {
+	// A partition costs at least its 4-byte length prefix, so a count beyond
+	// the remaining bytes/4 is corrupt; rejecting it here also keeps the
+	// Parts pre-allocation honest on malicious headers.
+	// maxArchiveDim bounds each axis so Nx·Ny·Nz cannot overflow int and a
+	// hostile header cannot make Decompress allocate an absurd field.
+	const maxArchiveDim = 1 << 20
+	if cf.Nx <= 0 || cf.Ny <= 0 || cf.Nz <= 0 || cf.PartitionDim <= 0 || count <= 0 ||
+		cf.Nx > maxArchiveDim || cf.Ny > maxArchiveDim || cf.Nz > maxArchiveDim ||
+		count > (len(data)-archiveHeader)/4 {
 		return nil, fmt.Errorf("core: invalid archive header (%d×%d×%d / dim %d / %d parts)",
 			cf.Nx, cf.Ny, cf.Nz, cf.PartitionDim, count)
 	}
@@ -103,4 +113,274 @@ func ParseCompressedFieldWith(data []byte, reg *codec.Registry) (*CompressedFiel
 	}
 	cf.Codec = cf.Parts[0].CodecID()
 	return cf, nil
+}
+
+// --- Archive v3: multi-snapshot stream container -------------------------
+//
+// Version 3 is the streaming form of the archive: a header, then one block
+// per simulation step appended as the step is compressed, then a footer
+// index written once at Close. Each step block holds the step's fields in
+// name order; each field payload is a complete v2 single-field archive, so
+// every partition stream inside is still a self-describing codec envelope.
+//
+//	header (16 bytes)
+//	  0   4   magic "ACS3"
+//	  4   4   version (3)
+//	  8   8   reserved (0)
+//	step block (appended per step)
+//	  uint32  field count
+//	  per field: uint16 name length, name bytes,
+//	             uint32 payload length, v2 archive payload
+//	footer (written at Close)
+//	  per step: uint64 offset, uint64 length   (the index)
+//	  uint32  step count
+//	  uint64  index offset
+//	  4       magic "ACSX"
+//
+// The footer is fixed-size from the end, so a reader locates the index with
+// one read and then seeks to any step in O(1) — no scan through earlier
+// steps, which is what makes post-hoc analysis of one late timestep cheap
+// even for long runs.
+const (
+	streamMagic        = "ACS3"
+	streamTrailerMagic = "ACSX"
+	streamVersion      = 3
+	streamHeaderBytes  = 16
+	streamTrailerBytes = 16 // step count + index offset + trailer magic
+)
+
+type streamIndexEntry struct {
+	Offset, Length uint64
+}
+
+// StreamWriter appends compressed steps to an archive v3 stream. It only
+// needs an io.Writer: offsets are tracked by counting, so the destination
+// can be a pipe or an append-only log as well as a file. Not safe for
+// concurrent use.
+type StreamWriter struct {
+	w      io.Writer
+	off    uint64
+	index  []streamIndexEntry
+	closed bool
+	// closeErr makes a failed footer write sticky: every later Close
+	// reports it instead of claiming success on a truncated stream.
+	closeErr error
+}
+
+// NewStreamWriter writes the stream header and returns a writer ready to
+// accept steps.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	var hdr [streamHeaderBytes]byte
+	copy(hdr[0:4], streamMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], streamVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: stream header: %w", err)
+	}
+	return &StreamWriter{w: w, off: streamHeaderBytes}, nil
+}
+
+// WriteStep appends one step's fields (in sorted name order, so the byte
+// stream is deterministic regardless of map iteration).
+func (sw *StreamWriter) WriteStep(fields map[string]*CompressedField) error {
+	if sw.closed {
+		return fmt.Errorf("core: stream writer is closed")
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("core: step has no fields")
+	}
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		if len(name) == 0 || len(name) > 1<<16-1 {
+			return fmt.Errorf("core: invalid field name %q", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf []byte
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], uint32(len(names)))
+	buf = append(buf, scratch[:]...)
+	for _, name := range names {
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(name)))
+		buf = append(buf, scratch[:2]...)
+		buf = append(buf, name...)
+		blob := fields[name].Bytes()
+		if uint64(len(blob)) > 1<<32-1 {
+			return fmt.Errorf("core: field %q payload %d bytes exceeds the stream's 4 GiB field limit", name, len(blob))
+		}
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(blob)))
+		buf = append(buf, scratch[:]...)
+		buf = append(buf, blob...)
+	}
+	if _, err := sw.w.Write(buf); err != nil {
+		return fmt.Errorf("core: stream step %d: %w", len(sw.index), err)
+	}
+	sw.index = append(sw.index, streamIndexEntry{Offset: sw.off, Length: uint64(len(buf))})
+	sw.off += uint64(len(buf))
+	return nil
+}
+
+// Steps returns the number of steps written so far.
+func (sw *StreamWriter) Steps() int { return len(sw.index) }
+
+// Close appends the footer index. The writer cannot be used afterwards;
+// closing an empty stream is valid and yields a zero-step archive. A
+// footer-write failure is sticky: repeated Close calls keep returning it,
+// so a deferred second Close cannot mask a truncated stream.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return sw.closeErr
+	}
+	sw.closed = true
+	buf := make([]byte, 0, 16*len(sw.index)+streamTrailerBytes)
+	var scratch [8]byte
+	indexOff := sw.off
+	for _, e := range sw.index {
+		binary.LittleEndian.PutUint64(scratch[:], e.Offset)
+		buf = append(buf, scratch[:]...)
+		binary.LittleEndian.PutUint64(scratch[:], e.Length)
+		buf = append(buf, scratch[:]...)
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(sw.index)))
+	buf = append(buf, scratch[:4]...)
+	binary.LittleEndian.PutUint64(scratch[:], indexOff)
+	buf = append(buf, scratch[:]...)
+	buf = append(buf, streamTrailerMagic...)
+	if _, err := sw.w.Write(buf); err != nil {
+		sw.closeErr = fmt.Errorf("core: stream footer: %w", err)
+	}
+	return sw.closeErr
+}
+
+// StreamReader reads an archive v3 stream with O(1) access to any step.
+type StreamReader struct {
+	r     io.ReaderAt
+	index []streamIndexEntry
+	reg   *codec.Registry
+}
+
+// OpenStream validates the header and footer of a v3 stream and loads its
+// step index. size is the total byte length of the stream.
+func OpenStream(r io.ReaderAt, size int64) (*StreamReader, error) {
+	return OpenStreamWith(r, size, codec.Default)
+}
+
+// OpenStreamWith is OpenStream against a specific codec registry.
+func OpenStreamWith(r io.ReaderAt, size int64, reg *codec.Registry) (*StreamReader, error) {
+	if size < streamHeaderBytes+streamTrailerBytes {
+		return nil, fmt.Errorf("core: stream shorter than header+footer")
+	}
+	var hdr [streamHeaderBytes]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("core: stream header: %w", err)
+	}
+	if string(hdr[0:4]) != streamMagic {
+		return nil, fmt.Errorf("core: bad stream magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != streamVersion {
+		return nil, fmt.Errorf("core: unsupported stream version %d", v)
+	}
+	var trailer [streamTrailerBytes]byte
+	if _, err := r.ReadAt(trailer[:], size-streamTrailerBytes); err != nil {
+		return nil, fmt.Errorf("core: stream trailer: %w", err)
+	}
+	if string(trailer[12:16]) != streamTrailerMagic {
+		return nil, fmt.Errorf("core: bad stream trailer magic %q", trailer[12:16])
+	}
+	count := int(binary.LittleEndian.Uint32(trailer[0:4]))
+	indexOff := binary.LittleEndian.Uint64(trailer[4:12])
+	indexLen := 16 * uint64(count)
+	if indexLen > uint64(size) || indexOff > uint64(size) ||
+		indexOff < streamHeaderBytes || indexOff+indexLen != uint64(size-streamTrailerBytes) {
+		return nil, fmt.Errorf("core: stream index at %d (%d steps) inconsistent with size %d",
+			indexOff, count, size)
+	}
+	raw := make([]byte, indexLen)
+	if count > 0 {
+		if _, err := r.ReadAt(raw, int64(indexOff)); err != nil {
+			return nil, fmt.Errorf("core: stream index: %w", err)
+		}
+	}
+	index := make([]streamIndexEntry, count)
+	end := uint64(streamHeaderBytes)
+	for i := range index {
+		index[i].Offset = binary.LittleEndian.Uint64(raw[16*i:])
+		index[i].Length = binary.LittleEndian.Uint64(raw[16*i+8:])
+		// Steps are appended back to back, so the index must tile
+		// [header, indexOff) exactly; anything else is corruption.
+		if index[i].Offset != end || index[i].Length == 0 {
+			return nil, fmt.Errorf("core: stream index entry %d ([%d,+%d)) does not follow previous step at %d",
+				i, index[i].Offset, index[i].Length, end)
+		}
+		end += index[i].Length
+	}
+	if end != indexOff {
+		return nil, fmt.Errorf("core: stream steps end at %d, index starts at %d", end, indexOff)
+	}
+	return &StreamReader{r: r, index: index, reg: reg}, nil
+}
+
+// Steps returns the number of steps in the stream.
+func (sr *StreamReader) Steps() int { return len(sr.index) }
+
+// ReadStep decodes step i's fields. Only the step's own byte range is read:
+// access cost is independent of the step's position in the stream.
+func (sr *StreamReader) ReadStep(i int) (map[string]*CompressedField, error) {
+	if i < 0 || i >= len(sr.index) {
+		return nil, fmt.Errorf("core: step %d out of range [0,%d)", i, len(sr.index))
+	}
+	e := sr.index[i]
+	buf := make([]byte, e.Length)
+	if _, err := sr.r.ReadAt(buf, int64(e.Offset)); err != nil {
+		return nil, fmt.Errorf("core: stream step %d: %w", i, err)
+	}
+	return parseStepBlock(buf, i, sr.reg)
+}
+
+func parseStepBlock(buf []byte, step int, reg *codec.Registry) (map[string]*CompressedField, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("core: step %d block shorter than field count", step)
+	}
+	count := int(binary.LittleEndian.Uint32(buf[0:4]))
+	// Each field needs at least a name length, one name byte, and a payload
+	// length, so a count beyond len(buf)/7 cannot be honest.
+	if count <= 0 || count > len(buf)/7+1 {
+		return nil, fmt.Errorf("core: step %d has field count %d", step, count)
+	}
+	pos := 4
+	fields := make(map[string]*CompressedField, count)
+	for j := 0; j < count; j++ {
+		if pos+2 > len(buf) {
+			return nil, fmt.Errorf("core: step %d truncated at field %d name length", step, j)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
+		pos += 2
+		if nameLen == 0 || pos+nameLen > len(buf) {
+			return nil, fmt.Errorf("core: step %d truncated inside field %d name", step, j)
+		}
+		name := string(buf[pos : pos+nameLen])
+		pos += nameLen
+		if pos+4 > len(buf) {
+			return nil, fmt.Errorf("core: step %d truncated at field %q payload length", step, name)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+		if n < 0 || pos+n > len(buf) {
+			return nil, fmt.Errorf("core: step %d field %q payload truncated", step, name)
+		}
+		cf, err := ParseCompressedFieldWith(buf[pos:pos+n], reg)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d field %q: %w", step, name, err)
+		}
+		if _, dup := fields[name]; dup {
+			return nil, fmt.Errorf("core: step %d has duplicate field %q", step, name)
+		}
+		fields[name] = cf
+		pos += n
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("core: step %d has %d trailing bytes", step, len(buf)-pos)
+	}
+	return fields, nil
 }

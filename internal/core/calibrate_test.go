@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nyx"
+)
+
+// Edge cases of the calibration inversion (SuggestStaticEB) and the halo
+// mass-fault wrapper (MassFaultEstimate): previously untested error paths.
+
+func TestSuggestStaticEBEdgeCases(t *testing.T) {
+	var nilCal *Calibration
+	if _, err := nilCal.SuggestStaticEB([]float64{1}, 1); err == nil {
+		t.Error("nil calibration accepted")
+	}
+	if _, err := (&Calibration{}).SuggestStaticEB([]float64{1}, 1); err == nil {
+		t.Error("calibration without model accepted")
+	}
+
+	e := engine(t, Config{PartitionDim: 16})
+	cal, err := e.Calibrate(field(t, nyx.FieldBaryonDensity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.SuggestStaticEB([]float64{1}, 0); err == nil {
+		t.Error("zero target bit rate accepted")
+	}
+	if _, err := cal.SuggestStaticEB(nil, 2); err == nil {
+		t.Error("empty feature list accepted")
+	}
+
+	// A single partition is enough to invert on.
+	eb, err := cal.SuggestStaticEB([]float64{1.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb <= 0 || math.IsNaN(eb) {
+		t.Errorf("single-partition inversion gave %v", eb)
+	}
+
+	// A zero anchor feature (empty partitions) degrades to the model's
+	// MinC floor rather than failing: the bisection still converges.
+	eb, err = cal.SuggestStaticEB([]float64{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		t.Errorf("zero-anchor inversion gave %v", eb)
+	}
+}
+
+func TestMassFaultEstimateEdgeCases(t *testing.T) {
+	if _, err := MassFaultEstimate(88.16, 1, []int{1, 2}, []float64{0.1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := MassFaultEstimate(88.16, 0, []int{1}, []float64{0.1}); err == nil {
+		t.Error("zero reference eb accepted")
+	}
+
+	// Empty partition lists are a valid degenerate case: no boundary
+	// cells anywhere, so no distortion.
+	est, err := MassFaultEstimate(88.16, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("empty estimate %v, want 0", est)
+	}
+
+	// Zero boundary cells → zero fault regardless of bounds.
+	est, err = MassFaultEstimate(88.16, 1, []int{0, 0}, []float64{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("zero-cell estimate %v, want 0", est)
+	}
+
+	// Single partition: the estimate is linear in its error bound.
+	e1, err := MassFaultEstimate(88.16, 1, []int{100}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := MassFaultEstimate(88.16, 1, []int{100}, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 <= 0 || math.Abs(e2-2*e1) > 1e-12*e2 {
+		t.Errorf("linearity violated: fault(0.5)=%v, fault(1.0)=%v", e1, e2)
+	}
+}
+
+func TestCalibrateSinglePartition(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := grid.NewCube(16) // exactly one partition
+	for i := range f.Data {
+		f.Data[i] = float32(i % 97)
+	}
+	if _, err := e.Calibrate(f); err == nil {
+		t.Error("single-partition calibration accepted (cannot fit C_m vs feature)")
+	}
+}
+
+func TestCalibrateRejectsBadEBGrid(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldBaryonDensity)
+	if _, err := e.Calibrate(f, CalibrationOptions{EBs: []float64{0.1, 0}}); err == nil {
+		t.Error("non-positive calibration eb accepted")
+	}
+	if _, err := e.Calibrate(f, CalibrationOptions{EBs: []float64{-0.5}}); err == nil {
+		t.Error("negative calibration eb accepted")
+	}
+}
+
+func TestPlanFromFeaturesValidation(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16})
+	f := field(t, nyx.FieldBaryonDensity)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, err := e.Features(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PlanFromFeatures(features, nil, PlanOptions{AvgEB: 0.1}); err == nil {
+		t.Error("nil calibration accepted")
+	}
+	if _, err := e.PlanFromFeatures(features, cal, PlanOptions{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	plan, err := e.PlanFromFeatures(features, cal, PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.EBs {
+		if plan.EBs[i] != direct.EBs[i] {
+			t.Fatalf("PlanFromFeatures diverges from Plan at partition %d", i)
+		}
+	}
+	// Features on a non-divisible field propagates the layout error.
+	if _, err := e.Features(grid.NewCube(30)); err == nil {
+		t.Error("non-divisible field accepted by Features")
+	}
+}

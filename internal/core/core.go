@@ -168,23 +168,41 @@ type PlanOptions struct {
 
 // Plan computes the adaptive per-partition error bounds for a field.
 func (e *Engine) Plan(f *grid.Field3D, cal *Calibration, opt PlanOptions) (*Plan, error) {
+	features, err := e.Features(f)
+	if err != nil {
+		return nil, err
+	}
+	return e.PlanFromFeatures(features, cal, opt)
+}
+
+// Features computes the per-partition rate-model predictor for a field
+// (mean |value| per partition, in partition-ID order). Streaming callers
+// extract features once per step to monitor drift and then hand them to
+// PlanFromFeatures, so the field is scanned a single time.
+func (e *Engine) Features(f *grid.Field3D) ([]float64, error) {
+	p, err := e.partitioner(f)
+	if err != nil {
+		return nil, err
+	}
+	return e.extractFeatures(f, p), nil
+}
+
+// PlanFromFeatures is Plan with the per-partition features already in hand
+// (they must come from Features on a field of the same layout).
+func (e *Engine) PlanFromFeatures(features []float64, cal *Calibration, opt PlanOptions) (*Plan, error) {
 	if cal == nil || cal.Model == nil {
 		return nil, errors.New("core: nil calibration")
 	}
 	if opt.AvgEB <= 0 {
 		return nil, errors.New("core: PlanOptions.AvgEB must be positive")
 	}
-	p, err := e.partitioner(f)
-	if err != nil {
-		return nil, err
-	}
-	features := e.extractFeatures(f, p)
 	cfg := optimizer.Config{
 		AvgEB:       opt.AvgEB,
 		ClampFactor: e.cfg.ClampFactor,
 		Strategy:    e.cfg.Strategy,
 	}
 	var res *optimizer.Result
+	var err error
 	if opt.Halo != nil {
 		res, err = optimizer.AllocateWithHalo(cal.Model, features, cfg, *opt.Halo)
 	} else {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fuzz harnesses for the archive readers, v2 (single field) and v3
+// (multi-snapshot stream): malformed archives must error, never panic and
+// never allocate absurdly. Seeds come from the golden fixtures plus
+// targeted corruptions; the checked-in corpus lives under testdata/fuzz
+// and regenerates with
+//
+//	go test ./internal/core -run TestWriteArchiveFuzzCorpus -update-golden
+
+// archiveFuzzSeeds returns the golden v2 fixtures plus corruptions.
+func archiveFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := [][]byte{
+		nil,
+		[]byte("ACFD"),
+		bytes.Repeat([]byte{0xFF}, archiveHeader),
+	}
+	for _, name := range []string{"golden_sz.acfd", "golden_zfp.acfd"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			tb.Skipf("golden fixture missing: %v", err)
+		}
+		seeds = append(seeds, data, data[:len(data)*2/3])
+		flip := append([]byte(nil), data...)
+		flip[archiveHeader+2] ^= 0x80
+		seeds = append(seeds, flip)
+		// A huge partition count with a tiny body.
+		big := append([]byte(nil), data[:archiveHeader]...)
+		big[24], big[25], big[26], big[27] = 0xFF, 0xFF, 0xFF, 0x7F
+		seeds = append(seeds, big)
+	}
+	return seeds
+}
+
+// streamFuzzSeeds returns the golden v3 fixture plus corruptions.
+func streamFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := [][]byte{
+		nil,
+		[]byte("ACS3"),
+		bytes.Repeat([]byte{0x41}, streamHeaderBytes+streamTrailerBytes),
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_stream.acs"))
+	if err != nil {
+		tb.Skipf("golden fixture missing: %v", err)
+	}
+	seeds = append(seeds, data, data[:len(data)-3], data[:len(data)/2])
+	for _, off := range []int{4, streamHeaderBytes + 1, len(data) - streamTrailerBytes + 2, len(data) - 2} {
+		flip := append([]byte(nil), data...)
+		flip[off] ^= 0xFF
+		seeds = append(seeds, flip)
+	}
+	return seeds
+}
+
+func FuzzParseCompressedField(f *testing.F) {
+	for _, s := range archiveFuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := ParseCompressedField(data)
+		if err != nil {
+			return
+		}
+		// A parsed archive must survive a re-encode/re-parse cycle.
+		// (Byte-exact stability is asserted on writer-produced archives by
+		// the golden tests; arbitrary accepted inputs may normalize, e.g.
+		// reserved flag bits.)
+		if _, err := ParseCompressedField(cf.Bytes()); err != nil {
+			t.Fatalf("re-encoded archive no longer parses: %v", err)
+		}
+		// Decompression of plausible-size fields must not panic; errors
+		// are expected when frame dims disagree with the partitioning.
+		if cf.N() <= 1<<18 {
+			_, _ = cf.Decompress()
+		}
+	})
+}
+
+func FuzzOpenStream(f *testing.F) {
+	for _, s := range streamFuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := OpenStream(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// The index passed validation: every step must be reachable and
+		// either decode or error cleanly.
+		for i := 0; i < sr.Steps(); i++ {
+			if fields, err := sr.ReadStep(i); err == nil {
+				for _, cf := range fields {
+					if cf.N() <= 1<<18 {
+						_, _ = cf.Decompress()
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestWriteArchiveFuzzCorpus materializes the seed corpora as checked-in
+// files in Go's corpus format (reuses the golden -update-golden flag: the
+// corpus derives from the fixtures, so they regenerate together).
+func TestWriteArchiveFuzzCorpus(t *testing.T) {
+	if !*updateGolden {
+		t.Skip("run with -update-golden to rewrite the corpus")
+	}
+	write := func(fuzzName string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%03d", i)), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzParseCompressedField", archiveFuzzSeeds(t))
+	write("FuzzOpenStream", streamFuzzSeeds(t))
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/nyx"
+)
+
+// streamField compresses one small deterministic field for stream tests.
+func streamField(t *testing.T, e *Engine, scale float32) *CompressedField {
+	t.Helper()
+	f := grid.NewCube(16)
+	for i := range f.Data {
+		x, y, z := f.Coords(i)
+		f.Data[i] = scale * float32(x+2*y+3*z)
+	}
+	cf, err := e.CompressStatic(f, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	f := field(t, nyx.FieldBaryonDensity)
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 5
+	want := make([]*CompressedField, steps)
+	for i := 0; i < steps; i++ {
+		cf, err := e.CompressAdaptive(f, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = cf
+		other := streamField(t, e, float32(i+1))
+		if err := sw.WriteStep(map[string]*CompressedField{
+			"baryon_density": cf,
+			"synthetic":      other,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Steps() != steps {
+		t.Fatalf("writer reports %d steps, want %d", sw.Steps(), steps)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := sw.WriteStep(map[string]*CompressedField{"x": want[0]}); err == nil {
+		t.Error("write after close accepted")
+	}
+
+	sr, err := OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Steps() != steps {
+		t.Fatalf("reader reports %d steps, want %d", sr.Steps(), steps)
+	}
+	// Read steps out of order: each must decode independently.
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		fields, err := sr.ReadStep(i)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if len(fields) != 2 {
+			t.Fatalf("step %d has %d fields, want 2", i, len(fields))
+		}
+		got := fields["baryon_density"]
+		if got == nil {
+			t.Fatalf("step %d missing baryon_density", i)
+		}
+		if got.CompressedSize() != want[i].CompressedSize() || got.Codec != want[i].Codec {
+			t.Errorf("step %d: size %d codec %s, want %d %s",
+				i, got.CompressedSize(), got.Codec, want[i].CompressedSize(), want[i].Codec)
+		}
+		wantField, err := want[i].Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotField, err := got.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(float32Bits(wantField.Data), float32Bits(gotField.Data)) {
+			t.Errorf("step %d decoded field differs from source", i)
+		}
+	}
+	if _, err := sr.ReadStep(steps); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+	if _, err := sr.ReadStep(-1); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func float32Bits(xs []float32) []byte {
+	out := make([]byte, 0, 4*len(xs))
+	var b [4]byte
+	for _, x := range xs {
+		u := math.Float32bits(x)
+		b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteStep(nil); err == nil {
+		t.Error("empty step accepted")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Steps() != 0 {
+		t.Errorf("empty stream has %d steps", sr.Steps())
+	}
+}
+
+// failAfterWriter accepts n bytes then errors, to exercise write failures.
+type failAfterWriter struct {
+	n int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestStreamCloseErrorIsSticky: a failed footer write must keep failing on
+// repeated Close calls — a deferred second Close may not report success on
+// a truncated stream.
+func TestStreamCloseErrorIsSticky(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	w := &failAfterWriter{n: 1 << 20}
+	sw, err := NewStreamWriter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteStep(map[string]*CompressedField{"f": streamField(t, e, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	w.n = 0 // every write from here on fails
+	if err := sw.Close(); err == nil {
+		t.Fatal("footer write failure not reported")
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("second Close masked the footer failure")
+	}
+}
+
+// recordingReaderAt records every ReadAt range, so tests can assert which
+// byte ranges a read touched.
+type recordingReaderAt struct {
+	r     io.ReaderAt
+	reads [][2]int64 // offset, length
+}
+
+func (r *recordingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	r.reads = append(r.reads, [2]int64{off, int64(len(p))})
+	return r.r.ReadAt(p, off)
+}
+
+// TestStreamSeekIsO1 asserts the random-access contract: reading step k
+// touches only step k's byte range — no scan through earlier steps, so
+// access cost is independent of position in the stream.
+func TestStreamSeekIsO1(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 9
+	for i := 0; i < steps; i++ {
+		if err := sw.WriteStep(map[string]*CompressedField{
+			"f": streamField(t, e, float32(i+1)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &recordingReaderAt{r: bytes.NewReader(buf.Bytes())}
+	sr, err := OpenStream(rec, int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	openReads := len(rec.reads)
+
+	last := steps - 1
+	if _, err := sr.ReadStep(last); err != nil {
+		t.Fatal(err)
+	}
+	reads := rec.reads[openReads:]
+	if len(reads) != 1 {
+		t.Fatalf("reading one step issued %d reads, want 1", len(reads))
+	}
+	lo, n := reads[0][0], reads[0][1]
+	// The step's range must lie strictly inside the data area and after
+	// all earlier steps: the 8 preceding steps were never touched.
+	e8 := sr.index[last]
+	if uint64(lo) != e8.Offset || uint64(n) != e8.Length {
+		t.Errorf("read [%d,+%d), want step %d range [%d,+%d)", lo, n, last, e8.Offset, e8.Length)
+	}
+	for i := 0; i < last; i++ {
+		prev := sr.index[i]
+		if uint64(lo) < prev.Offset+prev.Length {
+			t.Fatalf("reading step %d touched bytes of step %d", last, i)
+		}
+	}
+}
+
+func TestOpenStreamRejectsCorruption(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteStep(map[string]*CompressedField{"f": streamField(t, e, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = mutate(b)
+		if _, err := OpenStream(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("bad version", func(b []byte) []byte { b[4] = 9; return b })
+	corrupt("bad trailer", func(b []byte) []byte { b[len(b)-1] = 'Y'; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("short", func(b []byte) []byte { return b[:10] })
+	corrupt("index offset", func(b []byte) []byte {
+		// The index offset lives in trailer bytes [4,12) from its start.
+		off := len(b) - streamTrailerBytes + 4
+		b[off] = 0xFF
+		return b
+	})
+
+	// Flipping a byte inside the step payload must fail at ReadStep (the
+	// codec-native CRC), not at open: the index itself is still valid.
+	b := append([]byte(nil), good...)
+	b[streamHeaderBytes+40] ^= 0xFF
+	sr, err := OpenStream(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("payload corruption rejected at open: %v", err)
+	}
+	if _, err := sr.ReadStep(0); err == nil {
+		t.Error("corrupted step payload decoded without error")
+	}
+}

@@ -312,6 +312,38 @@ func TestRemainingExperimentsRun(t *testing.T) {
 	}
 }
 
+// TestTimeseriesDriftAmortizesCalibration asserts the streaming pipeline's
+// headline property per codec: drift-triggered recalibrates strictly fewer
+// times than calibrate-every-step while staying within 5 % of its bit rate.
+func TestTimeseriesDriftAmortizesCalibration(t *testing.T) {
+	res := runExperiment(t, "timeseries")
+	type cell struct{ recals, bitrate float64 }
+	runs := map[string]cell{} // "codec/policy"
+	for _, row := range res.Rows {
+		runs[row[0]+"/"+row[1]] = cell{parse(t, row[2]), parse(t, row[3])}
+	}
+	for _, id := range []string{"sz", "zfp"} {
+		every, okE := runs[id+"/calibrate-every-step"]
+		drift, okD := runs[id+"/drift-triggered"]
+		once, okO := runs[id+"/calibrate-once"]
+		if !okE || !okD || !okO {
+			t.Fatalf("%s: missing policy rows in %v", id, runs)
+		}
+		if drift.recals >= every.recals {
+			t.Errorf("%s: drift-triggered recalibrated %v times, not fewer than every-step's %v",
+				id, drift.recals, every.recals)
+		}
+		if drift.recals <= once.recals {
+			t.Errorf("%s: drift-triggered recalibrated %v times; drift never triggered", id, drift.recals)
+		}
+		rel := drift.bitrate/every.bitrate - 1
+		if rel < -0.05 || rel > 0.05 {
+			t.Errorf("%s: drift-triggered bit rate %v vs every-step %v (%.1f%% apart), want within 5%%",
+				id, drift.bitrate, every.bitrate, rel*100)
+		}
+	}
+}
+
 func TestResultRendering(t *testing.T) {
 	r := &Result{ID: "x", Title: "T", Cols: []string{"a", "bb"}}
 	r.AddRow("1", "2")

@@ -38,6 +38,7 @@ var All = []Experiment{
 	{"ablation-cm", "Ablation: C_m predictor source", AblationCmSource},
 	{"ablation-compressor", "Ablation: SZ vs ZFP", AblationCompressor},
 	{"codec-adaptive", "Cross-codec adaptive vs static", CrossCodecAdaptive},
+	{"timeseries", "Streaming pipeline: recalibration policies over time", TimeseriesPipeline},
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,0 +1,180 @@
+package nyx
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// Evolving snapshot stream: the in situ workload. A base snapshot is
+// generated (or supplied) once, and each subsequent step perturbs the base
+// deterministically so that the per-partition rate features — and in
+// particular their global mean, the quantity the pipeline's drift monitor
+// watches — genuinely move over the run:
+//
+//   - strictly positive fields (densities, temperature) steepen as
+//     ρ_t = ρ^(1+DriftPerStep·t): the lognormal tail grows the way
+//     gravitational clustering sharpens contrast between halos and voids,
+//     which raises the mean |value| step over step;
+//   - signed fields (velocities) scale as v_t = (1+DriftPerStep·t)·v,
+//     the linear-theory growth of peculiar velocities.
+//
+// A small multiplicative jitter (seeded per step and field) keeps
+// consecutive steps from being rescalings of each other, so recalibration
+// actually re-fits on new data.
+
+// StreamParams configures an evolving stream.
+type StreamParams struct {
+	// Base configures the step-0 snapshot when the stream generates its
+	// own (ignored by NewStreamFrom).
+	Base Params
+	// Steps is the total number of steps the stream yields, including the
+	// base step (must be ≥ 1).
+	Steps int
+	// DriftPerStep sets the perturbation strength per step (default 0.05;
+	// at the default the global mean feature of a lognormal density field
+	// moves by roughly 10 % per step).
+	DriftPerStep float64
+	// Jitter is the per-step lognormal scatter σ decorrelating successive
+	// steps (default 0.02; 0 < 0 disables — use a negative value).
+	Jitter float64
+	// Fields restricts the stream to a subset of the base fields
+	// (default: every base field).
+	Fields []string
+	// Seed decorrelates the jitter stream (default: Base.Seed).
+	Seed uint64
+}
+
+func (p StreamParams) withDefaults() StreamParams {
+	if p.DriftPerStep == 0 {
+		p.DriftPerStep = 0.05
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.02
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Seed == 0 {
+		p.Seed = p.Base.Seed
+	}
+	return p
+}
+
+// Stream yields the steps of one evolving synthetic run. Next returns
+// io.EOF after the configured number of steps, so a Stream plugs directly
+// into the pipeline driver's Source contract.
+type Stream struct {
+	p     StreamParams
+	base  map[string]*grid.Field3D
+	names []string
+	// ranges caches each base field's (lo, hi) — the base is immutable,
+	// so the per-step perturbation need not rescan it.
+	ranges map[string][2]float32
+	step   int
+}
+
+// NewStream generates the base snapshot from p.Base and returns the stream.
+func NewStream(p StreamParams) (*Stream, error) {
+	s, err := Generate(p.Base)
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamFrom(s.Fields, p)
+}
+
+// NewStreamFrom builds a stream over caller-supplied base fields (e.g. a
+// snapshot loaded from disk). The base fields are never mutated.
+func NewStreamFrom(base map[string]*grid.Field3D, p StreamParams) (*Stream, error) {
+	p = p.withDefaults()
+	if p.Steps < 1 {
+		return nil, fmt.Errorf("nyx: stream needs ≥ 1 step, got %d", p.Steps)
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("nyx: stream needs at least one base field")
+	}
+	names := p.Fields
+	if len(names) == 0 {
+		for _, n := range FieldNames {
+			if _, ok := base[n]; ok {
+				names = append(names, n)
+			}
+		}
+		// Non-canonical field names (external snapshots) still stream.
+		if len(names) == 0 {
+			for n := range base {
+				names = append(names, n)
+			}
+		}
+	}
+	fields := make(map[string]*grid.Field3D, len(names))
+	ranges := make(map[string][2]float32, len(names))
+	for _, n := range names {
+		f, ok := base[n]
+		if !ok {
+			return nil, fmt.Errorf("nyx: stream field %q not in base snapshot", n)
+		}
+		fields[n] = f
+		lo, hi := f.MinMax()
+		ranges[n] = [2]float32{lo, hi}
+	}
+	return &Stream{p: p, base: fields, names: names, ranges: ranges}, nil
+}
+
+// Step returns the number of steps already yielded.
+func (s *Stream) Step() int { return s.step }
+
+// Next yields the next step's fields, or io.EOF when the run is over.
+func (s *Stream) Next() (map[string]*grid.Field3D, error) {
+	if s.step >= s.p.Steps {
+		return nil, io.EOF
+	}
+	t := s.step
+	s.step++
+	if t == 0 {
+		// The base step is shared, not copied: the driver treats snapshot
+		// fields as read-only, like a simulation's live buffers.
+		return s.base, nil
+	}
+	out := make(map[string]*grid.Field3D, len(s.base))
+	for fi, name := range s.names {
+		out[name] = s.perturb(name, s.base[name], t, fi)
+	}
+	return out, nil
+}
+
+// perturb builds step t's version of one base field.
+func (s *Stream) perturb(name string, f *grid.Field3D, t, fieldIndex int) *grid.Field3D {
+	growth := 1 + s.p.DriftPerStep*float64(t)
+	rng := stats.NewRNG(s.p.Seed ^ (uint64(t)*0x9e3779b97f4a7c15 + uint64(fieldIndex)*0xbf58476d1ce4e5b9))
+	lo, hi := s.ranges[name][0], s.ranges[name][1]
+	signed := lo < 0
+	g := grid.NewField3D(f.Nx, f.Ny, f.Nz)
+	for i, v := range f.Data {
+		jitter := 1.0
+		if s.p.Jitter > 0 {
+			jitter = math.Exp(rng.NormFloat64() * s.p.Jitter)
+		}
+		var w float64
+		if signed {
+			w = float64(v) * growth * jitter
+		} else {
+			// Positive fields steepen: ρ^growth grows the heavy tail.
+			// math.Pow(0, g) = 0, so empty cells stay empty.
+			w = math.Pow(float64(v), growth) * jitter
+		}
+		// The base field's dynamic range is the physical clamp (Table 2);
+		// evolution sharpens structure inside it, it does not escape it.
+		if w > float64(hi) && !signed {
+			w = float64(hi)
+		}
+		if signed {
+			w = clamp(w, -1e8, 1e8)
+		}
+		g.Data[i] = float32(w)
+	}
+	return g
+}

@@ -1,0 +1,122 @@
+package nyx
+
+import (
+	"io"
+	"math"
+	"testing"
+)
+
+func TestStreamDriftIsReal(t *testing.T) {
+	s, err := NewStream(StreamParams{
+		Base:   Params{N: 16, Seed: 3, Redshift: 42},
+		Steps:  4,
+		Fields: []string{FieldBaryonDensity, FieldVelocityX},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var densMeans, velMeans []float64
+	for {
+		snap, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap) != 2 {
+			t.Fatalf("step has %d fields, want 2", len(snap))
+		}
+		var dm, vm float64
+		for _, v := range snap[FieldBaryonDensity].Data {
+			dm += math.Abs(float64(v))
+		}
+		for _, v := range snap[FieldVelocityX].Data {
+			vm += math.Abs(float64(v))
+		}
+		densMeans = append(densMeans, dm)
+		velMeans = append(velMeans, vm)
+	}
+	if len(densMeans) != 4 || s.Step() != 4 {
+		t.Fatalf("stream yielded %d steps (Step()=%d), want 4", len(densMeans), s.Step())
+	}
+	// The global mean |value| must strictly increase: the drift the
+	// pipeline's monitor watches is real, for both field parities.
+	for i := 1; i < len(densMeans); i++ {
+		if densMeans[i] <= densMeans[i-1] {
+			t.Errorf("density mean did not drift at step %d: %v", i, densMeans)
+		}
+		if velMeans[i] <= velMeans[i-1] {
+			t.Errorf("velocity mean did not drift at step %d: %v", i, velMeans)
+		}
+	}
+	// Exhausted stream keeps returning EOF.
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("post-EOF Next returned %v", err)
+	}
+}
+
+func TestStreamDeterministicAndBasePreserved(t *testing.T) {
+	base := genTest(t, Params{N: 16, Seed: 9, Redshift: 42})
+	orig := base.Fields[FieldBaryonDensity].Clone()
+
+	run := func() [][]float32 {
+		s, err := NewStreamFrom(base.Fields, StreamParams{
+			Steps: 3, Fields: []string{FieldBaryonDensity}, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]float32
+		for {
+			snap, err := s.Next()
+			if err == io.EOF {
+				return out
+			}
+			out = append(out, snap[FieldBaryonDensity].Data)
+		}
+	}
+	a, b := run(), run()
+	for step := range a {
+		for i := range a[step] {
+			if a[step][i] != b[step][i] {
+				t.Fatalf("step %d not deterministic at cell %d", step, i)
+			}
+		}
+	}
+	// Step 1+ must differ from the base (perturbation happened)...
+	same := true
+	for i := range a[1] {
+		if a[1][i] != orig.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("step 1 is identical to the base field")
+	}
+	// ...while the base field itself is never mutated.
+	for i := range orig.Data {
+		if base.Fields[FieldBaryonDensity].Data[i] != orig.Data[i] {
+			t.Fatal("stream mutated the base field")
+		}
+	}
+}
+
+func TestStreamParamValidation(t *testing.T) {
+	base := genTest(t, Params{N: 16, Seed: 5, Redshift: 42})
+	if _, err := NewStreamFrom(base.Fields, StreamParams{Steps: 0}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := NewStreamFrom(nil, StreamParams{Steps: 2}); err == nil {
+		t.Error("empty base accepted")
+	}
+	if _, err := NewStreamFrom(base.Fields, StreamParams{
+		Steps: 2, Fields: []string{"no_such_field"},
+	}); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := NewStream(StreamParams{Base: Params{N: 1}, Steps: 2}); err == nil {
+		t.Error("invalid base params accepted")
+	}
+}

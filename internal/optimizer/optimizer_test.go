@@ -238,3 +238,100 @@ func TestQuickAllocationInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the clamp band and mean budget hold for arbitrary clamp
+// factors, rate exponents, and allocation strategies — not just the
+// defaults. Every violation reports the offending draw.
+func TestQuickAllocationRandomizedConfig(t *testing.T) {
+	f := func(seed uint64, expSeed, clampSeed, avgSeed uint8) bool {
+		r := stats.NewRNG(seed ^ 0xA5A5)
+		rm := &model.RateModel{
+			// c ∈ [−1.9, −0.1]: the plausible range of measured exponents.
+			Exponent: -0.1 - 1.8*float64(expSeed)/255,
+			Alpha:    r.Uniform(0.2, 3),
+			Beta:     r.Uniform(0.05, 1),
+			MinC:     0.01,
+		}
+		k := 1 + 7*float64(clampSeed)/255 // clamp factor ∈ [1, 8]
+		avg := math.Pow(10, 4*float64(avgSeed)/255-2)
+		nParts := 4 + int(seed%124)
+		features := spreadFeatures(nParts, seed)
+		for _, strat := range []Strategy{EqualDerivative, PaperEq16} {
+			res, err := Allocate(rm, features, Config{AvgEB: avg, ClampFactor: k, Strategy: strat})
+			if err != nil {
+				t.Logf("seed %d strat %v: %v", seed, strat, err)
+				return false
+			}
+			if math.Abs(stats.MeanOf(res.EBs)-avg) > 1e-5*avg {
+				t.Logf("seed %d strat %v: mean %v != %v", seed, strat, stats.MeanOf(res.EBs), avg)
+				return false
+			}
+			for _, eb := range res.EBs {
+				if eb < avg/k*(1-1e-9) || eb > avg*k*(1+1e-9) {
+					t.Logf("seed %d strat %v: eb %v outside [%v, %v]", seed, strat, eb, avg/k, avg*k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with the halo constraint attached, the post-allocation mass
+// fault estimate never exceeds the budget, the scale never exceeds 1, and
+// the clamp band's lower edge scales down with it (the halo downscale is
+// allowed to push bounds below the band: quality may only improve).
+func TestQuickHaloBudgetInvariants(t *testing.T) {
+	rm := testModel()
+	f := func(seed uint64, budgetSeed uint8) bool {
+		r := stats.NewRNG(seed ^ 0x5A5A)
+		nParts := 4 + int(seed%60)
+		features := spreadFeatures(nParts, seed)
+		cells := make([]int, nParts)
+		for i := range cells {
+			cells[i] = r.Intn(2000)
+		}
+		hc := HaloConstraint{
+			TBoundary:     88.16,
+			RefEB:         1,
+			BoundaryCells: cells,
+			MassBudget:    math.Pow(10, 6*float64(budgetSeed)/255-1), // 0.1 .. 1e5
+		}
+		avg := 0.5
+		res, err := AllocateWithHalo(rm, features, Config{AvgEB: avg}, hc)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.HaloScale <= 0 || res.HaloScale > 1 {
+			t.Logf("seed %d: halo scale %v out of (0, 1]", seed, res.HaloScale)
+			return false
+		}
+		if res.HaloScaled != (res.HaloScale < 1) {
+			t.Logf("seed %d: HaloScaled=%v but scale %v", seed, res.HaloScaled, res.HaloScale)
+			return false
+		}
+		est, err := model.MassFaultFromBoundaryCells(hc.TBoundary, hc.RefEB, cells, res.EBs)
+		if err != nil {
+			return false
+		}
+		if est > hc.MassBudget*(1+1e-9) {
+			t.Logf("seed %d: estimate %v > budget %v", seed, est, hc.MassBudget)
+			return false
+		}
+		lo, hi := avg/4*res.HaloScale, avg*4*res.HaloScale
+		for _, eb := range res.EBs {
+			if eb < lo*(1-1e-9) || eb > hi*(1+1e-9) {
+				t.Logf("seed %d: eb %v outside scaled band [%v, %v]", seed, eb, lo, hi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

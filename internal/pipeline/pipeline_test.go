@@ -1,0 +1,336 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/nyx"
+)
+
+// testSteps materializes an evolving run so tests can compare against the
+// originals after decoding the stream archive.
+func testSteps(t *testing.T, n, steps int, fields ...string) []map[string]*grid.Field3D {
+	t.Helper()
+	st, err := nyx.NewStream(nyx.StreamParams{
+		Base:   nyx.Params{N: n, Seed: 7, Redshift: 42},
+		Steps:  steps,
+		Fields: fields,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]*grid.Field3D
+	for {
+		snap, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, snap)
+	}
+}
+
+// TestPipelineStreamSZ is the end-to-end tentpole test: an 8-step two-field
+// evolving run through the sz backend, streamed into an archive v3
+// container, with drift-triggered recalibration.
+func TestPipelineStreamSZ(t *testing.T) {
+	steps := testSteps(t, 32, 8, nyx.FieldBaryonDensity, nyx.FieldVelocityX)
+
+	var buf bytes.Buffer
+	sw, err := core.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := New(core.Config{PartitionDim: 8}, Options{
+		Policy:         DriftTriggered,
+		DriftThreshold: 0.25,
+		RelAvgEB:       0.1,
+		Writer:         sw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := drv.Run(FromSnapshots(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(run.Steps) != 8 {
+		t.Fatalf("run has %d steps, want 8", len(run.Steps))
+	}
+	if run.Ratio() <= 1 {
+		t.Errorf("run ratio %.2f, want > 1", run.Ratio())
+	}
+	// The density field drifts ~16 % per step: with a 25 % threshold the
+	// run must recalibrate after the initial fit (drift is real) but far
+	// less than once per field per step (calibration is amortized).
+	if run.Recalibrations <= 2 {
+		t.Errorf("%d recalibrations; drift never triggered", run.Recalibrations)
+	}
+	if run.Recalibrations >= 16 {
+		t.Errorf("%d recalibrations for 16 field-steps; nothing was reused", run.Recalibrations)
+	}
+	// Step 0 calibrates both fields; later steps only on drift.
+	if got := run.Steps[0].Recalibrations; got != 2 {
+		t.Errorf("step 0 made %d calibrations, want 2", got)
+	}
+	for _, st := range run.Steps {
+		if st.Ratio() <= 1 {
+			t.Errorf("step %d ratio %.2f, want > 1", st.Step, st.Ratio())
+		}
+		for _, fs := range st.Fields {
+			if fs.BitRate <= 0 || fs.BitRate >= 32 {
+				t.Errorf("step %d field %s bit rate %.2f out of range", st.Step, fs.Name, fs.BitRate)
+			}
+			if st.Step > 0 && fs.Name == nyx.FieldBaryonDensity && fs.Drift == 0 {
+				t.Errorf("step %d density drift is 0; monitor is dead", st.Step)
+			}
+		}
+	}
+
+	// The archive must hold every step, seekable in any order, and decode
+	// within each field's clamp-band error bound (sz guarantees bounds).
+	sr, err := core.OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Steps() != 8 {
+		t.Fatalf("archive has %d steps, want 8", sr.Steps())
+	}
+	for _, i := range []int{7, 0, 4} {
+		decoded, err := sr.ReadStep(i)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		for _, fs := range run.Steps[i].Fields {
+			cf := decoded[fs.Name]
+			if cf == nil {
+				t.Fatalf("step %d archive missing field %s", i, fs.Name)
+			}
+			recon, err := cf.Decompress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := steps[i][fs.Name]
+			maxEB := 4 * fs.AvgEB // the engine's clamp-band ceiling
+			var worst float64
+			for j := range orig.Data {
+				d := math.Abs(float64(orig.Data[j]) - float64(recon.Data[j]))
+				if d > worst {
+					worst = d
+				}
+			}
+			if worst > maxEB*(1+1e-6) {
+				t.Errorf("step %d field %s: max error %g exceeds clamp ceiling %g",
+					i, fs.Name, worst, maxEB)
+			}
+		}
+	}
+}
+
+// TestPipelineStreamZFP runs the same ≥8-step pipeline through the zfp
+// backend: the driver must be codec-agnostic end to end.
+func TestPipelineStreamZFP(t *testing.T) {
+	steps := testSteps(t, 32, 8, nyx.FieldBaryonDensity)
+	var buf bytes.Buffer
+	sw, err := core.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := New(core.Config{PartitionDim: 8, Codec: codec.ZFP}, Options{
+		Policy:         DriftTriggered,
+		DriftThreshold: 0.25,
+		Writer:         sw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := drv.Run(FromSnapshots(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Steps) != 8 {
+		t.Fatalf("run has %d steps, want 8", len(run.Steps))
+	}
+	if run.Ratio() <= 1 {
+		t.Errorf("zfp run ratio %.2f, want > 1", run.Ratio())
+	}
+	sr, err := core.OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := sr.ReadStep(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := last[nyx.FieldBaryonDensity]
+	if cf == nil || cf.Codec != codec.ZFP {
+		t.Fatalf("archived step 7 codec = %v, want zfp", cf)
+	}
+	if _, err := cf.Decompress(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinePolicies compares the three recalibration schedules on the
+// same run: drift-triggered must recalibrate strictly fewer times than
+// calibrate-every-step while staying within 5 % of its bit rate.
+func TestPipelinePolicies(t *testing.T) {
+	steps := testSteps(t, 32, 8, nyx.FieldBaryonDensity)
+	runFor := func(p Policy) *RunStats {
+		t.Helper()
+		drv, err := New(core.Config{PartitionDim: 8}, Options{
+			Policy: p, DriftThreshold: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := drv.Run(FromSnapshots(steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	every := runFor(CalibrateEveryStep)
+	once := runFor(CalibrateOnce)
+	drift := runFor(DriftTriggered)
+
+	if every.Recalibrations != 8 {
+		t.Errorf("every-step made %d calibrations, want 8", every.Recalibrations)
+	}
+	if once.Recalibrations != 1 {
+		t.Errorf("calibrate-once made %d calibrations, want 1", once.Recalibrations)
+	}
+	if drift.Recalibrations >= every.Recalibrations {
+		t.Errorf("drift-triggered made %d calibrations, not fewer than every-step's %d",
+			drift.Recalibrations, every.Recalibrations)
+	}
+	if drift.Recalibrations <= 1 {
+		t.Errorf("drift-triggered made %d calibrations; drift never triggered", drift.Recalibrations)
+	}
+	rel := math.Abs(drift.BitRate()/every.BitRate() - 1)
+	if rel > 0.05 {
+		t.Errorf("drift-triggered bit rate %.3f vs every-step %.3f: %.1f%% apart, want ≤ 5%%",
+			drift.BitRate(), every.BitRate(), rel*100)
+	}
+	// Identical budgets, identical data: the three policies' compressed
+	// sizes may differ only through allocation, never by construction.
+	if drift.Cells != every.Cells || once.Cells != every.Cells {
+		t.Errorf("cell counts diverged: %d/%d/%d", drift.Cells, once.Cells, every.Cells)
+	}
+}
+
+// TestDriverCalibrationReuse: state survives across Run calls, so a second
+// segment of the same simulation does not refit.
+func TestDriverCalibrationReuse(t *testing.T) {
+	steps := testSteps(t, 32, 4, nyx.FieldBaryonDensity)
+	drv, err := New(core.Config{PartitionDim: 8}, Options{Policy: CalibrateOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv.Calibration(nyx.FieldBaryonDensity) != nil {
+		t.Fatal("calibration exists before any step")
+	}
+	first, err := drv.Run(FromSnapshots(steps[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := drv.Calibration(nyx.FieldBaryonDensity)
+	if cal == nil {
+		t.Fatal("no calibration after first run")
+	}
+	second, err := drv.Run(FromSnapshots(steps[2:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Recalibrations != 1 || second.Recalibrations != 0 {
+		t.Errorf("recalibrations %d/%d across runs, want 1/0",
+			first.Recalibrations, second.Recalibrations)
+	}
+	if drv.Calibration(nyx.FieldBaryonDensity) != cal {
+		t.Error("second run replaced the calibration under CalibrateOnce")
+	}
+}
+
+func TestPipelineBudgetOverride(t *testing.T) {
+	steps := testSteps(t, 32, 1, nyx.FieldBaryonDensity)
+	drv, err := New(core.Config{PartitionDim: 8}, Options{
+		AvgEBs: map[string]float64{nyx.FieldBaryonDensity: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := drv.Run(FromSnapshots(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Steps[0].Fields[0].AvgEB; got != 0.5 {
+		t.Errorf("budget %.3g, want the 0.5 override", got)
+	}
+	if _, err := New(core.Config{}, Options{AvgEBs: map[string]float64{"x": -1}}); err == nil {
+		t.Error("negative budget override accepted")
+	}
+	if _, err := New(core.Config{}, Options{RelAvgEB: -0.1}); err == nil {
+		t.Error("negative RelAvgEB accepted")
+	}
+	if _, err := New(core.Config{}, Options{DriftThreshold: -1}); err == nil {
+		t.Error("negative drift threshold accepted")
+	}
+}
+
+func TestPipelineSourceAdapters(t *testing.T) {
+	steps := testSteps(t, 16, 2, nyx.FieldBaryonDensity)
+
+	ch := make(chan map[string]*grid.Field3D, len(steps))
+	for _, s := range steps {
+		ch <- s
+	}
+	close(ch)
+	drv, err := New(core.Config{PartitionDim: 8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := drv.Run(FromChannel(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Steps) != 2 {
+		t.Errorf("channel source yielded %d steps, want 2", len(run.Steps))
+	}
+
+	// A source error aborts the run but returns the stats so far.
+	boom := errors.New("boom")
+	n := 0
+	src := SourceFunc(func() (map[string]*grid.Field3D, error) {
+		if n++; n > 1 {
+			return nil, boom
+		}
+		return steps[0], nil
+	})
+	run, err = drv.Run(src)
+	if !errors.Is(err, boom) {
+		t.Fatalf("source error not propagated: %v", err)
+	}
+	if len(run.Steps) != 1 {
+		t.Errorf("partial run kept %d steps, want 1", len(run.Steps))
+	}
+
+	// An empty snapshot is a driver error.
+	if _, err := drv.Step(nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}

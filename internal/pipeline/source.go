@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"io"
+
+	"repro/internal/grid"
+)
+
+// Source yields successive simulation snapshots. Each call returns the
+// named fields of one timestep; the stream ends with io.EOF. The driver
+// treats the returned fields as read-only and never retains them past the
+// step, so a source may hand out the simulation's live buffers.
+//
+// nyx.Stream satisfies Source directly; FromChannel and FromSnapshots
+// adapt the other common producers.
+type Source interface {
+	Next() (map[string]*grid.Field3D, error)
+}
+
+// SourceFunc adapts a plain function to the Source interface.
+type SourceFunc func() (map[string]*grid.Field3D, error)
+
+// Next calls f.
+func (f SourceFunc) Next() (map[string]*grid.Field3D, error) { return f() }
+
+// FromChannel adapts a snapshot channel to a Source: the producing side of
+// an in situ coupling pushes steps, the driver pulls them. A closed channel
+// ends the stream.
+func FromChannel(ch <-chan map[string]*grid.Field3D) Source {
+	return SourceFunc(func() (map[string]*grid.Field3D, error) {
+		snap, ok := <-ch
+		if !ok {
+			return nil, io.EOF
+		}
+		return snap, nil
+	})
+}
+
+// FromSnapshots streams a pre-materialized step list.
+func FromSnapshots(steps []map[string]*grid.Field3D) Source {
+	i := 0
+	return SourceFunc(func() (map[string]*grid.Field3D, error) {
+		if i >= len(steps) {
+			return nil, io.EOF
+		}
+		snap := steps[i]
+		i++
+		return snap, nil
+	})
+}
