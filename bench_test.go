@@ -12,6 +12,7 @@ package repro
 // benches here time their regeneration and assert they still produce rows.
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -22,9 +23,11 @@ import (
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/halo"
+	"repro/internal/huffman"
 	"repro/internal/nyx"
 	"repro/internal/pipeline"
 	"repro/internal/spectrum"
+	"repro/internal/stats"
 	"repro/internal/sz"
 )
 
@@ -142,6 +145,57 @@ func BenchmarkSZDecompress(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sz.Decompress(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchHuffmanStream builds an SZ-shaped token stream at the canonical 64³
+// cell count: a sharply peaked Gaussian around the center quantization code
+// (the post-Lorenzo residual histogram), sparse outlier markers, and a few
+// far-tail codes, which together exercise the first-level LUT and the
+// long-code fallback of the table-driven coder.
+func benchHuffmanStream() []int {
+	r := stats.NewRNG(12)
+	sym := make([]int, 1<<18)
+	for i := range sym {
+		switch {
+		case r.Float64() < 0.002:
+			sym[i] = 0 // outlier marker
+		case r.Float64() < 0.01:
+			sym[i] = 32768 + int(r.NormFloat64()*500) // far tail
+		default:
+			sym[i] = 32768 + int(math.Round(r.NormFloat64()*2))
+		}
+	}
+	return sym
+}
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	sym := benchHuffmanStream()
+	var s huffman.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(sym)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := huffman.CompressWith(sym, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	sym := benchHuffmanStream()
+	enc, err := huffman.Compress(sym)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s huffman.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(sym)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := huffman.DecompressWith(enc, &s); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -224,6 +224,8 @@ func runStream(eng *core.Engine, name string, f *grid.Field3D, steps int, drift 
 		run.Recalibrations, len(run.Steps), float64(run.Recalibrations)/float64(len(run.Steps)))
 	fmt.Printf("  phase seconds: calibrate %.3f, plan %.3f, compress %.3f, write %.3f\n",
 		run.CalibrateSeconds, run.PlanSeconds, run.CompressSeconds, run.WriteSeconds)
+	fmt.Printf("  compress throughput: %.1f MB/s of field data (per-core work rate)\n",
+		run.CompressMBPerSec())
 
 	if opt.Writer != nil {
 		if err := opt.Writer.Close(); err != nil {

@@ -42,7 +42,10 @@ func szOptions(opt Options) sz.Options {
 }
 
 // szScratch lazily materializes the SZ working buffers inside the shared
-// per-worker scratch.
+// per-worker scratch. The sz.Scratch carries the whole per-partition hot
+// path: prediction/quantization buffers, the outlier accumulator, RLE
+// tokens, and the entropy stage's dense frequency/code tables (see
+// huffman.Scratch), so steady-state compression is allocation-flat.
 func szScratch(s *Scratch) *sz.Scratch {
 	if s == nil {
 		return nil

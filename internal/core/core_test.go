@@ -512,3 +512,39 @@ func TestSuggestStaticEB(t *testing.T) {
 		t.Error("negative target accepted")
 	}
 }
+
+// TestSteadyStateAllocationFlat pins the perf contract of the pooled hot
+// path: once the engine's per-worker scratches are warm, compressing a
+// snapshot costs O(partitions) small allocations (the retained frames and
+// their payloads), not O(cells). The bound is loose enough for pool
+// variance but orders of magnitude below an unpooled path, which allocated
+// dozens of buffers and map nodes per partition.
+func TestSteadyStateAllocationFlat(t *testing.T) {
+	f := field(t, nyx.FieldBaryonDensity)
+	// Single worker so sync.Pool churn does not inflate the count.
+	e := engine(t, Config{PartitionDim: 16, Workers: 1})
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CompressAdaptive(f, plan); err != nil {
+		t.Fatal(err) // warm the scratch pool
+	}
+	parts := len(plan.EBs)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := e.CompressAdaptive(f, plan); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Retained per partition: the frame value, the sz.Compressed struct,
+	// and its code stream (plus occasional outlier copies); everything else
+	// is scratch. 8 per partition + 16 fixed is ~2× headroom over measured.
+	if limit := float64(8*parts + 16); allocs > limit {
+		t.Errorf("steady-state CompressAdaptive: %.0f allocs for %d partitions (limit %.0f)",
+			allocs, parts, limit)
+	}
+}

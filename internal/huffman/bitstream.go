@@ -2,6 +2,13 @@
 // compressor stage. SZ's third step Huffman-codes the quantization indices
 // produced by error-controlled linear-scaling quantization (Sec. 2.2 of the
 // paper); this package provides that coder plus the bit-level I/O it needs.
+//
+// The coder is table-driven end to end (see huffman.go): dense
+// slice-indexed frequency and code tables on encode, a first-level LUT with
+// canonical fallback on decode, and a reusable Scratch so the per-partition
+// hot path runs without transient allocation. The BitWriter/BitReader here
+// are the general-purpose bit I/O used by other packages (internal/zfp);
+// the Huffman hot loops inline their own 64-bit accumulators.
 package huffman
 
 import (

@@ -215,23 +215,28 @@ func TestDecompressBitFlips(t *testing.T) {
 func TestBoundedCodeLengths(t *testing.T) {
 	// Fibonacci-like frequencies force deep trees; the bounded builder must
 	// cap the depth at maxCodeLen.
-	freqs := make(map[int]int64)
+	var pairs []symFreq
 	a, b := int64(1), int64(1)
 	for i := 0; i < 80; i++ {
-		freqs[i] = a
+		pairs = append(pairs, symFreq{sym: i, freq: a})
 		a, b = b, a+b
 		if a < 0 { // overflow guard: clamp
 			a = 1 << 62
 		}
 	}
-	lengths := boundedCodeLengths(freqs)
-	for s, l := range lengths {
-		if l > maxCodeLen {
-			t.Fatalf("symbol %d has length %d > %d", s, l, maxCodeLen)
+	var s Scratch
+	lens := make([]uint8, len(pairs))
+	s.boundedCodeLengthsInto(lens, pairs)
+	entries := make([]symLen, len(pairs))
+	for i, p := range pairs {
+		if lens[i] > maxCodeLen {
+			t.Fatalf("symbol %d has length %d > %d", p.sym, lens[i], maxCodeLen)
 		}
+		entries[i] = symLen{sym: p.sym, n: lens[i]}
 	}
 	// And the table must still be decodable (Kraft inequality holds).
-	if _, err := buildDecodeTable(lengths); err != nil {
+	var dt decodeTable
+	if err := dt.build(entries); err != nil {
 		t.Fatalf("bounded lengths not decodable: %v", err)
 	}
 }

@@ -173,6 +173,18 @@ func (s *StepStats) BitRate() float64 {
 	return float64(8*s.Bytes) / float64(s.Cells)
 }
 
+// CompressMBPerSec is the step's compression throughput in uncompressed
+// MB/s of field data — the figure to hold against the in situ timestep
+// budget (Sec. 4.3). Phase seconds are summed across concurrently
+// compressed fields, so this is per-core work throughput, a lower bound on
+// wall-clock throughput.
+func (s *StepStats) CompressMBPerSec() float64 {
+	if s.CompressSeconds == 0 {
+		return 0
+	}
+	return float64(4*s.Cells) / s.CompressSeconds / 1e6
+}
+
 // RunStats aggregates a whole run.
 type RunStats struct {
 	Steps []StepStats
@@ -198,6 +210,16 @@ func (r *RunStats) BitRate() float64 {
 		return 0
 	}
 	return float64(8*r.Bytes) / float64(r.Cells)
+}
+
+// CompressMBPerSec is the run's compression throughput in uncompressed
+// MB/s of field data (per-core work throughput; see
+// StepStats.CompressMBPerSec).
+func (r *RunStats) CompressMBPerSec() float64 {
+	if r.CompressSeconds == 0 {
+		return 0
+	}
+	return float64(4*r.Cells) / r.CompressSeconds / 1e6
 }
 
 // fieldState is the retained per-field calibration state.

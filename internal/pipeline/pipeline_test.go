@@ -232,6 +232,17 @@ func TestPipelinePolicies(t *testing.T) {
 	if drift.Cells != every.Cells || once.Cells != every.Cells {
 		t.Errorf("cell counts diverged: %d/%d/%d", drift.Cells, once.Cells, every.Cells)
 	}
+	// Throughput plumbing: any run that compressed cells in nonzero time
+	// must report a positive rate, and steps must agree with their run.
+	if once.CompressSeconds > 0 && once.CompressMBPerSec() <= 0 {
+		t.Errorf("run CompressMBPerSec = %v with %v compress seconds",
+			once.CompressMBPerSec(), once.CompressSeconds)
+	}
+	for _, st := range once.Steps {
+		if st.CompressSeconds > 0 && st.CompressMBPerSec() <= 0 {
+			t.Errorf("step %d CompressMBPerSec = %v", st.Step, st.CompressMBPerSec())
+		}
+	}
 }
 
 // TestDriverCalibrationReuse: state survives across Run calls, so a second

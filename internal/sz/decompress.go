@@ -21,19 +21,23 @@ func Decompress(c *Compressed) (*grid.Field3D, error) {
 	return &grid.Field3D{Nx: c.Nx, Ny: c.Ny, Nz: c.Nz, Data: data}, nil
 }
 
-// DecompressSlice reconstructs the flat brick values.
+// DecompressSlice reconstructs the flat brick values. Working state
+// (entropy tables, token and symbol buffers, the lattice) is borrowed from
+// the package scratch pool; only the returned reconstruction is allocated.
 func DecompressSlice(c *Compressed) ([]float32, error) {
 	n := c.N()
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: empty brick", ErrCorrupt)
 	}
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
 	radius := c.Opt.radius()
 	runBase := 2 * radius
-	tokens, err := huffman.Decompress(c.codeStream)
+	tokens, err := huffman.DecompressWith(c.codeStream, &s.huff)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	symbols, err := rleDecode(tokens, radius, runBase, n)
+	symbols, err := rleDecodeInto(s.symbolBuf(n)[:0], tokens, radius, runBase, n)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -41,7 +45,7 @@ func DecompressSlice(c *Compressed) ([]float32, error) {
 	eb := effectiveABSBound(c.Opt)
 	var out []float32
 	if c.Opt.QuantizeBeforePredict {
-		out, err = reconstructLattice(symbols, c, eb)
+		out, err = reconstructLattice(symbols, c, eb, s)
 	} else {
 		out, err = reconstructDirect(symbols, c, eb)
 	}
@@ -56,30 +60,103 @@ func DecompressSlice(c *Compressed) ([]float32, error) {
 	return out, nil
 }
 
+// reconstructDirect mirrors predictThenQuantize: the interior (x, y, z all
+// > 0) runs the Lorenzo stencil branch-free over flat offsets, boundary
+// cells go through the generic predictor.
 func reconstructDirect(symbols []int, c *Compressed, eb float64) ([]float32, error) {
 	nx, ny, nz := c.Nx, c.Ny, c.Nz
 	radius := c.Opt.radius()
 	twoEB := 2 * eb
 	recon := make([]float32, len(symbols))
 	outPos := 0
+
+	cell := func(x, y, z, idx int) error {
+		s := symbols[idx]
+		if s == 0 {
+			v, pos, err := readFloat32(c.outliers, outPos)
+			if err != nil {
+				return err
+			}
+			recon[idx] = v
+			outPos = pos
+			return nil
+		}
+		pred := predict(recon, nx, ny, x, y, z, idx, c.Opt.Predictor)
+		recon[idx] = float32(pred + twoEB*float64(s-radius))
+		return nil
+	}
+
+	if c.Opt.Predictor != Lorenzo3D {
+		idx := 0
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					if err := cell(x, y, z, idx); err != nil {
+						return nil, err
+					}
+					idx++
+				}
+			}
+		}
+		if outPos != len(c.outliers) {
+			return nil, fmt.Errorf("%w: %d unread outlier bytes", ErrCorrupt, len(c.outliers)-outPos)
+		}
+		return recon, nil
+	}
+
+	nxny := nx * ny
 	idx := 0
-	for z := 0; z < nz; z++ {
-		for y := 0; y < ny; y++ {
-			for x := 0; x < nx; x++ {
-				s := symbols[idx]
+	for y := 0; y < ny; y++ { // z == 0 plane
+		for x := 0; x < nx; x++ {
+			if err := cell(x, y, 0, idx); err != nil {
+				return nil, err
+			}
+			idx++
+		}
+	}
+	for z := 1; z < nz; z++ {
+		for x := 0; x < nx; x++ { // y == 0 row
+			if err := cell(x, 0, z, idx); err != nil {
+				return nil, err
+			}
+			idx++
+		}
+		for y := 1; y < ny; y++ {
+			if err := cell(0, y, z, idx); err != nil { // x == 0 cell
+				return nil, err
+			}
+			rowStart := idx
+			idx += nx
+			// Same-length row views as the encoder's interior loop, so the
+			// stencil reads are bounds-check free.
+			cur := recon[rowStart : rowStart+nx]
+			py := recon[rowStart-nx : rowStart-nx+nx]
+			pz := recon[rowStart-nxny : rowStart-nxny+nx]
+			pyz := recon[rowStart-nx-nxny : rowStart-nx-nxny+nx]
+			srow := symbols[rowStart : rowStart+nx]
+			prev := float64(cur[0])
+			for x := 1; x < nx; x++ {
+				s := srow[x]
 				if s == 0 {
 					v, pos, err := readFloat32(c.outliers, outPos)
 					if err != nil {
 						return nil, err
 					}
-					recon[idx] = v
+					cur[x] = v
+					prev = float64(v)
 					outPos = pos
-				} else {
-					pred := predict(recon, nx, ny, x, y, z, idx, c.Opt.Predictor)
-					q := s - radius
-					recon[idx] = float32(pred + twoEB*float64(q))
+					continue
 				}
-				idx++
+				fy := float64(py[x])
+				fz := float64(pz[x])
+				fxy := float64(py[x-1])
+				fxz := float64(pz[x-1])
+				fyz := float64(pyz[x])
+				fxyz := float64(pyz[x-1])
+				pred := prev + fy + fz - fxy - fxz - fyz + fxyz
+				r := float32(pred + twoEB*float64(s-radius))
+				cur[x] = r
+				prev = float64(r)
 			}
 		}
 	}
@@ -89,34 +166,83 @@ func reconstructDirect(symbols []int, c *Compressed, eb float64) ([]float32, err
 	return recon, nil
 }
 
-func reconstructLattice(symbols []int, c *Compressed, eb float64) ([]float32, error) {
+// reconstructLattice mirrors quantizeThenPredict: the integer Lorenzo
+// stencil runs branch-free over the interior, boundary cells go through the
+// generic predictor.
+func reconstructLattice(symbols []int, c *Compressed, eb float64, s *Scratch) ([]float32, error) {
 	nx, ny, nz := c.Nx, c.Ny, c.Nz
 	radius := c.Opt.radius()
 	twoEB := 2 * eb
-	lat := make([]int64, len(symbols))
+	lat := s.latticeBuf(len(symbols))
 	out := make([]float32, len(symbols))
-	verbatim := make([]bool, len(symbols))
+	verbatim := s.verbatimBuf(len(symbols))
 	outPos := 0
+
+	cell := func(x, y, z, idx int) error {
+		s := symbols[idx]
+		if s == 0 {
+			v, pos, err := readFloat32(c.outliers, outPos)
+			if err != nil {
+				return err
+			}
+			// Re-derive the encoder's lattice coordinate from the verbatim
+			// value so neighbour prediction stays exact.
+			lat[idx] = int64(math.Floor(float64(v)/twoEB + 0.5))
+			out[idx] = v
+			verbatim[idx] = true
+			outPos = pos
+			return nil
+		}
+		lat[idx] = predictInt(lat, nx, ny, x, y, z) + int64(s-radius)
+		return nil
+	}
+
+	nxny := nx * ny
 	idx := 0
-	for z := 0; z < nz; z++ {
-		for y := 0; y < ny; y++ {
-			for x := 0; x < nx; x++ {
-				s := symbols[idx]
+	for y := 0; y < ny; y++ { // z == 0 plane
+		for x := 0; x < nx; x++ {
+			if err := cell(x, y, 0, idx); err != nil {
+				return nil, err
+			}
+			idx++
+		}
+	}
+	for z := 1; z < nz; z++ {
+		for x := 0; x < nx; x++ { // y == 0 row
+			if err := cell(x, 0, z, idx); err != nil {
+				return nil, err
+			}
+			idx++
+		}
+		for y := 1; y < ny; y++ {
+			if err := cell(0, y, z, idx); err != nil { // x == 0 cell
+				return nil, err
+			}
+			rowStart := idx
+			idx += nx
+			cur := lat[rowStart : rowStart+nx]
+			ly := lat[rowStart-nx : rowStart-nx+nx]
+			lz := lat[rowStart-nxny : rowStart-nxny+nx]
+			lyz := lat[rowStart-nx-nxny : rowStart-nx-nxny+nx]
+			srow := symbols[rowStart : rowStart+nx]
+			prev := cur[0]
+			for x := 1; x < nx; x++ {
+				s := srow[x]
 				if s == 0 {
 					v, pos, err := readFloat32(c.outliers, outPos)
 					if err != nil {
 						return nil, err
 					}
-					// Re-derive the encoder's lattice coordinate from the
-					// verbatim value so neighbour prediction stays exact.
-					lat[idx] = int64(math.Floor(float64(v)/twoEB + 0.5))
-					out[idx] = v
-					verbatim[idx] = true
+					prev = int64(math.Floor(float64(v)/twoEB + 0.5))
+					cur[x] = prev
+					out[rowStart+x] = v
+					verbatim[rowStart+x] = true
 					outPos = pos
-				} else {
-					lat[idx] = predictInt(lat, nx, ny, x, y, z) + int64(s-radius)
+					continue
 				}
-				idx++
+				pred := prev + ly[x] + lz[x] - ly[x-1] - lz[x-1] - lyz[x] + lyz[x-1]
+				prev = pred + int64(s-radius)
+				cur[x] = prev
 			}
 		}
 	}

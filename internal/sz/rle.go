@@ -28,14 +28,19 @@ func rleEncode(symbols []int, hitSym, runBase int) []int {
 
 // rleEncodeInto is rleEncode appending into a caller-owned buffer (reset to
 // length 0 first), so the hot per-partition path can reuse token storage.
+// Literal stretches between runs are bulk-copied instead of appended one
+// symbol at a time.
 func rleEncodeInto(out, symbols []int, hitSym, runBase int) []int {
 	out = out[:0]
 	i := 0
 	for i < len(symbols) {
-		s := symbols[i]
-		if s != hitSym {
-			out = append(out, s)
-			i++
+		if symbols[i] != hitSym {
+			j := i + 1
+			for j < len(symbols) && symbols[j] != hitSym {
+				j++
+			}
+			out = append(out, symbols[i:j]...)
+			i = j
 			continue
 		}
 		j := i
@@ -64,7 +69,13 @@ func rleEncodeInto(out, symbols []int, hitSym, runBase int) []int {
 // rleDecode reverses rleEncode. n is the expected expanded length; the
 // function errors if the stream disagrees.
 func rleDecode(tokens []int, hitSym, runBase, n int) ([]int, error) {
-	out := make([]int, 0, n)
+	return rleDecodeInto(make([]int, 0, n), tokens, hitSym, runBase, n)
+}
+
+// rleDecodeInto is rleDecode expanding into a caller-owned buffer (passed
+// with length 0 and capacity ≥ n), so the hot decode path reuses symbol
+// storage.
+func rleDecodeInto(out, tokens []int, hitSym, runBase, n int) ([]int, error) {
 	for _, tok := range tokens {
 		switch {
 		case tok < runBase:

@@ -1,0 +1,153 @@
+// Command benchjson parses `go test -bench` output into a JSON document
+// keyed by run label, merging into an existing file so one JSON can carry a
+// trajectory (e.g. a pre-PR baseline next to the current tree). It is the
+// backend of scripts/bench.sh and keeps the repo free of a jq dependency.
+//
+// Usage:
+//
+//	go run ./scripts/benchjson -label current -in bench.txt -out BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metric is one parsed benchmark result line.
+type Metric struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
+}
+
+// Run is one labeled benchmark invocation.
+type Run struct {
+	RecordedAt string            `json:"recorded_at"`
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Metric `json:"benchmarks"`
+}
+
+// Doc is the whole trajectory file.
+type Doc struct {
+	Description string         `json:"description"`
+	Runs        map[string]Run `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parse(path string) (Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Run{}, err
+	}
+	defer f.Close()
+	run := Run{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]Metric{},
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			run.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		met := Metric{Iterations: iters, NsPerOp: ns}
+		// The tail alternates "<value> <unit>" pairs: MB/s, B/op,
+		// allocs/op, and any b.ReportMetric custom units.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "MB/s":
+				met.MBPerSec = v
+			case "B/op":
+				met.BytesPerOp = int64(v)
+			case "allocs/op":
+				met.AllocsPerOp = int64(v)
+			default:
+				if met.Custom == nil {
+					met.Custom = map[string]float64{}
+				}
+				met.Custom[fields[i+1]] = v
+			}
+		}
+		run.Benchmarks[m[1]] = met
+	}
+	return run, sc.Err()
+}
+
+func main() {
+	label := flag.String("label", "current", "run label to file the results under")
+	in := flag.String("in", "", "raw `go test -bench` output to parse")
+	out := flag.String("out", "BENCH_PR3.json", "JSON trajectory file to merge into")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -in is required")
+		os.Exit(2)
+	}
+
+	doc := Doc{
+		Description: "Hot-path benchmark trajectory (see scripts/bench.sh); ns/op are machine-dependent, compare labels from the same machine only.",
+		Runs:        map[string]Run{},
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if doc.Runs == nil {
+			doc.Runs = map[string]Run{}
+		}
+	}
+
+	run, err := parse(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines found in %s\n", *in)
+		os.Exit(1)
+	}
+	doc.Runs[*label] = run
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks recorded under %q in %s\n", len(run.Benchmarks), *label, *out)
+}
