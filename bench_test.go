@@ -29,6 +29,7 @@ import (
 	"repro/internal/spectrum"
 	"repro/internal/stats"
 	"repro/internal/sz"
+	"repro/internal/zfp"
 )
 
 var (
@@ -196,6 +197,35 @@ func BenchmarkHuffmanDecode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := huffman.DecompressWith(enc, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZFPCompress(b *testing.B) {
+	f := benchDensity(b)
+	opt := zfp.Options{Rate: 8}
+	b.ReportAllocs()
+	b.SetBytes(int64(4 * f.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zfp.Compress(f, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZFPDecompress(b *testing.B) {
+	f := benchDensity(b)
+	c, err := zfp.Compress(f, zfp.Options{Rate: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(4 * f.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zfp.Decompress(c); err != nil {
 			b.Fatal(err)
 		}
 	}

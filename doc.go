@@ -15,9 +15,11 @@
 // cosmology generator, including evolving multi-step streams),
 // internal/spectrum and internal/halo (the post-hoc analyses),
 // internal/model and internal/optimizer (the paper's rate-quality models
-// and error-bound allocation), and internal/experiments (one function per
-// paper table/figure plus the timeseries streaming comparison). See
-// README.md for the architecture overview.
+// and error-bound allocation), internal/parallel (the shared bounded
+// worker pool every fan-out level — fields, partitions, zfp blocks —
+// draws from), and internal/experiments (one function per paper
+// table/figure plus the timeseries streaming comparison). See README.md
+// for the architecture overview.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/grid"
 	"repro/internal/sz"
+	"repro/internal/zfp"
 )
 
 // ID names a codec in the registry and in frame headers. IDs are short
@@ -116,6 +118,12 @@ type Scratch struct {
 	// sz holds the SZ compressor's working buffers, lazily allocated by
 	// the SZ adapter on first use.
 	sz *sz.Scratch
+	// zfp holds the ZFP compressor's working buffers (block state, stream
+	// cursors, chunk bookkeeping), lazily allocated by the ZFP adapter.
+	zfp *zfp.Scratch
+	// zfpProbe is the reconstruction buffer the ZFP adapter's single-pass
+	// rate search decodes probes into, reused across partitions.
+	zfpProbe *grid.Field3D
 }
 
 // Codec is one compression backend. Implementations must be safe for

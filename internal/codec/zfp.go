@@ -19,6 +19,14 @@ import (
 //     the bound is best effort: if even the maximum rate misses it, the
 //     max-rate frame is returned, which is precisely the failure mode the
 //     paper cites for rejecting fixed-rate codecs (Sec. 2.2).
+//
+// The search is single-pass: the field is compressed once at the maximum
+// rate with per-block bit accounting (zfp.CompressIndexed), every probe is
+// a truncated decode of that one stream (a smaller budget reads a strict
+// prefix of each block), and the chosen frame is spliced out of it
+// (TruncateToRate) — byte-identical to recompressing at the chosen rate,
+// so the probe sequence, the chosen rates, and the archived bits all match
+// the old recompress-per-probe search exactly.
 type zfpCodec struct{}
 
 func (zfpCodec) ID() ID { return ZFP }
@@ -30,13 +38,13 @@ const (
 	zfpRefineSteps = 3
 )
 
-func (zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, _ *Scratch) (Frame, error) {
+func (zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error) {
 	if err := validateDims(data, nx, ny, nz); err != nil {
 		return nil, err
 	}
 	f := &grid.Field3D{Nx: nx, Ny: ny, Nz: nz, Data: data}
 	if opt.Rate > 0 {
-		c, err := zfp.Compress(f, zfp.Options{Rate: opt.Rate})
+		c, err := zfp.CompressWith(f, zfp.Options{Rate: opt.Rate}, zfpScratch(s))
 		if err != nil {
 			return nil, err
 		}
@@ -48,58 +56,63 @@ func (zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, _ *Scratch
 	if opt.Mode != ABS {
 		return nil, errors.New("codec: zfp rate search supports ABS error bounds only")
 	}
-	return compressBounded(f, opt.ErrorBound)
+	return compressBounded(f, opt.ErrorBound, s)
 }
 
 // compressBounded finds the cheapest fixed rate meeting an absolute error
 // bound: double the rate until the measured max error fits, then bisect
-// between the last failing and first passing rate to shave bits.
-func compressBounded(f *grid.Field3D, eb float64) (Frame, error) {
-	try := func(rate float64) (*zfp.Compressed, float64, error) {
-		c, err := zfp.Compress(f, zfp.Options{Rate: rate})
-		if err != nil {
-			return nil, 0, err
+// between the last failing and first passing rate to shave bits. One
+// compression total; each probe decodes the indexed max-rate stream
+// truncated to the probe's budget.
+func compressBounded(f *grid.Field3D, eb float64, s *Scratch) (Frame, error) {
+	zs := zfpScratch(s)
+	ix, err := zfp.CompressIndexed(f, zfp.Options{Rate: zfpMaxRate}, zs)
+	if err != nil {
+		return nil, err
+	}
+	probe := zfpProbe(s, f)
+	try := func(rate float64) (float64, error) {
+		if err := ix.DecompressAtRateInto(probe, rate, zs); err != nil {
+			return 0, err
 		}
-		r, err := zfp.Decompress(c)
-		if err != nil {
-			return nil, 0, err
-		}
-		return c, maxAbsErr(f.Data, r.Data), nil
+		return maxAbsErr(f.Data, probe.Data), nil
 	}
 	lo := 0.0 // highest rate known to miss the bound
-	var hit, last *zfp.Compressed
-	hi := zfpMaxRate + 1.0
+	hi := 0.0 // cheapest rate known to meet it
 	for rate := zfpMinRate; rate <= zfpMaxRate; rate *= 2 {
-		c, maxErr, err := try(rate)
+		maxErr, err := try(rate)
 		if err != nil {
 			return nil, err
 		}
-		last = c
 		if maxErr <= eb {
-			hit, hi = c, rate
+			hi = rate
 			break
 		}
 		lo = rate
 	}
-	if hit == nil {
-		// Even the maximum rate misses the bound: the ladder's final frame
-		// (rate 32) is the best the codec can do; return it with
-		// ErrorBound 0 to signal "no guarantee".
-		return zfpFrame{c: last}, nil
+	if hi == 0 {
+		// Even the maximum rate misses the bound: the max-rate stream is
+		// the best the codec can do; return it with ErrorBound 0 to signal
+		// "no guarantee".
+		return zfpFrame{c: ix.C}, nil
 	}
 	for i := 0; i < zfpRefineSteps && hi-lo > 0.25 && lo >= zfpMinRate; i++ {
 		mid := (lo + hi) / 2
-		c, maxErr, err := try(mid)
+		maxErr, err := try(mid)
 		if err != nil {
 			return nil, err
 		}
 		if maxErr <= eb {
-			hit, hi = c, mid
+			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return zfpFrame{c: hit, eb: eb}, nil
+	c, err := ix.TruncateToRate(hi, zs)
+	if err != nil {
+		return nil, err
+	}
+	return zfpFrame{c: c, eb: eb}, nil
 }
 
 func maxAbsErr(a, b []float32) float64 {
@@ -111,6 +124,31 @@ func maxAbsErr(a, b []float32) float64 {
 		}
 	}
 	return m
+}
+
+// zfpScratch lazily materializes the ZFP working buffers inside the shared
+// per-worker scratch, mirroring szScratch.
+func zfpScratch(s *Scratch) *zfp.Scratch {
+	if s == nil {
+		return nil
+	}
+	if s.zfp == nil {
+		s.zfp = &zfp.Scratch{}
+	}
+	return s.zfp
+}
+
+// zfpProbe returns the rate search's reusable reconstruction buffer, sized
+// like f (partitions of one field all share a shape, so steady-state
+// probing allocates nothing).
+func zfpProbe(s *Scratch, f *grid.Field3D) *grid.Field3D {
+	if s == nil {
+		return grid.NewField3D(f.Nx, f.Ny, f.Nz)
+	}
+	if s.zfpProbe == nil || !s.zfpProbe.SameShape(f) {
+		s.zfpProbe = grid.NewField3D(f.Nx, f.Ny, f.Nz)
+	}
+	return s.zfpProbe
 }
 
 func (zfpCodec) Parse(body []byte) (Frame, error) {

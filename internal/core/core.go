@@ -31,6 +31,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/optimizer"
+	"repro/internal/parallel"
 )
 
 // Config configures an Engine.
@@ -219,7 +220,7 @@ func (e *Engine) PlanFromFeatures(features []float64, cal *Calibration, opt Plan
 func (e *Engine) extractFeatures(f *grid.Field3D, p *grid.Partitioner) []float64 {
 	parts := p.Partitions()
 	out := make([]float64, len(parts))
-	e.forEachPartition(len(parts), func(w, i int, s *codec.Scratch) {
+	e.forEachPartition(len(parts), func(i int, s *codec.Scratch) {
 		part := parts[i]
 		data := e.brick(s, f, part)
 		var sum float64
@@ -291,7 +292,7 @@ func (e *Engine) compressWith(f *grid.Field3D, p *grid.Partitioner, ebOf func(in
 	}
 	var firstErr error
 	var mu sync.Mutex
-	e.forEachPartition(len(parts), func(w, i int, s *codec.Scratch) {
+	e.forEachPartition(len(parts), func(i int, s *codec.Scratch) {
 		part := parts[i]
 		data := e.brick(s, f, part)
 		nx, ny, nz := part.Dims()
@@ -324,39 +325,28 @@ func (e *Engine) brick(s *codec.Scratch, f *grid.Field3D, part grid.Partition) [
 	return data
 }
 
-// forEachPartition fans partition indices out over a worker pool; each
-// worker checks one scratch out of the engine pool for the duration.
-func (e *Engine) forEachPartition(n int, fn func(worker, i int, s *codec.Scratch)) {
-	workers := e.cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+// forEachPartition fans partition indices out over the shared worker pool
+// (internal/parallel); each participating goroutine — the caller plus any
+// pool helpers, capped by Config.Workers — checks one scratch out of the
+// engine pool for the duration. Drawing helpers from the process-wide pool
+// keeps nested fan-outs (pipeline fields above, zfp blocks below) bounded
+// at O(GOMAXPROCS) total workers instead of multiplying per level.
+func (e *Engine) forEachPartition(n int, fn func(i int, s *codec.Scratch)) {
+	if n <= 1 || e.cfg.Workers <= 1 {
 		s := e.getScratch()
 		for i := 0; i < n; i++ {
-			fn(0, i, s)
+			fn(i, s)
 		}
 		e.putScratch(s)
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := e.getScratch()
-			defer e.putScratch(s)
-			for i := range next {
-				fn(w, i, s)
-			}
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.Workers(n, e.cfg.Workers, func(next func() (int, bool)) {
+		s := e.getScratch()
+		defer e.putScratch(s)
+		for i, ok := next(); ok; i, ok = next() {
+			fn(i, s)
+		}
+	})
 }
 
 // Decompress reconstructs the full field.
@@ -376,28 +366,19 @@ func (cf *CompressedField) Decompress() (*grid.Field3D, error) {
 	out := grid.NewField3D(cf.Nx, cf.Ny, cf.Nz)
 	var firstErr error
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range parts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			data, err := cf.Parts[i].Decompress()
-			if err == nil {
-				err = grid.Insert(out, parts[i], data)
+	parallel.ForEach(len(parts), 0, func(i int) {
+		data, err := cf.Parts[i].Decompress()
+		if err == nil {
+			err = grid.Insert(out, parts[i], data)
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: partition %d: %w", i, err)
 			}
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: partition %d: %w", i, err)
-				}
-				mu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
+			mu.Unlock()
+		}
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}

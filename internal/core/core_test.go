@@ -548,3 +548,36 @@ func TestSteadyStateAllocationFlat(t *testing.T) {
 			allocs, parts, limit)
 	}
 }
+
+// TestSteadyStateAllocationFlatZFP pins the same contract for the zfp path,
+// whose per-partition work is far heavier: a max-rate indexed compression,
+// ~7 truncated probe decodes, and the spliced frame. With zfp.Scratch and
+// the probe buffer pooled in the engine scratch, all of that costs a
+// constant handful of allocations per partition (measured ~8: the retained
+// frame/payload pair, the index and its offset table) — never O(cells) or
+// O(probes × cells).
+func TestSteadyStateAllocationFlatZFP(t *testing.T) {
+	f := field(t, nyx.FieldBaryonDensity)
+	e := engine(t, Config{PartitionDim: 16, Workers: 1, Codec: codec.ZFP})
+	cal, err := e.Calibrate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CompressAdaptive(f, plan); err != nil {
+		t.Fatal(err) // warm the scratch pool
+	}
+	parts := len(plan.EBs)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := e.CompressAdaptive(f, plan); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := float64(16*parts + 32); allocs > limit {
+		t.Errorf("steady-state zfp CompressAdaptive: %.0f allocs for %d partitions (limit %.0f)",
+			allocs, parts, limit)
+	}
+}

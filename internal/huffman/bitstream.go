@@ -14,6 +14,7 @@ package huffman
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // BitWriter accumulates bits MSB-first into a byte slice.
@@ -48,6 +49,66 @@ func (w *BitWriter) WriteBits(v uint64, n uint) {
 // WriteBit appends one bit.
 func (w *BitWriter) WriteBit(b uint) { w.WriteBits(uint64(b), 1) }
 
+// WriteBits64 appends the low n bits of v, most significant first, for any
+// n ≤ 64 — the word-level emission the zfp plane coder needs (a whole
+// 64-coefficient bit plane in one call).
+func (w *BitWriter) WriteBits64(v uint64, n uint) {
+	if n <= 57 {
+		w.WriteBits(v, n)
+		return
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("huffman: WriteBits64 n=%d > 64", n))
+	}
+	w.WriteBits(v>>32, n-32)
+	w.WriteBits(v&0xffffffff, 32)
+}
+
+// Reset clears the writer for reuse, keeping the buffer capacity (writers
+// are pooled by the hot compression paths).
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.ncur = 0
+}
+
+// AppendBitRange appends nbits bits of src starting at absolute bit offset
+// `from` (MSB-first packed bytes, the layout Bytes produces). This is the
+// splice primitive: per-worker bit buffers and per-block bit ranges are
+// concatenated back into one stream without any byte-alignment requirement.
+// Offsets past len(src)*8 read as zero bits (a writer's final byte is
+// zero-padded, so callers may round ranges up to whole accumulator words).
+func (w *BitWriter) AppendBitRange(src []byte, from, nbits int) {
+	for nbits > 0 {
+		n := nbits
+		if n > 48 {
+			n = 48
+		}
+		w.WriteBits(sliceBits(src, from, n), uint(n))
+		from += n
+		nbits -= n
+	}
+}
+
+// sliceBits extracts bits [from, from+n) of src as a right-aligned word
+// (n ≤ 48 so the gather never needs more than 7 source bytes).
+func sliceBits(src []byte, from, n int) uint64 {
+	bi := from >> 3
+	drop := from & 7
+	need := drop + n
+	var acc uint64
+	total := 0
+	for ; total < need; total += 8 {
+		var b byte
+		if bi < len(src) {
+			b = src[bi]
+		}
+		acc = acc<<8 | uint64(b)
+		bi++
+	}
+	return (acc >> uint(total-need)) & (1<<uint(n) - 1)
+}
+
 // Bytes flushes any partial byte (zero-padded) and returns the buffer.
 // Bytes may be called once; further writes after Bytes are invalid.
 func (w *BitWriter) Bytes() []byte {
@@ -81,21 +142,136 @@ func (r *BitReader) ReadBits(n uint) (uint64, error) {
 	if n > 57 {
 		return 0, fmt.Errorf("huffman: ReadBits n=%d > 57", n)
 	}
-	for r.ncur < n {
-		if r.pos >= len(r.buf) {
+	if r.ncur < n {
+		r.refill()
+		if r.ncur < n {
 			return 0, ErrOutOfBits
 		}
-		r.cur = (r.cur << 8) | uint64(r.buf[r.pos])
-		r.pos++
-		r.ncur += 8
 	}
 	r.ncur -= n
 	v := (r.cur >> r.ncur) & ((1 << n) - 1)
 	return v, nil
 }
 
+// refill tops the accumulator up as far as it can — one 8-byte load on the
+// fast path (the high bits of cur above ncur are garbage by convention, so
+// shifting whole words in is safe). Amortizes to one refill per ~7 bytes
+// consumed whatever mix of read sizes the caller issues.
+func (r *BitReader) refill() {
+	if k := (64 - r.ncur) >> 3; r.pos+8 <= len(r.buf) {
+		chunk := binaryBigEndianUint64(r.buf[r.pos:])
+		r.cur = r.cur<<(8*k) | chunk>>(64-8*k)
+		r.pos += int(k)
+		r.ncur += 8 * k
+		return
+	}
+	for r.ncur <= 56 && r.pos < len(r.buf) {
+		r.cur = (r.cur << 8) | uint64(r.buf[r.pos])
+		r.pos++
+		r.ncur += 8
+	}
+}
+
+// binaryBigEndianUint64 is binary.BigEndian.Uint64 without the import (the
+// compiler recognizes the pattern as a single load+byteswap).
+func binaryBigEndianUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[7]) | uint64(b[6])<<8 | uint64(b[5])<<16 | uint64(b[4])<<24 |
+		uint64(b[3])<<32 | uint64(b[2])<<40 | uint64(b[1])<<48 | uint64(b[0])<<56
+}
+
 // ReadBit reads a single bit.
 func (r *BitReader) ReadBit() (uint, error) {
 	v, err := r.ReadBits(1)
 	return uint(v), err
+}
+
+// ReadBits64 reads n ≤ 64 bits, MSB-first — the counterpart of WriteBits64.
+func (r *BitReader) ReadBits64(n uint) (uint64, error) {
+	if n <= 57 {
+		return r.ReadBits(n)
+	}
+	if n > 64 {
+		return 0, fmt.Errorf("huffman: ReadBits64 n=%d > 64", n)
+	}
+	hi, err := r.ReadBits(n - 32)
+	if err != nil {
+		return 0, err
+	}
+	lo, err := r.ReadBits(32)
+	if err != nil {
+		return 0, err
+	}
+	return hi<<32 | lo, nil
+}
+
+// Skip discards n bits (data bits the caller does not need, e.g. the zfp
+// boundary scan skipping verbatim plane prefixes).
+func (r *BitReader) Skip(n int) error {
+	for n > 57 {
+		if _, err := r.ReadBits(57); err != nil {
+			return err
+		}
+		n -= 57
+	}
+	_, err := r.ReadBits(uint(n))
+	return err
+}
+
+// ReadUnary consumes up to max bits, stopping after the first 1 bit. It
+// returns the number of 0 bits consumed and whether a 1 terminated the run
+// (when false, exactly max zero bits were consumed). Running out of buffer
+// before either condition returns ErrOutOfBits, matching bit-by-bit reads.
+func (r *BitReader) ReadUnary(max uint) (zeros uint, terminated bool, err error) {
+	for zeros < max {
+		if r.ncur == 0 {
+			r.refill()
+			if r.ncur == 0 {
+				return zeros, false, ErrOutOfBits
+			}
+		}
+		n := r.ncur
+		if rem := max - zeros; rem < n {
+			n = rem
+		}
+		window := (r.cur >> (r.ncur - n)) & (1<<n - 1)
+		if window == 0 {
+			zeros += n
+			r.ncur -= n
+			continue
+		}
+		lead := n - uint(bits.Len64(window))
+		zeros += lead
+		r.ncur -= lead + 1
+		return zeros, true, nil
+	}
+	return zeros, false, nil
+}
+
+// BitPos returns the number of bits consumed so far.
+func (r *BitReader) BitPos() int { return r.pos*8 - int(r.ncur) }
+
+// SeekBit repositions the reader to an absolute bit offset, enabling
+// random access into a stream whose block boundaries are known (the zfp
+// parallel decoder and its single-pass rate probes).
+func (r *BitReader) SeekBit(off int) error {
+	if off < 0 || off > len(r.buf)*8 {
+		return ErrOutOfBits
+	}
+	r.pos = off >> 3
+	r.cur, r.ncur = 0, 0
+	if rem := uint(off & 7); rem > 0 {
+		r.cur = uint64(r.buf[r.pos])
+		r.pos++
+		r.ncur = 8 - rem
+	}
+	return nil
+}
+
+// Reset re-targets the reader at a new buffer from offset zero (readers are
+// pooled by the hot decompression paths).
+func (r *BitReader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.cur, r.ncur = 0, 0
 }

@@ -1,0 +1,199 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestWordPrimitivesRoundTrip drives random mixed-width writes through
+// WriteBits/WriteBits64 and reads them back with ReadBits/ReadBits64,
+// including full 64-bit words (the zfp plane width).
+func TestWordPrimitivesRoundTrip(t *testing.T) {
+	r := stats.NewRNG(51)
+	for trial := 0; trial < 50; trial++ {
+		type item struct {
+			v uint64
+			n uint
+		}
+		var items []item
+		w := NewBitWriter(0)
+		for k := 0; k < 200; k++ {
+			n := uint(1 + r.Intn(64))
+			v := (uint64(r.Intn(1<<31))<<33 | uint64(r.Intn(1<<31))) & (1<<n - 1)
+			items = append(items, item{v, n})
+			w.WriteBits64(v, n)
+		}
+		rd := NewBitReader(w.Bytes())
+		for i, it := range items {
+			got, err := rd.ReadBits64(it.n)
+			if err != nil {
+				t.Fatalf("trial %d item %d: %v", trial, i, err)
+			}
+			if got != it.v {
+				t.Fatalf("trial %d item %d: wrote %x/%d read %x", trial, i, it.v, it.n, got)
+			}
+		}
+	}
+}
+
+func TestWriteBits64MatchesBitByBit(t *testing.T) {
+	// A 64-bit word written at once must produce the same stream as 64
+	// single-bit writes.
+	vals := []uint64{0, ^uint64(0), 0x8000000000000001, 0xAAAAAAAAAAAAAAAA, 0x0123456789ABCDEF}
+	for _, v := range vals {
+		a := NewBitWriter(0)
+		a.WriteBits64(v, 64)
+		b := NewBitWriter(0)
+		for i := 63; i >= 0; i-- {
+			b.WriteBit(uint(v>>uint(i)) & 1)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("word %x: word write diverges from bit writes", v)
+		}
+	}
+}
+
+func TestReadUnary(t *testing.T) {
+	// Runs of every length, with and without terminators, across byte
+	// boundaries.
+	w := NewBitWriter(0)
+	runs := []int{0, 1, 7, 8, 9, 13, 40, 63}
+	for _, z := range runs {
+		w.WriteBits64(1, uint(z+1)) // z zeros then a 1
+	}
+	w.WriteBits64(0, 20) // tail of zeros with no terminator
+	r := NewBitReader(w.Bytes())
+	for _, z := range runs {
+		zeros, saw, err := r.ReadUnary(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !saw || zeros != uint(z) {
+			t.Fatalf("run %d: got zeros=%d saw=%v", z, zeros, saw)
+		}
+	}
+	// max smaller than the run: consumes exactly max zeros.
+	zeros, saw, err := r.ReadUnary(5)
+	if err != nil || saw || zeros != 5 {
+		t.Fatalf("bounded run: zeros=%d saw=%v err=%v", zeros, saw, err)
+	}
+	// The remaining 15 zeros of the tail plus the byte-padding zeros: an
+	// unbounded read must run out of buffer, like bit-by-bit reads would.
+	if _, _, err := r.ReadUnary(64); err != ErrOutOfBits {
+		t.Fatalf("expected ErrOutOfBits past the stream end, got %v", err)
+	}
+	// ReadUnary(0) touches nothing.
+	r2 := NewBitReader([]byte{0xFF})
+	zeros, saw, err = r2.ReadUnary(0)
+	if zeros != 0 || saw || err != nil {
+		t.Fatalf("ReadUnary(0): zeros=%d saw=%v err=%v", zeros, saw, err)
+	}
+	if b, _ := r2.ReadBit(); b != 1 {
+		t.Fatal("ReadUnary(0) consumed a bit")
+	}
+}
+
+func TestSeekBitAndBitPos(t *testing.T) {
+	w := NewBitWriter(0)
+	for i := 0; i < 300; i++ {
+		w.WriteBits(uint64(i)&0x7F, 7)
+	}
+	buf := w.Bytes()
+	r := NewBitReader(buf)
+	for _, off := range []int{0, 1, 7, 8, 64, 65, 300, 2093} {
+		if err := r.SeekBit(off); err != nil {
+			t.Fatalf("seek %d: %v", off, err)
+		}
+		if got := r.BitPos(); got != off {
+			t.Fatalf("seek %d: BitPos %d", off, got)
+		}
+		item := off / 7
+		skip := off % 7
+		if skip != 0 {
+			if err := r.Skip(7 - skip); err != nil {
+				t.Fatal(err)
+			}
+			item++
+		}
+		v, err := r.ReadBits(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(item) & 0x7F; v != want {
+			t.Fatalf("after seek %d: read %d want %d", off, v, want)
+		}
+	}
+	if err := r.SeekBit(len(buf)*8 + 1); err == nil {
+		t.Error("seek past end accepted")
+	}
+	if err := r.SeekBit(-1); err == nil {
+		t.Error("negative seek accepted")
+	}
+}
+
+func TestAppendBitRangeSplice(t *testing.T) {
+	// Splicing arbitrary bit ranges of two streams must equal writing the
+	// bits directly — the invariant the zfp chunk splice depends on.
+	r := stats.NewRNG(52)
+	for trial := 0; trial < 30; trial++ {
+		nbitsA := 1 + r.Intn(500)
+		nbitsB := 1 + r.Intn(500)
+		bitsA := make([]uint, nbitsA)
+		bitsB := make([]uint, nbitsB)
+		wa := NewBitWriter(0)
+		wb := NewBitWriter(0)
+		for i := range bitsA {
+			bitsA[i] = uint(r.Intn(2))
+			wa.WriteBit(bitsA[i])
+		}
+		for i := range bitsB {
+			bitsB[i] = uint(r.Intn(2))
+			wb.WriteBit(bitsB[i])
+		}
+		fromA := r.Intn(nbitsA)
+		lenA := r.Intn(nbitsA - fromA + 1)
+		spliced := NewBitWriter(0)
+		spliced.AppendBitRange(wa.Bytes(), fromA, lenA)
+		spliced.AppendBitRange(wb.Bytes(), 0, nbitsB)
+		direct := NewBitWriter(0)
+		for _, b := range bitsA[fromA : fromA+lenA] {
+			direct.WriteBit(b)
+		}
+		for _, b := range bitsB {
+			direct.WriteBit(b)
+		}
+		if !bytes.Equal(spliced.Bytes(), direct.Bytes()) {
+			t.Fatalf("trial %d: splice diverges from direct writes", trial)
+		}
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewBitWriter(0)
+	w.WriteBits(0x5A5, 12)
+	first := append([]byte(nil), w.Bytes()...)
+	w.Reset()
+	w.WriteBits(0x5A5, 12)
+	if !bytes.Equal(first, w.Bytes()) {
+		t.Error("reset writer produced a different stream")
+	}
+	if w.BitLen() != 16 { // 12 bits padded to 2 bytes by Bytes
+		t.Errorf("BitLen %d after Bytes", w.BitLen())
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewBitReader([]byte{0xF0})
+	if v, _ := r.ReadBits(4); v != 0xF {
+		t.Fatalf("read %x", v)
+	}
+	r.Reset([]byte{0x0F})
+	if got := r.BitPos(); got != 0 {
+		t.Fatalf("BitPos %d after Reset", got)
+	}
+	if v, _ := r.ReadBits(8); v != 0x0F {
+		t.Fatal("Reset did not re-target the buffer")
+	}
+}

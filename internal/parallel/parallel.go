@@ -1,0 +1,144 @@
+// Package parallel is the shared, bounded worker pool behind every fan-out
+// level of the compression stack: internal/pipeline fans out over fields,
+// internal/core over partitions, and internal/zfp over 4³ blocks. Before
+// this pool each level sized its own goroutine set independently, so a
+// nested run could schedule FieldWorkers × GOMAXPROCS (× block chunks)
+// concurrent workers; here all levels draw helper goroutines from one
+// global budget of GOMAXPROCS−1 tokens, so total busy workers stay
+// O(GOMAXPROCS) no matter how deep the nesting.
+//
+// The discipline that makes nesting safe:
+//
+//   - the calling goroutine always participates in its own fan-out, so
+//     every call makes progress even when the pool is empty;
+//   - helper tokens are try-acquired, never waited on — an inner fan-out
+//     that finds the pool drained simply runs serially on its caller, and
+//     no call can deadlock on the pool;
+//   - work is handed out by an atomic index, so helpers and caller steal
+//     from one shared queue and an idle helper never pins a token.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// tokens is the helper budget: one buffered slot per allowed helper
+	// goroutine, shared by every concurrent fan-out in the process.
+	tokens chan struct{}
+
+	// active counts body invocations currently running (nested bodies on
+	// one goroutine count once per level); peak is its high-water mark.
+	// They exist so tests can pin the oversubscription bound.
+	active, peak atomic.Int64
+)
+
+func init() {
+	setLimit(runtime.GOMAXPROCS(0) - 1)
+}
+
+func setLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	tokens = make(chan struct{}, n)
+}
+
+// Limit returns the helper budget (total concurrent workers are bounded by
+// callers + Limit; with the usual single top-level caller that is
+// GOMAXPROCS).
+func Limit() int { return cap(tokens) }
+
+// SetLimit replaces the helper budget and resets the peak gauge — a test
+// hook for exercising parallel paths on small machines (and serial paths on
+// big ones). It must not be called while fan-outs are in flight; the
+// returned function restores the previous budget.
+func SetLimit(n int) (restore func()) {
+	prev := cap(tokens)
+	setLimit(n)
+	ResetPeak()
+	return func() { setLimit(prev); ResetPeak() }
+}
+
+// Peak returns the high-water mark of concurrently running fan-out bodies
+// since the last ResetPeak. Nested fan-outs count each level, so a run
+// nesting d levels deep is bounded by d × (Limit()+1) per top-level caller
+// — the O(GOMAXPROCS) contract the pipeline tests assert.
+func Peak() int64 { return peak.Load() }
+
+// ResetPeak clears the high-water mark.
+func ResetPeak() {
+	active.Store(0)
+	peak.Store(0)
+}
+
+func enter() {
+	a := active.Add(1)
+	for {
+		p := peak.Load()
+		if a <= p || peak.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+func exit() { active.Add(-1) }
+
+// Workers fans indices [0, n) out to at most max concurrent goroutines
+// (max <= 0 means "no per-call cap", i.e. bounded by the pool alone). body
+// runs once per participating goroutine — the caller always participates,
+// helpers join only while pool tokens are free — and drains indices via
+// next, which is safe to call concurrently. Workers returns when every
+// index has been processed. Use this form when each participant carries
+// per-worker state (a scratch checkout); use ForEach when it does not.
+func Workers(n, max int, body func(next func() (int, bool))) {
+	if n <= 0 {
+		return
+	}
+	var idx atomic.Int64
+	next := func() (int, bool) {
+		i := idx.Add(1) - 1
+		if i >= int64(n) {
+			return 0, false
+		}
+		return int(i), true
+	}
+	helpers := n - 1
+	if max > 0 && max-1 < helpers {
+		helpers = max - 1
+	}
+	var wg sync.WaitGroup
+	pool := tokens // helpers must release to the pool they were drawn from
+recruit:
+	for h := 0; h < helpers; h++ {
+		select {
+		case pool <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-pool }()
+				enter()
+				defer exit()
+				body(next)
+			}()
+		default:
+			break recruit // pool drained: the caller works alone
+		}
+	}
+	enter()
+	body(next)
+	exit()
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n), using the caller plus at most
+// max−1 pool helpers (max <= 0 means no per-call cap).
+func ForEach(n, max int, fn func(i int)) {
+	Workers(n, max, func(next func() (int, bool)) {
+		for i, ok := next(); ok; i, ok = next() {
+			fn(i)
+		}
+	})
+}

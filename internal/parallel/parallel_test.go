@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		var hits sync.Map
+		var count atomic.Int64
+		ForEach(n, 0, func(i int) {
+			if _, dup := hits.LoadOrStore(i, true); dup {
+				t.Errorf("n=%d: index %d ran twice", n, i)
+			}
+			count.Add(1)
+		})
+		if got := count.Load(); got != int64(n) {
+			t.Errorf("n=%d: ran %d indices", n, got)
+		}
+	}
+}
+
+func TestWorkersCallerParticipatesWithEmptyPool(t *testing.T) {
+	restore := SetLimit(0)
+	defer restore()
+	bodies := 0
+	Workers(64, 8, func(next func() (int, bool)) {
+		bodies++ // no helpers possible: a single body on the caller
+		n := 0
+		for _, ok := next(); ok; _, ok = next() {
+			n++
+		}
+		if n != 64 {
+			t.Errorf("caller drained %d of 64", n)
+		}
+	})
+	if bodies != 1 {
+		t.Errorf("%d bodies with an empty pool", bodies)
+	}
+}
+
+func TestWorkersRespectsMaxCap(t *testing.T) {
+	restore := SetLimit(16)
+	defer restore()
+	var bodies atomic.Int64
+	Workers(100, 3, func(next func() (int, bool)) {
+		bodies.Add(1)
+		for _, ok := next(); ok; _, ok = next() {
+		}
+	})
+	if got := bodies.Load(); got > 3 {
+		t.Errorf("%d bodies despite max=3", got)
+	}
+}
+
+func TestNestedFanOutStaysBounded(t *testing.T) {
+	const limit = 3
+	restore := SetLimit(limit)
+	defer restore()
+	// Three nested levels, each wide enough to want many workers. With
+	// per-level pools this would peak near 8×8×8 concurrent bodies; the
+	// shared pool bounds it to depth × (limit + 1).
+	var leaves atomic.Int64
+	ForEach(8, 0, func(int) {
+		ForEach(8, 0, func(int) {
+			ForEach(8, 0, func(int) {
+				leaves.Add(1)
+			})
+		})
+	})
+	if leaves.Load() != 512 {
+		t.Fatalf("ran %d of 512 leaves", leaves.Load())
+	}
+	if got, bound := Peak(), int64(3*(limit+1)); got > bound {
+		t.Errorf("peak %d concurrent bodies exceeds the %d bound", got, bound)
+	}
+}
+
+func TestWorkersRecruitsHelpers(t *testing.T) {
+	restore := SetLimit(4)
+	defer restore()
+	var bodies atomic.Int64
+	gate := make(chan struct{})
+	Workers(8, 0, func(next func() (int, bool)) {
+		if bodies.Add(1) == 5 { // caller + 4 helpers all arrived
+			close(gate)
+		}
+		<-gate // hold every body until all five are running
+		for _, ok := next(); ok; _, ok = next() {
+		}
+	})
+	if got := bodies.Load(); got != 5 {
+		t.Errorf("recruited %d bodies, want caller + 4 helpers", got)
+	}
+	if Peak() < 5 {
+		t.Errorf("peak %d never saw all bodies concurrent", Peak())
+	}
+}
+
+func TestSetLimitRestores(t *testing.T) {
+	prev := Limit()
+	restore := SetLimit(prev + 7)
+	if Limit() != prev+7 {
+		t.Fatalf("limit %d after SetLimit(%d)", Limit(), prev+7)
+	}
+	restore()
+	if Limit() != prev {
+		t.Fatalf("limit %d after restore, want %d", Limit(), prev)
+	}
+}

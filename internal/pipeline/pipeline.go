@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -332,28 +333,24 @@ func (d *Driver) Step(snap map[string]*grid.Field3D) (*StepStats, error) {
 	compressed := make(map[string]*core.CompressedField, len(names))
 	var mu sync.Mutex // guards compressed and firstErr
 	var firstErr error
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, name string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			cf, fs, err := d.compressField(name, snap[name])
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("pipeline: field %s: %w", name, err)
-				}
-				return
+	// Fields fan out over the shared worker pool (bounded by FieldWorkers
+	// and, transitively, GOMAXPROCS): the partition- and block-level
+	// fan-outs below draw from the same pool, so a nested run cannot
+	// oversubscribe to FieldWorkers × engine workers goroutines.
+	parallel.ForEach(len(names), workers, func(i int) {
+		name := names[i]
+		cf, fs, err := d.compressField(name, snap[name])
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pipeline: field %s: %w", name, err)
 			}
-			st.Fields[i] = *fs
-			compressed[name] = cf
-		}(i, name)
-	}
-	wg.Wait()
+			return
+		}
+		st.Fields[i] = *fs
+		compressed[name] = cf
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/nyx"
+	"repro/internal/parallel"
 )
 
 // testSteps materializes an evolving run so tests can compare against the
@@ -343,5 +344,38 @@ func TestPipelineSourceAdapters(t *testing.T) {
 	// An empty snapshot is a driver error.
 	if _, err := drv.Step(nil); err == nil {
 		t.Error("empty snapshot accepted")
+	}
+}
+
+// TestNestedFanOutBounded pins the shared-pool contract end to end: a step
+// with FieldWorkers > 1, multi-partition fields, and the zfp codec (whose
+// big partitions fan out once more at block level) must keep the number of
+// concurrently running fan-out bodies at O(pool limit) — with per-level
+// worker pools this configuration would schedule fields × partitions ×
+// block-chunks goroutines.
+func TestNestedFanOutBounded(t *testing.T) {
+	const limit = 3
+	restore := parallel.SetLimit(limit)
+	defer restore()
+
+	// Two 64³ fields of 8 partitions each; 32³ partitions are 512 blocks,
+	// above zfp's block-parallel threshold, so all three levels fan out.
+	steps := testSteps(t, 64, 1, nyx.FieldBaryonDensity, nyx.FieldTemperature)
+	drv, err := New(core.Config{PartitionDim: 32, Codec: codec.ZFP},
+		Options{FieldWorkers: 4, Policy: CalibrateOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.ResetPeak()
+	if _, err := drv.Step(steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Three nested levels (fields → partitions → block chunks), each
+	// adding at most limit helpers plus its callers' own bodies.
+	if got, bound := parallel.Peak(), int64(3*(limit+1)); got > bound {
+		t.Errorf("nested step peaked at %d concurrent fan-out bodies, bound %d", got, bound)
+	}
+	if parallel.Peak() < 2 {
+		t.Errorf("fan-out never went concurrent (peak %d) — pool helpers were not recruited", parallel.Peak())
 	}
 }

@@ -1,0 +1,149 @@
+package zfp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// indexRates spans the ladder and bisection probes the codec adapter
+// issues, plus awkward fractional rates.
+var indexRates = []float64{0.5, 1, 2, 2.75, 4, 8, 12.25, 16, 31, 32}
+
+// TestIndexedTruncateMatchesDirectCompress is the single-pass rate search's
+// core invariant: splicing block prefixes out of the max-rate stream must
+// be byte-identical to compressing at the target rate directly.
+func TestIndexedTruncateMatchesDirectCompress(t *testing.T) {
+	fields := map[string]*grid.Field3D{
+		"smooth": smoothField(16, 61),
+		"ragged": func() *grid.Field3D {
+			r := stats.NewRNG(62)
+			f := grid.NewField3D(10, 7, 5)
+			for i := range f.Data {
+				f.Data[i] = float32(r.NormFloat64() * 1e3)
+			}
+			return f
+		}(),
+		"zero":  grid.NewCube(8),
+		"large": smoothField(40, 63), // chunked path
+	}
+	restore := parallel.SetLimit(3)
+	defer restore()
+	var s Scratch
+	for name, f := range fields {
+		ix, err := CompressIndexed(f, Options{Rate: 32}, &s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, rate := range indexRates {
+			direct, err := Compress(f, Options{Rate: rate})
+			if err != nil {
+				t.Fatalf("%s rate %v: %v", name, rate, err)
+			}
+			spliced, err := ix.TruncateToRate(rate, &s)
+			if err != nil {
+				t.Fatalf("%s rate %v: truncate: %v", name, rate, err)
+			}
+			if !bytes.Equal(direct.payload, spliced.payload) {
+				t.Errorf("%s rate %v: spliced stream differs from direct compression", name, rate)
+			}
+			if spliced.Rate != rate || spliced.Nx != f.Nx {
+				t.Errorf("%s rate %v: header fields wrong", name, rate)
+			}
+			// Size prediction must be exact, not an estimate.
+			predicted, err := ix.PredictSize(rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if predicted != direct.CompressedSize() {
+				t.Errorf("%s rate %v: predicted %d bytes, direct is %d",
+					name, rate, predicted, direct.CompressedSize())
+			}
+		}
+	}
+}
+
+// TestIndexedDecompressAtRateMatchesRecompression pins the probe decode:
+// reconstructing from the truncated index must equal the round trip through
+// an actual recompression at that rate — the equivalence that lets the
+// error-bound search measure probes without recompressing.
+func TestIndexedDecompressAtRateMatchesRecompression(t *testing.T) {
+	f := smoothField(16, 64)
+	ix, err := CompressIndexed(f, Options{Rate: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range indexRates {
+		c, err := Compress(f, Options{Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decompress(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.DecompressAtRate(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("rate %v: probe reconstruction diverges at cell %d: %v vs %v",
+					rate, i, want.Data[i], got.Data[i])
+			}
+		}
+	}
+}
+
+func TestIndexedRejectsHigherRate(t *testing.T) {
+	f := smoothField(8, 65)
+	ix, err := CompressIndexed(f, Options{Rate: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.TruncateToRate(16, nil); err == nil {
+		t.Error("truncating above the index rate accepted")
+	}
+	if _, err := ix.PredictSize(16); err == nil {
+		t.Error("predicting above the index rate accepted")
+	}
+	if err := ix.DecompressAtRateInto(grid.NewCube(8), 16, nil); err == nil {
+		t.Error("decoding above the index rate accepted")
+	}
+	if err := ix.DecompressAtRateInto(grid.NewCube(4), 4, nil); err == nil {
+		t.Error("mismatched output shape accepted")
+	}
+	if _, err := ix.TruncateToRate(math.NaN(), nil); err == nil {
+		t.Error("NaN rate accepted")
+	}
+}
+
+// TestIndexedAccountingConsistent sanity-checks the offset table itself:
+// monotone, ending at the stream's bit length, with every block at least
+// its zero flag wide.
+func TestIndexedAccountingConsistent(t *testing.T) {
+	f := smoothField(12, 66)
+	ix, err := CompressIndexed(f, Options{Rate: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := layoutOf(f.Nx, f.Ny, f.Nz)
+	if len(ix.starts) != l.blocks()+1 {
+		t.Fatalf("%d offsets for %d blocks", len(ix.starts), l.blocks())
+	}
+	budget := budgetOf(ix.C.Rate)
+	for b := 0; b < l.blocks(); b++ {
+		width := ix.starts[b+1] - ix.starts[b]
+		if width < 1 || (width > 1 && width > blockHeaderBits+budget) {
+			t.Fatalf("block %d spans %d bits (budget %d)", b, width, budget)
+		}
+	}
+	total := ix.starts[l.blocks()]
+	if got := len(ix.C.payload); got != (total+7)/8 {
+		t.Fatalf("payload %d bytes for %d recorded bits", got, total)
+	}
+}

@@ -1,0 +1,439 @@
+package zfp
+
+// The per-bit serial codec that shipped before the word-based block-parallel
+// rewrite, retained verbatim as a differential reference (PR 3 precedent in
+// internal/huffman): the rewrite must emit byte-identical streams — the
+// archive format pins the bits and the golden fixtures in internal/core
+// depend on it — and decode them identically. Both directions are kept so
+// production-encoded streams are cross-checked against the reference
+// decoder and vice versa.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/huffman"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// refCompress is the pre-rewrite Compress, bit for bit: one goroutine, one
+// BitWriter, per-bit plane coding.
+func refCompress(f *grid.Field3D, opt Options) (*Compressed, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if f.Len() == 0 {
+		return nil, errors.New("zfp: empty field")
+	}
+	budget := budgetOf(opt.Rate)
+	w := huffman.NewBitWriter(f.Len() / 2)
+	var block [blockSize]float64
+	var ints [blockSize]int64
+	for z0 := 0; z0 < f.Nz; z0 += blockDim {
+		for y0 := 0; y0 < f.Ny; y0 += blockDim {
+			for x0 := 0; x0 < f.Nx; x0 += blockDim {
+				gatherBlock(f, x0, y0, z0, &block)
+				refEncodeBlock(w, &block, &ints, budget)
+			}
+		}
+	}
+	return &Compressed{Nx: f.Nx, Ny: f.Ny, Nz: f.Nz, Rate: opt.Rate, payload: w.Bytes()}, nil
+}
+
+func refEncodeBlock(w *huffman.BitWriter, vals *[blockSize]float64, ints *[blockSize]int64, budget int) {
+	var maxAbs float64
+	for _, v := range vals {
+		a := math.Abs(v)
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	emax := math.Ilogb(maxAbs)
+	w.WriteBits(uint64(emax+2048), 12)
+
+	scale := math.Ldexp(1, maxPlanes-guardBits-1-emax)
+	for i, v := range vals {
+		ints[i] = int64(v * scale)
+	}
+	transformBlock(ints)
+
+	var coeffs [blockSize]uint64
+	for rank, idx := range sequency {
+		coeffs[rank] = negabinary(ints[idx])
+	}
+	refEncodePlanes(w, &coeffs, budget)
+}
+
+func refEncodePlanes(w *huffman.BitWriter, coeffs *[blockSize]uint64, budget int) {
+	spent := 0
+	emit := func(bit uint) bool {
+		if spent >= budget {
+			return false
+		}
+		w.WriteBit(bit)
+		spent++
+		return true
+	}
+	sigPrefix := 0
+	for plane := maxPlanes - 1; plane >= 0 && spent < budget; plane-- {
+		for i := 0; i < sigPrefix; i++ {
+			if !emit(uint(coeffs[i]>>plane) & 1) {
+				return
+			}
+		}
+		i := sigPrefix
+		for i < blockSize {
+			any := uint(0)
+			for j := i; j < blockSize; j++ {
+				if (coeffs[j]>>plane)&1 == 1 {
+					any = 1
+					break
+				}
+			}
+			if !emit(any) {
+				return
+			}
+			if any == 0 {
+				break
+			}
+			for i < blockSize {
+				b := uint(coeffs[i]>>plane) & 1
+				if !emit(b) {
+					return
+				}
+				i++
+				if b == 1 {
+					break
+				}
+			}
+		}
+		if i > sigPrefix {
+			sigPrefix = i
+		}
+	}
+}
+
+// refDecompress is the pre-rewrite Decompress: one goroutine, per-bit reads.
+func refDecompress(c *Compressed) (*grid.Field3D, error) {
+	if c.Nx <= 0 || c.Ny <= 0 || c.Nz <= 0 {
+		return nil, errors.New("zfp: invalid dimensions")
+	}
+	if err := (Options{Rate: c.Rate}).Validate(); err != nil {
+		return nil, err
+	}
+	budget := budgetOf(c.Rate)
+	out := grid.NewField3D(c.Nx, c.Ny, c.Nz)
+	r := huffman.NewBitReader(c.payload)
+	var block [blockSize]float64
+	for z0 := 0; z0 < c.Nz; z0 += blockDim {
+		for y0 := 0; y0 < c.Ny; y0 += blockDim {
+			for x0 := 0; x0 < c.Nx; x0 += blockDim {
+				if err := refDecodeBlock(r, &block, budget); err != nil {
+					return nil, fmt.Errorf("zfp: block (%d,%d,%d): %w", x0, y0, z0, err)
+				}
+				scatterBlock(out, x0, y0, z0, &block)
+			}
+		}
+	}
+	return out, nil
+}
+
+func refDecodeBlock(r *huffman.BitReader, vals *[blockSize]float64, budget int) error {
+	zeroFlag, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if zeroFlag == 0 {
+		for i := range vals {
+			vals[i] = 0
+		}
+		return nil
+	}
+	e, err := r.ReadBits(12)
+	if err != nil {
+		return err
+	}
+	emax := int(e) - 2048
+	var coeffs [blockSize]uint64
+	if err := refDecodePlanes(r, &coeffs, budget); err != nil {
+		return err
+	}
+	var ints [blockSize]int64
+	for rank, idx := range sequency {
+		ints[idx] = negabinaryInv(coeffs[rank])
+	}
+	inverseBlock(&ints)
+	scale := math.Ldexp(1, -(maxPlanes - guardBits - 1 - emax))
+	for i, v := range ints {
+		vals[i] = float64(v) * scale
+	}
+	return nil
+}
+
+func refDecodePlanes(r *huffman.BitReader, coeffs *[blockSize]uint64, budget int) error {
+	spent := 0
+	read := func() (uint, bool, error) {
+		if spent >= budget {
+			return 0, false, nil
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, false, err
+		}
+		spent++
+		return b, true, nil
+	}
+	sigPrefix := 0
+	for plane := maxPlanes - 1; plane >= 0 && spent < budget; plane-- {
+		for i := 0; i < sigPrefix; i++ {
+			b, ok, err := read()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			coeffs[i] |= uint64(b) << plane
+		}
+		i := sigPrefix
+		for i < blockSize {
+			any, ok, err := read()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if any == 0 {
+				break
+			}
+			for i < blockSize {
+				b, ok, err := read()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				coeffs[i] |= uint64(b) << plane
+				i++
+				if b == 1 {
+					break
+				}
+			}
+		}
+		if i > sigPrefix {
+			sigPrefix = i
+		}
+	}
+	return nil
+}
+
+// diffField asserts the production encoder reproduces the reference stream
+// byte for byte at every probed rate, and that all four encoder/decoder
+// pairings agree exactly on the reconstruction.
+func diffField(t *testing.T, name string, f *grid.Field3D, rates ...float64) {
+	t.Helper()
+	if len(rates) == 0 {
+		rates = []float64{0.5, 1, 2.75, 8, 19, 32}
+	}
+	var s Scratch
+	for _, rate := range rates {
+		want, err := refCompress(f, Options{Rate: rate})
+		if err != nil {
+			t.Fatalf("%s rate %v: reference encode: %v", name, rate, err)
+		}
+		got, err := CompressWith(f, Options{Rate: rate}, &s)
+		if err != nil {
+			t.Fatalf("%s rate %v: encode: %v", name, rate, err)
+		}
+		if !bytes.Equal(got.payload, want.payload) {
+			n := 0
+			for n < len(got.payload) && n < len(want.payload) && got.payload[n] == want.payload[n] {
+				n++
+			}
+			t.Fatalf("%s rate %v: stream diverges from reference at byte %d (%d vs %d bytes total)",
+				name, rate, n, len(got.payload), len(want.payload))
+		}
+		refOut, err := refDecompress(want)
+		if err != nil {
+			t.Fatalf("%s rate %v: reference decode: %v", name, rate, err)
+		}
+		prodOut, err := Decompress(got)
+		if err != nil {
+			t.Fatalf("%s rate %v: decode: %v", name, rate, err)
+		}
+		// Cross-pairings: production decoder over the reference stream and
+		// the reference decoder over the production stream.
+		crossA, err := Decompress(want)
+		if err != nil {
+			t.Fatalf("%s rate %v: decode of reference stream: %v", name, rate, err)
+		}
+		crossB, err := refDecompress(got)
+		if err != nil {
+			t.Fatalf("%s rate %v: reference decode of production stream: %v", name, rate, err)
+		}
+		for i := range refOut.Data {
+			if refOut.Data[i] != prodOut.Data[i] || refOut.Data[i] != crossA.Data[i] || refOut.Data[i] != crossB.Data[i] {
+				t.Fatalf("%s rate %v: reconstruction diverges at cell %d: ref %v prod %v crossA %v crossB %v",
+					name, rate, i, refOut.Data[i], prodOut.Data[i], crossA.Data[i], crossB.Data[i])
+			}
+		}
+	}
+}
+
+func TestDifferentialSmooth(t *testing.T) {
+	diffField(t, "smooth16", smoothField(16, 31))
+}
+
+func TestDifferentialNonMultipleOfFourDims(t *testing.T) {
+	r := stats.NewRNG(32)
+	f := grid.NewField3D(7, 5, 6)
+	for i := range f.Data {
+		f.Data[i] = float32(r.NormFloat64() * 10)
+	}
+	diffField(t, "7x5x6", f)
+	g := grid.NewField3D(1, 1, 1)
+	g.Data[0] = 3.25
+	diffField(t, "1x1x1", g)
+	h := grid.NewField3D(9, 4, 4)
+	for i := range h.Data {
+		h.Data[i] = float32(r.NormFloat64())
+	}
+	diffField(t, "9x4x4", h)
+}
+
+func TestDifferentialAllZeroBlocks(t *testing.T) {
+	diffField(t, "zero", grid.NewCube(8))
+	// Mixed: zero blocks interleaved with live ones.
+	f := grid.NewCube(12)
+	r := stats.NewRNG(33)
+	for bz := 0; bz < 3; bz++ {
+		for by := 0; by < 3; by++ {
+			for bx := 0; bx < 3; bx++ {
+				if (bx+by+bz)%2 == 0 {
+					continue // leave this block all-zero
+				}
+				for dz := 0; dz < 4; dz++ {
+					for dy := 0; dy < 4; dy++ {
+						for dx := 0; dx < 4; dx++ {
+							f.Set(bx*4+dx, by*4+dy, bz*4+dz, float32(r.NormFloat64()))
+						}
+					}
+				}
+			}
+		}
+	}
+	diffField(t, "mixed-zero", f)
+}
+
+func TestDifferentialSingleBlock(t *testing.T) {
+	f := grid.NewCube(4)
+	r := stats.NewRNG(34)
+	for i := range f.Data {
+		f.Data[i] = float32(r.NormFloat64() * 100)
+	}
+	diffField(t, "single-block", f)
+}
+
+func TestDifferentialExtremeExponents(t *testing.T) {
+	// Denormal-scale, huge-scale, and mixed-magnitude blocks: the block
+	// exponent and fixed-point scaling must agree bit for bit.
+	f := grid.NewCube(8)
+	r := stats.NewRNG(35)
+	for i := range f.Data {
+		switch i % 4 {
+		case 0:
+			f.Data[i] = float32(r.NormFloat64() * 1e-30)
+		case 1:
+			f.Data[i] = float32(r.NormFloat64() * 1e30)
+		case 2:
+			f.Data[i] = float32(r.NormFloat64() * 1e-8)
+		default:
+			f.Data[i] = float32(r.NormFloat64())
+		}
+	}
+	diffField(t, "extreme", f)
+}
+
+func TestDifferentialRandomFields(t *testing.T) {
+	r := stats.NewRNG(36)
+	for trial := 0; trial < 12; trial++ {
+		nx := 1 + r.Intn(12)
+		ny := 1 + r.Intn(12)
+		nz := 1 + r.Intn(12)
+		f := grid.NewField3D(nx, ny, nz)
+		scale := math.Pow(10, r.Uniform(-6, 6))
+		for i := range f.Data {
+			f.Data[i] = float32(r.NormFloat64() * scale)
+		}
+		diffField(t, fmt.Sprintf("trial%d(%dx%dx%d)", trial, nx, ny, nz), f, 1+r.Uniform(0, 30))
+	}
+}
+
+func TestDifferentialScratchReuse(t *testing.T) {
+	// One Scratch across different shapes and rates must not leak state.
+	var s Scratch
+	r := stats.NewRNG(37)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + 4*r.Intn(4)
+		f := grid.NewCube(n)
+		for i := range f.Data {
+			f.Data[i] = float32(r.NormFloat64() * 50)
+		}
+		rate := 0.5 + r.Uniform(0, 31)
+		want, err := refCompress(f, Options{Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompressWith(f, Options{Rate: rate}, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.payload, want.payload) {
+			t.Fatalf("trial %d: scratch reuse diverged from reference", trial)
+		}
+		ref, err := refDecompress(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := DecompressWith(got, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Data {
+			if ref.Data[i] != prod.Data[i] {
+				t.Fatalf("trial %d: reconstruction diverged at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelThreshold forces both the chunked and the serial
+// encode/decode paths over the same fields and asserts they agree with the
+// reference — the splice must be invisible in the bits. The pool limit is
+// raised so the chunked path actually recruits helpers even on a 1-CPU
+// machine (chunk layout, and therefore the stream, is worker-independent).
+func TestDifferentialParallelThreshold(t *testing.T) {
+	restore := parallel.SetLimit(3)
+	defer restore()
+	f := smoothField(24, 38) // 216 blocks: serial below the default threshold
+	diffField(t, "serial-side", f, 7)
+	big := smoothField(40, 39) // 1000 blocks: chunked path
+	diffField(t, "chunked-side", big, 7)
+	// And with the pool forced empty, the same big field goes serial and
+	// must still produce the identical stream.
+	noHelpers := parallel.SetLimit(0)
+	diffField(t, "chunked-field-serial-pool", big, 7)
+	noHelpers()
+}

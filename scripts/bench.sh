@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — run the hot-path benchmark suite and record it in the
-# BENCH_PR3.json trajectory file.
+# BENCH_PR4.json trajectory file.
 #
 # Covers the substrate micro-benchmarks (SZCompress, SZDecompress,
-# HuffmanEncode, HuffmanDecode) plus the end-to-end paths whose allocation
-# flatness the perf work must preserve (AdaptivePipeline, PipelineStream),
-# all with -benchmem.
+# ZFPCompress, ZFPDecompress, HuffmanEncode, HuffmanDecode) plus the
+# end-to-end paths whose allocation flatness the perf work must preserve
+# (AdaptivePipeline, PipelineStream), all with -benchmem.
 #
 # Usage:
 #   scripts/bench.sh                  # 2s per benchmark, label "current"
 #   BENCHTIME=1x scripts/bench.sh     # single-iteration smoke (CI)
 #   BENCH_LABEL=baseline scripts/bench.sh   # file results under a label
-#   BENCH_OUT=BENCH_PR4.json scripts/bench.sh
+#   BENCH_OUT=BENCH_PR3.json scripts/bench.sh   # append to an older trajectory
 #
 # ns/op are machine-dependent: compare labels recorded on the same machine.
 set -euo pipefail
@@ -19,11 +19,11 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 BENCH_LABEL="${BENCH_LABEL:-current}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR3.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR4.json}"
 RAW="$(mktemp /tmp/bench.XXXXXX.txt)"
 trap 'rm -f "$RAW"' EXIT
 
-PATTERN='^(BenchmarkSZCompress|BenchmarkSZDecompress|BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkAdaptivePipeline|BenchmarkPipelineStream)$'
+PATTERN='^(BenchmarkSZCompress|BenchmarkSZDecompress|BenchmarkZFPCompress|BenchmarkZFPDecompress|BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkAdaptivePipeline|BenchmarkPipelineStream)$'
 
 echo "running hot-path benches (benchtime=${BENCHTIME}) ..." >&2
 go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" -benchmem . | tee "$RAW"
