@@ -1,0 +1,97 @@
+package adaptive
+
+import (
+	"io"
+
+	"repro/internal/foresight"
+	"repro/internal/halo"
+	"repro/internal/model"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+)
+
+// Analysis surface: the post-hoc quality metrics the paper's budgets are
+// derived from (power spectra, halo catalogs) and the Foresight-style
+// evaluation harness.
+
+// Spectrum is a shell-binned matter power spectrum.
+type Spectrum = spectrum.Spectrum
+
+// SpectrumOptions configures spectrum computation.
+type SpectrumOptions = spectrum.Options
+
+// ComputeSpectrum measures the power spectrum of a cubic field.
+func ComputeSpectrum(f *Field, opt SpectrumOptions) (*Spectrum, error) {
+	return spectrum.Compute(f, opt)
+}
+
+// SpectrumRatios returns P'(k)/P(k) per shell.
+func SpectrumRatios(orig, recon *Spectrum) ([]float64, error) {
+	return spectrum.Ratio(orig, recon)
+}
+
+// SpectrumMaxDeviation returns max |P'(k)/P(k) − 1| for 0 < k < kMax —
+// the paper's acceptance figure.
+func SpectrumMaxDeviation(orig, recon *Spectrum, kMax float64) (float64, error) {
+	return spectrum.MaxDeviation(orig, recon, kMax)
+}
+
+// SigmaFFT3D is the paper's FFT error model (Eq. 9): the standard
+// deviation of a 3-D FFT bin under a pointwise bound eb on an n³ field.
+func SigmaFFT3D(n int, eb float64) float64 { return model.SigmaFFT3D(n, eb) }
+
+// HaloConfig configures the friends-of-friends-style halo finder.
+type HaloConfig = halo.Config
+
+// DefaultHaloConfig returns the boundary/peak thresholds used throughout
+// the reproduction for synthetic baryon-density fields (periodic).
+func DefaultHaloConfig() HaloConfig {
+	bt, pt := defaultHaloThresholds()
+	return HaloConfig{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+}
+
+// HaloCatalog is a set of found halos with positions and masses.
+type HaloCatalog = halo.Catalog
+
+// HaloMatchResult summarizes a catalog-to-catalog comparison.
+type HaloMatchResult = halo.MatchResult
+
+// FindHalos runs the halo finder on a density field.
+func FindHalos(f *Field, cfg HaloConfig) (*HaloCatalog, error) { return halo.Find(f, cfg) }
+
+// MatchHalos matches a reconstructed catalog against the original within
+// maxDist cells (periodic in nx×ny×nz) and reports the paper's distortion
+// metrics (mass-ratio RMSE, position RMSE, lost/spurious counts).
+func MatchHalos(orig, recon *HaloCatalog, maxDist float64, nx, ny, nz int) HaloMatchResult {
+	return halo.Match(orig, recon, maxDist, nx, ny, nz)
+}
+
+// Moments accumulates streaming min/max/mean/variance.
+type Moments = stats.Moments
+
+// MaxAbsError returns max |a[i] − b[i]| — the figure to verify a
+// compressed field honored its pointwise bounds.
+func MaxAbsError(a, b []float32) (float64, error) { return stats.MaxAbsError(a, b) }
+
+// ForesightEvaluator is the VizAly-Foresight-style evaluation harness:
+// general metrics (PSNR, MSE, max error) plus the analysis-aware ones
+// (spectrum distortion, halo distortion), sweeps, and the trial-and-error
+// baseline search. Build one with System.Foresight.
+type ForesightEvaluator = foresight.Evaluator
+
+// ForesightMetrics is one evaluation of a compressed field.
+type ForesightMetrics = foresight.Metrics
+
+// TrialAndErrorResult is the outcome of the traditional baseline search.
+type TrialAndErrorResult = foresight.TrialAndErrorResult
+
+// GeometricGrid builds an n-point geometric error-bound grid from lo to
+// hi inclusive.
+func GeometricGrid(lo, hi float64, n int) ([]float64, error) {
+	return foresight.GeometricGrid(lo, hi, n)
+}
+
+// WriteMetricsCSV renders evaluation rows as CSV for external plotting.
+func WriteMetricsCSV(w io.Writer, rows []ForesightMetrics) error {
+	return foresight.WriteCSV(w, rows)
+}

@@ -1,0 +1,114 @@
+package adaptive_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/adaptive"
+	"repro/internal/core"
+)
+
+// benchField is a 32³ field with realistic variation.
+func benchField() *adaptive.Field {
+	f := adaptive.NewField(32, 32, 32)
+	for i := range f.Data {
+		x := float64(i)
+		f.Data[i] = float32(2 + math.Sin(x*0.37)*math.Cos(x*0.011))
+	}
+	return f
+}
+
+// BenchmarkFacadeOverhead pins the facade tax: the public System path and
+// a direct internal/core engine run the same compression, and because
+// options resolve once at construction the two must match in both time
+// (within noise) and allocs/op (exactly). Compare the facade/direct
+// sub-benchmarks with -benchmem.
+func BenchmarkFacadeOverhead(b *testing.B) {
+	ctx := context.Background()
+	f := benchField()
+
+	sys, err := adaptive.New(adaptive.WithPartitionDim(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(core.Config{PartitionDim: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := sys.Calibrate(ctx, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sys.Plan(ctx, f, cal, adaptive.PlanOptions{AvgEB: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("facade", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.CompressAdaptive(ctx, f, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.CompressAdaptive(ctx, f, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestFacadeAllocParity is the gating form of BenchmarkFacadeOverhead:
+// the facade's per-call allocations must equal the direct engine's
+// exactly (single-worker so the measurement is deterministic).
+func TestFacadeAllocParity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector runtime perturbs alloc counts; run without -race")
+	}
+	ctx := context.Background()
+	f := benchField()
+
+	sys, err := adaptive.New(adaptive.WithPartitionDim(8), adaptive.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(core.Config{PartitionDim: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := sys.Calibrate(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(ctx, f, cal, adaptive.PlanOptions{AvgEB: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm both scratch pools before measuring steady state.
+	if _, err := sys.CompressAdaptive(ctx, f, plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.CompressAdaptive(ctx, f, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	facade := testing.AllocsPerRun(10, func() {
+		if _, err := sys.CompressAdaptive(ctx, f, plan); err != nil {
+			t.Fatal(err)
+		}
+	})
+	direct := testing.AllocsPerRun(10, func() {
+		if _, err := eng.CompressAdaptive(ctx, f, plan); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if facade != direct {
+		t.Fatalf("facade allocs/op %.1f != direct allocs/op %.1f", facade, direct)
+	}
+}

@@ -1,0 +1,63 @@
+package codecs_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/adaptive"
+	"repro/adaptive/codecs"
+)
+
+func TestRegistrySurface(t *testing.T) {
+	ids := codecs.IDs()
+	if len(ids) < 2 {
+		t.Fatalf("registry lists %v, want at least sz and zfp", ids)
+	}
+	for _, id := range []codecs.ID{codecs.SZ, codecs.ZFP} {
+		if _, err := codecs.Lookup(id); err != nil {
+			t.Fatalf("Lookup(%s): %v", id, err)
+		}
+	}
+	if _, err := codecs.Lookup("nope"); !errors.Is(err, adaptive.ErrCodecUnknown) {
+		t.Fatalf("unknown lookup: %v", err)
+	}
+	if err := codecs.Register(nil); err == nil {
+		t.Fatal("registered a nil codec")
+	}
+}
+
+func TestFrameEnvelopeRoundTrip(t *testing.T) {
+	c, err := codecs.Lookup(codecs.SZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float32, 4*4*4)
+	for i := range data {
+		data[i] = float32(i%7) * 0.25
+	}
+	frame, err := c.Compress(data, 4, 4, 4, codecs.Options{ErrorBound: 0.01}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := codecs.EncodeFrame(frame)
+	back, err := codecs.DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CodecID() != codecs.SZ {
+		t.Fatalf("decoded frame claims codec %q", back.CodecID())
+	}
+	values, err := back.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		d := float64(values[i] - data[i])
+		if d > 0.01 || d < -0.01 {
+			t.Fatalf("value %d off by %g (bound 0.01)", i, d)
+		}
+	}
+	if _, err := codecs.DecodeFrame([]byte("not a frame")); err == nil {
+		t.Fatal("decoded garbage")
+	}
+}

@@ -1,0 +1,37 @@
+package adaptive
+
+import "repro/internal/apierr"
+
+// The error taxonomy. Every layer of the stack wraps these sentinels with
+// %w at its boundary, so errors.Is works on any error a facade call
+// returns, no matter how deep the failure originated.
+var (
+	// ErrBadConfig marks a rejected configuration or argument: a
+	// non-positive partition dim, an out-of-range clamp factor, a
+	// non-positive quality budget, a field whose geometry does not match
+	// the configured layout.
+	ErrBadConfig = apierr.ErrBadConfig
+
+	// ErrCorruptArchive marks an archive — a v2 field archive, a v3
+	// stream container, or a codec frame inside either — that failed
+	// validation: bad magic, hostile header, truncation, trailing bytes,
+	// checksum mismatch.
+	ErrCorruptArchive = apierr.ErrCorruptArchive
+
+	// ErrCodecUnknown marks a codec ID no backend is registered for,
+	// whether it came from an option (WithCodec) or from the header of a
+	// frame being decoded.
+	ErrCodecUnknown = apierr.ErrCodecUnknown
+
+	// ErrDriftRecalibration marks a mid-run recalibration failure in the
+	// streaming pipeline: drift (or policy) demanded a re-fit of an
+	// already-calibrated field and the fit failed. A field's initial
+	// calibration failing is a plain error — this sentinel distinguishes
+	// "the stream went bad mid-run".
+	ErrDriftRecalibration = apierr.ErrDriftRecalibration
+)
+
+// DriftRecalibrationError is the typed form of ErrDriftRecalibration:
+// errors.As extracts the failing field and the drift that triggered the
+// re-fit, while errors.Is on the same error still matches the sentinel.
+type DriftRecalibrationError = apierr.DriftRecalibrationError

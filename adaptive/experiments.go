@@ -1,0 +1,57 @@
+package adaptive
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apierr"
+	"repro/internal/experiments"
+)
+
+// Experiment surface: the paper's tables and figures, regenerated on the
+// synthetic substrate. Each experiment maps a shared context (cached
+// snapshots + calibrations) to a rendered text table.
+
+// Experiment is one registered table/figure reproduction.
+type Experiment = experiments.Experiment
+
+// ExperimentResult is a regenerated table/figure (String renders it).
+type ExperimentResult = experiments.Result
+
+// ExperimentContext carries the engine and caches snapshots and
+// calibrations across experiments.
+type ExperimentContext = experiments.Context
+
+// Experiments lists every experiment in paper order, then the ablations.
+func Experiments() []Experiment { return append([]Experiment(nil), experiments.All...) }
+
+// ExperimentByID returns the experiment with the given ID ("fig13",
+// "sec43", "ablation-clamp", ...).
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// NewExperimentContext builds an experiment context from the same option
+// set as New. Only the workload knobs (WithGridN, WithSeed, WithRedshift)
+// and the engine knobs an experiment run can express (WithCodec,
+// WithPartitionDim, WithWorkers) apply; any other option is rejected with
+// ErrBadConfig rather than silently producing tables for a configuration
+// the caller did not ask for.
+func NewExperimentContext(opts ...Option) (*ExperimentContext, error) {
+	var cfg config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.notForExperiments) > 0 {
+		return nil, fmt.Errorf("adaptive: %w: option(s) %s not supported by experiment contexts",
+			apierr.ErrBadConfig, strings.Join(cfg.notForExperiments, ", "))
+	}
+	return experiments.NewContext(experiments.Config{
+		N:            cfg.gridN,
+		PartitionDim: cfg.engine.PartitionDim,
+		Seed:         cfg.seed,
+		Redshift:     cfg.redshift,
+		Workers:      cfg.engine.Workers,
+		Codec:        cfg.engine.Codec,
+	})
+}

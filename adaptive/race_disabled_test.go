@@ -1,0 +1,5 @@
+//go:build !race
+
+package adaptive_test
+
+const raceEnabled = false

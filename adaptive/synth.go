@@ -1,0 +1,67 @@
+package adaptive
+
+import (
+	"repro/internal/nyx"
+	"repro/internal/snapio"
+)
+
+// Synthetic-data surface: the Nyx-like cosmology generator that stands in
+// for the LBNL datasets the paper evaluates on, and the snapshot container
+// files it is exchanged through.
+
+// Field names every generated snapshot carries.
+const (
+	FieldBaryonDensity     = nyx.FieldBaryonDensity
+	FieldDarkMatterDensity = nyx.FieldDarkMatterDensity
+	FieldTemperature       = nyx.FieldTemperature
+	FieldVelocityX         = nyx.FieldVelocityX
+	FieldVelocityY         = nyx.FieldVelocityY
+	FieldVelocityZ         = nyx.FieldVelocityZ
+)
+
+// FieldNames lists every generated field in canonical order.
+func FieldNames() []string { return append([]string(nil), nyx.FieldNames...) }
+
+// SynthParams configures one synthetic snapshot (grid size, seed,
+// redshift; same seed = same universe).
+type SynthParams = nyx.Params
+
+// Snapshot is a generated universe: named fields at one redshift.
+type Snapshot = nyx.Snapshot
+
+// GenerateSnapshot builds a synthetic Nyx-like snapshot.
+func GenerateSnapshot(p SynthParams) (*Snapshot, error) { return nyx.Generate(p) }
+
+// GenerateSequence generates the same universe at several redshifts.
+func GenerateSequence(base SynthParams, redshifts []float64) ([]*Snapshot, error) {
+	return nyx.GenerateSequence(base, redshifts)
+}
+
+func defaultHaloThresholds() (boundary, peak float64) { return nyx.DefaultHaloConfig() }
+
+// SynthStreamParams configures an evolving multi-step stream.
+type SynthStreamParams = nyx.StreamParams
+
+// SynthStream is a deterministic evolving snapshot stream; it satisfies
+// Source, so it feeds System.Run directly.
+type SynthStream = nyx.Stream
+
+// NewSynthStream generates an evolving stream from scratch.
+func NewSynthStream(p SynthStreamParams) (*SynthStream, error) { return nyx.NewStream(p) }
+
+// NewSynthStreamFrom evolves externally supplied base fields (e.g. a
+// snapshot loaded from disk) into a deterministic multi-step stream.
+func NewSynthStreamFrom(base map[string]*Field, p SynthStreamParams) (*SynthStream, error) {
+	return nyx.NewStreamFrom(base, p)
+}
+
+// SnapshotFile is the on-disk snapshot container (named fields plus the
+// redshift they were generated at).
+type SnapshotFile = snapio.Snapshot
+
+// ReadSnapshotFile loads a snapshot container written by
+// WriteSnapshotFile (or the nyxgen command).
+func ReadSnapshotFile(path string) (*SnapshotFile, error) { return snapio.ReadFile(path) }
+
+// WriteSnapshotFile writes a snapshot container.
+func WriteSnapshotFile(path string, s *SnapshotFile) error { return snapio.WriteFile(path, s) }

@@ -12,6 +12,7 @@ package repro
 // benches here time their regeneration and assert they still produce rows.
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -298,7 +299,7 @@ func BenchmarkAdaptivePipeline(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cal, err := eng.Calibrate(f)
+			cal, err := eng.Calibrate(context.Background(), f)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -306,11 +307,11 @@ func BenchmarkAdaptivePipeline(b *testing.B) {
 			b.SetBytes(int64(4 * f.Len()))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				plan, err := eng.Plan(f, cal, core.PlanOptions{AvgEB: 0.1})
+				plan, err := eng.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: 0.1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := eng.CompressAdaptive(f, plan); err != nil {
+				if _, err := eng.CompressAdaptive(context.Background(), f, plan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -354,7 +355,7 @@ func BenchmarkPipelineStream(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := drv.Run(pipeline.FromSnapshots(steps)); err != nil {
+			if _, err := drv.Run(context.Background(), pipeline.FromSnapshots(steps)); err != nil {
 				b.Fatal(err) // warmup: fit the calibration once
 			}
 			b.ReportAllocs()
@@ -362,7 +363,7 @@ func BenchmarkPipelineStream(b *testing.B) {
 			b.ResetTimer()
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
-				run, err := drv.Run(pipeline.FromSnapshots(steps))
+				run, err := drv.Run(context.Background(), pipeline.FromSnapshots(steps))
 				if err != nil {
 					b.Fatal(err)
 				}

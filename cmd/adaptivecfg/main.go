@@ -21,20 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/halo"
-	"repro/internal/nyx"
-	"repro/internal/pipeline"
-	"repro/internal/snapio"
-	"repro/internal/stats"
+	"repro/adaptive"
+	"repro/adaptive/codecs"
 )
 
 func main() {
@@ -42,9 +37,9 @@ func main() {
 	log.SetPrefix("adaptivecfg: ")
 	var (
 		snapPath  = flag.String("snapshot", "", "snapshot file from nyxgen (required)")
-		fieldName = flag.String("field", nyx.FieldBaryonDensity, "field to compress")
+		fieldName = flag.String("field", adaptive.FieldBaryonDensity, "field to compress")
 		partition = flag.Int("partition", 16, "partition brick dimension")
-		codecName = flag.String("codec", string(codec.SZ),
+		codecName = flag.String("codec", string(codecs.SZ),
 			fmt.Sprintf("compression backend (%s)", idList()))
 		avgEB    = flag.Float64("avg-eb", 0, "average error-bound budget (0 = derive from spectrum target)")
 		tol      = flag.Float64("tolerance", 0.01, "power-spectrum tolerance for the derived budget")
@@ -60,8 +55,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx := context.Background()
 
-	snap, err := snapio.ReadFile(*snapPath)
+	snap, err := adaptive.ReadSnapshotFile(*snapPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,22 +65,23 @@ func main() {
 	if !ok {
 		log.Fatalf("field %q not in snapshot (have %v)", *fieldName, keys(snap.Fields))
 	}
-	eng, err := core.NewEngine(core.Config{
-		PartitionDim: *partition,
-		Workers:      *workers,
-		Codec:        codec.ID(*codecName),
-	})
+
+	if *steps > 1 {
+		runStream(ctx, *fieldName, f, *partition, *workers, *codecName, *steps, *drift, *policy, *avgEB, *savePath)
+		return
+	}
+
+	sys, err := adaptive.New(
+		adaptive.WithPartitionDim(*partition),
+		adaptive.WithWorkers(*workers),
+		adaptive.WithCodec(*codecName),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *steps > 1 {
-		runStream(eng, *fieldName, f, *steps, *drift, *policy, *avgEB, *savePath)
-		return
-	}
-
-	fmt.Printf("calibrating rate model on %s (%s) via %s...\n", *fieldName, f, eng.Config().Codec)
-	cal, err := eng.Calibrate(f)
+	fmt.Printf("calibrating rate model on %s (%s) via %s...\n", *fieldName, f, sys.Codec())
+	cal, err := sys.Calibrate(ctx, f)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +90,7 @@ func main() {
 
 	budget := *avgEB
 	if budget <= 0 {
-		budget, err = core.SpectrumBudget(f, core.BudgetOptions{
+		budget, err = adaptive.SpectrumBudget(f, adaptive.BudgetOptions{
 			Tolerance: *tol, Workers: *workers,
 		})
 		if err != nil {
@@ -102,14 +99,13 @@ func main() {
 		fmt.Printf("  spectrum-derived budget: avg eb = %.4g\n", budget)
 	}
 
-	opts := core.PlanOptions{AvgEB: budget}
+	opts := adaptive.PlanOptions{AvgEB: budget}
 	if *useHalo {
-		p, err := grid.PartitionerForBrickDim(f.Nx, *partition)
+		p, err := adaptive.PartitionerForBrickDim(f.Nx, *partition)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bt, pt := nyx.DefaultHaloConfig()
-		hb, err := core.HaloBudget(f, haloConfig(bt, pt), 0.01, 1.0, p)
+		hb, err := adaptive.HaloBudget(f, adaptive.DefaultHaloConfig(), 0.01, 1.0, p)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,11 +115,11 @@ func main() {
 			hb.Catalog.Count(), hb.MassBudget)
 	}
 
-	plan, err := eng.Plan(f, cal, opts)
+	plan, err := sys.Plan(ctx, f, cal, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var ebStats stats.Moments
+	var ebStats adaptive.Moments
 	for _, eb := range plan.EBs {
 		ebStats.Add(eb)
 	}
@@ -132,11 +128,11 @@ func main() {
 	fmt.Printf("  predicted improvement over static: %+.1f%%\n",
 		plan.Predicted.PredictedImprovement()*100)
 
-	adaptive, err := eng.CompressAdaptive(f, plan)
+	adaptiveCF, err := sys.CompressAdaptive(ctx, f, plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	static, err := eng.CompressStatic(f, budget)
+	static, err := sys.CompressStatic(ctx, f, budget)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,10 +140,10 @@ func main() {
 	fmt.Printf("  static  (eb=%.4g): ratio %.2f, %.3f bits/value\n",
 		budget, static.Ratio(), static.BitRate())
 	fmt.Printf("  adaptive          : ratio %.2f, %.3f bits/value (%+.1f%%)\n",
-		adaptive.Ratio(), adaptive.BitRate(), (adaptive.Ratio()/static.Ratio()-1)*100)
+		adaptiveCF.Ratio(), adaptiveCF.BitRate(), (adaptiveCF.Ratio()/static.Ratio()-1)*100)
 
 	if *savePath != "" {
-		if err := os.WriteFile(*savePath, adaptive.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(*savePath, adaptiveCF.Bytes(), 0o644); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  archive written to %s\n", *savePath)
@@ -157,27 +153,30 @@ func main() {
 // runStream drives the streaming pipeline: the loaded field is evolved
 // into a deterministic synthetic run and compressed step by step with
 // calibration reuse.
-func runStream(eng *core.Engine, name string, f *grid.Field3D, steps int, drift float64, policyName string, avgEB float64, savePath string) {
-	var pol pipeline.Policy
+func runStream(ctx context.Context, name string, f *adaptive.Field, partition, workers int, codecName string, steps int, drift float64, policyName string, avgEB float64, savePath string) {
+	var pol adaptive.Policy
 	switch policyName {
 	case "drift":
-		pol = pipeline.DriftTriggered
+		pol = adaptive.DriftTriggered
 		// The library treats 0 as "use the default", so a literal
 		// -drift 0 would silently become 0.25; catch it here instead.
 		if drift <= 0 {
 			log.Fatalf("-drift must be positive with -policy drift (use -policy every to recalibrate on every step)")
 		}
 	case "once":
-		pol = pipeline.CalibrateOnce
+		pol = adaptive.CalibrateOnce
 	case "every":
-		pol = pipeline.CalibrateEveryStep
+		pol = adaptive.CalibrateEveryStep
 	default:
 		log.Fatalf("unknown policy %q (want drift|once|every)", policyName)
 	}
-	opt := pipeline.Options{
-		Policy:         pol,
-		DriftThreshold: drift,
-		OnStep: func(st *pipeline.StepStats) {
+	sysOpts := []adaptive.Option{
+		adaptive.WithPartitionDim(partition),
+		adaptive.WithWorkers(workers),
+		adaptive.WithCodec(codecName),
+		adaptive.WithPolicy(pol),
+		adaptive.WithDriftThreshold(drift),
+		adaptive.WithOnStep(func(st *adaptive.StepStats) {
 			fs := st.Fields[0]
 			marker := ""
 			if fs.Recalibrated {
@@ -185,36 +184,38 @@ func runStream(eng *core.Engine, name string, f *grid.Field3D, steps int, drift 
 			}
 			fmt.Printf("  step %2d: ratio %6.2f  %6.3f bits/value  drift %5.1f%%%s\n",
 				st.Step, st.Ratio(), st.BitRate(), fs.Drift*100, marker)
-		},
+		}),
 	}
 	if avgEB > 0 {
-		opt.AvgEBs = map[string]float64{name: avgEB}
+		sysOpts = append(sysOpts, adaptive.WithFieldBudget(name, avgEB))
 	}
 	var out *os.File
+	var writer *adaptive.StreamWriter
 	if savePath != "" {
 		var err error
 		out, err = os.Create(savePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if opt.Writer, err = core.NewStreamWriter(out); err != nil {
+		if writer, err = adaptive.NewStreamWriter(out); err != nil {
 			log.Fatal(err)
 		}
+		sysOpts = append(sysOpts, adaptive.WithStreamWriter(writer))
 	}
 
-	src, err := nyx.NewStreamFrom(map[string]*grid.Field3D{name: f}, nyx.StreamParams{
+	src, err := adaptive.NewSynthStreamFrom(map[string]*adaptive.Field{name: f}, adaptive.SynthStreamParams{
 		Steps: steps, Fields: []string{name},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	drv, err := pipeline.NewWithEngine(eng, opt)
+	sys, err := adaptive.New(sysOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("streaming %d steps of %s (%s) via %s, policy %s (drift threshold %.0f%%):\n",
-		steps, name, f, eng.Config().Codec, pol, drift*100)
-	run, err := drv.Run(src)
+		steps, name, f, sys.Codec(), pol, drift*100)
+	run, err := sys.Run(ctx, src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -227,8 +228,8 @@ func runStream(eng *core.Engine, name string, f *grid.Field3D, steps int, drift 
 	fmt.Printf("  compress throughput: %.1f MB/s of field data (per-core work rate)\n",
 		run.CompressMBPerSec())
 
-	if opt.Writer != nil {
-		if err := opt.Writer.Close(); err != nil {
+	if writer != nil {
+		if err := writer.Close(); err != nil {
 			log.Fatal(err)
 		}
 		info, _ := out.Stat()
@@ -240,7 +241,7 @@ func runStream(eng *core.Engine, name string, f *grid.Field3D, steps int, drift 
 	}
 }
 
-func keys(m map[string]*grid.Field3D) []string {
+func keys(m map[string]*adaptive.Field) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
@@ -248,12 +249,8 @@ func keys(m map[string]*grid.Field3D) []string {
 	return out
 }
 
-func haloConfig(boundary, peak float64) halo.Config {
-	return halo.Config{BoundaryThreshold: boundary, HaloThreshold: peak, Periodic: true}
-}
-
 func idList() string {
-	ids := codec.IDs()
+	ids := codecs.IDs()
 	names := make([]string, len(ids))
 	for i, id := range ids {
 		names[i] = string(id)

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's tables and figures as text
-// tables (see internal/experiments for the per-figure implementations).
+// tables (the per-figure implementations are listed by adaptive.Experiments).
 //
 // Usage:
 //
@@ -16,7 +16,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/adaptive"
 )
 
 func main() {
@@ -33,24 +33,27 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All {
+		for _, e := range adaptive.Experiments() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	ctx, err := experiments.NewContext(experiments.Config{
-		N: *n, PartitionDim: *partition, Seed: *seed, Workers: *workers,
-	})
+	ctx, err := adaptive.NewExperimentContext(
+		adaptive.WithGridN(*n),
+		adaptive.WithPartitionDim(*partition),
+		adaptive.WithSeed(*seed),
+		adaptive.WithWorkers(*workers),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var toRun []experiments.Experiment
+	var toRun []adaptive.Experiment
 	if *only == "" {
-		toRun = experiments.All
+		toRun = adaptive.Experiments()
 	} else {
 		for _, id := range strings.Split(*only, ",") {
-			e, err := experiments.ByID(strings.TrimSpace(id))
+			e, err := adaptive.ExperimentByID(strings.TrimSpace(id))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -10,16 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/foresight"
-	"repro/internal/halo"
-	"repro/internal/nyx"
-	"repro/internal/snapio"
+	"repro/adaptive"
 )
 
 func main() {
@@ -27,7 +24,7 @@ func main() {
 	log.SetPrefix("foresight: ")
 	var (
 		snapPath  = flag.String("snapshot", "", "snapshot file from nyxgen (required)")
-		fieldName = flag.String("field", nyx.FieldBaryonDensity, "field to evaluate")
+		fieldName = flag.String("field", adaptive.FieldBaryonDensity, "field to evaluate")
 		partition = flag.Int("partition", 16, "partition brick dimension")
 		lo        = flag.Float64("lo", 0, "smallest error bound (0 = mean|value|/1000)")
 		hi        = flag.Float64("hi", 0, "largest error bound (0 = mean|value|*10)")
@@ -42,7 +39,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	snap, err := snapio.ReadFile(*snapPath)
+	ctx := context.Background()
+	snap, err := adaptive.ReadSnapshotFile(*snapPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,14 +48,18 @@ func main() {
 	if !ok {
 		log.Fatalf("field %q not in snapshot", *fieldName)
 	}
-	eng, err := core.NewEngine(core.Config{PartitionDim: *partition, Workers: *workers})
+	sys, err := adaptive.New(
+		adaptive.WithPartitionDim(*partition),
+		adaptive.WithWorkers(*workers),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev := &foresight.Evaluator{Engine: eng, Workers: *workers}
+	ev := sys.Foresight()
+	ev.Workers = *workers
 	if *useHalo {
-		bt, pt := nyx.DefaultHaloConfig()
-		ev.Halo = &halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
+		hcfg := adaptive.DefaultHaloConfig()
+		ev.Halo = &hcfg
 	}
 
 	// Default sweep range anchored on the field's mean magnitude.
@@ -76,13 +78,13 @@ func main() {
 	if *hi <= 0 {
 		*hi = meanAbs * 10
 	}
-	ebs, err := foresight.GeometricGrid(*lo, *hi, *steps)
+	ebs, err := adaptive.GeometricGrid(*lo, *hi, *steps)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("sweeping %s over %d bounds in [%.4g, %.4g]\n", *fieldName, len(ebs), *lo, *hi)
-	rows, err := ev.Sweep(*fieldName, f, ebs)
+	rows, err := ev.Sweep(ctx, *fieldName, f, ebs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func main() {
 	}
 
 	if *baseline {
-		res, err := ev.TrialAndError(*fieldName, f, ebs, 1)
+		res, err := ev.TrialAndError(ctx, *fieldName, f, ebs, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,7 +110,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer out.Close()
-		if err := foresight.WriteCSV(out, rows); err != nil {
+		if err := adaptive.WriteMetricsCSV(out, rows); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("CSV written to %s\n", *csvPath)

@@ -18,8 +18,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/nyx"
-	"repro/internal/snapio"
+	"repro/adaptive"
 )
 
 func main() {
@@ -42,14 +41,14 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, z := range zs {
-		snap, err := nyx.Generate(nyx.Params{
+		snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{
 			N: *n, Seed: *seed, Redshift: z, Workers: *workers,
 		})
 		if err != nil {
 			log.Fatalf("generating z=%g: %v", z, err)
 		}
 		path := filepath.Join(*outDir, fmt.Sprintf("snapshot_z%g.nyx", z))
-		if err := snapio.WriteFile(path, &snapio.Snapshot{
+		if err := adaptive.WriteSnapshotFile(path, &adaptive.SnapshotFile{
 			Redshift: z,
 			Fields:   snap.Fields,
 		}); err != nil {

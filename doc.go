@@ -2,24 +2,10 @@
 // Situ Lossy Compression for Cosmology Simulations via Fine-Grained
 // Rate-Quality Modeling" (Jin et al., HPDC '21).
 //
-// The public entry points live in internal/core (the adaptive
-// configurator), which drives its compressors through the pluggable codec
-// layer in internal/codec (a name-keyed registry of backends: internal/sz,
-// the error-bounded compressor the paper configures, and internal/zfp, the
-// fixed-rate comparison codec). internal/pipeline streams a running
-// simulation through the configurator — calibration is fitted once per
-// field, reused across timesteps, and refreshed only when the monitored
-// feature distribution drifts — and lands each step in the archive v3
-// multi-snapshot container (core.StreamWriter/StreamReader, O(1) access to
-// any step). The remaining substrates are internal/nyx (the synthetic
-// cosmology generator, including evolving multi-step streams),
-// internal/spectrum and internal/halo (the post-hoc analyses),
-// internal/model and internal/optimizer (the paper's rate-quality models
-// and error-bound allocation), internal/parallel (the shared bounded
-// worker pool every fan-out level — fields, partitions, zfp blocks —
-// draws from), and internal/experiments (one function per paper
-// table/figure plus the timeseries streaming comparison). See README.md
-// for the architecture overview.
+// The public API lives in the adaptive package (and adaptive/codecs for
+// backend registration) — see its documentation for the quickstart.
+// Everything under internal/ is implementation detail with no
+// compatibility promise; README.md documents the internal layout.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -8,30 +8,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/halo"
-	"repro/internal/nyx"
+	"repro/adaptive"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	snap, err := nyx.Generate(nyx.Params{N: 64, Seed: 5, Redshift: 42})
+	snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: 64, Seed: 5, Redshift: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
-	density, err := snap.Field(nyx.FieldBaryonDensity)
+	density, err := snap.Field(adaptive.FieldBaryonDensity)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	bt, pt := nyx.DefaultHaloConfig()
-	hcfg := halo.Config{BoundaryThreshold: bt, HaloThreshold: pt, Periodic: true}
-	original, err := halo.Find(density, hcfg)
+	hcfg := adaptive.DefaultHaloConfig()
+	original, err := adaptive.FindHalos(density, hcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,50 +40,50 @@ func main() {
 			h.ID, h.Cells, h.Mass, h.Peak, h.X, h.Y, h.Z)
 	}
 
-	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
+	sys, err := adaptive.New(adaptive.WithPartitionDim(16))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cal, err := eng.Calibrate(density)
+	cal, err := sys.Calibrate(ctx, density)
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := grid.PartitionerForBrickDim(64, 16)
+	p, err := adaptive.PartitionerForBrickDim(64, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Combined budget: spectrum band plus halo-mass budget (1 % of total
 	// halo mass, per the paper's RMSE target).
-	avgEB, err := core.SpectrumBudget(density, core.BudgetOptions{})
+	avgEB, err := adaptive.SpectrumBudget(density, adaptive.BudgetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hb, err := core.HaloBudget(density, hcfg, 0.01, 1.0, p)
+	hb, err := adaptive.HaloBudget(density, hcfg, 0.01, 1.0, p)
 	if err != nil {
 		log.Fatal(err)
 	}
 	hc := hb.Constraint()
-	plan, err := eng.Plan(density, cal, core.PlanOptions{AvgEB: avgEB, Halo: &hc})
+	plan, err := sys.Plan(ctx, density, cal, adaptive.PlanOptions{AvgEB: avgEB, Halo: &hc})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nplan: avg eb %.4g, halo mass budget %.4g, halo-scaled: %v (×%.3g)\n",
 		avgEB, hb.MassBudget, plan.Predicted.HaloScaled, plan.Predicted.HaloScale)
 
-	cf, err := eng.CompressAdaptive(density, plan)
+	cf, err := sys.CompressAdaptive(ctx, density, plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	recon, err := cf.Decompress()
+	recon, err := cf.Decompress(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reconCat, err := halo.Find(recon, hcfg)
+	reconCat, err := adaptive.FindHalos(recon, hcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	match := halo.Match(original, reconCat, 2.0, 64, 64, 64)
+	match := adaptive.MatchHalos(original, reconCat, 2.0, 64, 64, 64)
 
 	fmt.Printf("\ncompressed %.1f× — reconstructed catalog: %d halos\n",
 		cf.Ratio(), reconCat.Count())

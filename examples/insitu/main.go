@@ -8,44 +8,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/nyx"
+	"repro/adaptive"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	const (
 		gridN  = 64
 		bricks = 16
 		ranks  = 8
 	)
-	eng, err := core.NewEngine(core.Config{PartitionDim: bricks})
+	sys, err := adaptive.New(adaptive.WithPartitionDim(bricks))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Calibrate once on the first snapshot — the paper's offline step.
-	first, err := nyx.Generate(nyx.Params{N: gridN, Seed: 3, Redshift: 54})
+	first, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: gridN, Seed: 3, Redshift: 54})
 	if err != nil {
 		log.Fatal(err)
 	}
-	refField, err := first.Field(nyx.FieldBaryonDensity)
+	refField, err := first.Field(adaptive.FieldBaryonDensity)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cal, err := eng.Calibrate(refField)
+	cal, err := sys.Calibrate(ctx, refField)
 	if err != nil {
 		log.Fatal(err)
 	}
-	avgEB, err := core.SpectrumBudget(refField, core.BudgetOptions{})
+	avgEB, err := adaptive.SpectrumBudget(refField, adaptive.BudgetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bt, _ := nyx.DefaultHaloConfig()
+	hcfg := adaptive.DefaultHaloConfig()
 	fmt.Printf("calibrated on z=54: exponent %.3f, budget avg eb %.4g\n\n",
 		cal.Model.Exponent, avgEB)
 
@@ -54,19 +55,19 @@ func main() {
 	fmt.Printf("%-9s %-7s %-9s %-11s %-11s %-10s\n",
 		"redshift", "ranks", "ratio", "compress_s", "overhead", "collectives")
 	for _, z := range []float64{54, 51, 48, 45, 42} {
-		snap, err := nyx.Generate(nyx.Params{N: gridN, Seed: 3, Redshift: z})
+		snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: gridN, Seed: 3, Redshift: z})
 		if err != nil {
 			log.Fatal(err)
 		}
-		density, err := snap.Field(nyx.FieldBaryonDensity)
+		density, err := snap.Field(adaptive.FieldBaryonDensity)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cf, st, err := eng.CompressInSitu(density, cal, core.InSituOptions{
+		cf, st, err := sys.CompressInSitu(ctx, density, cal, adaptive.InSituOptions{
 			Ranks: ranks,
 			AvgEB: avgEB,
-			Halo: &core.InSituHalo{
-				TBoundary:  bt,
+			Halo: &adaptive.InSituHalo{
+				TBoundary:  hcfg.BoundaryThreshold,
 				RefEB:      1.0,
 				MassBudget: 1e6, // generous budget; tighten for strict halo control
 			},

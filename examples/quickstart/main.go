@@ -1,44 +1,44 @@
 // Quickstart: generate a small synthetic cosmology field, calibrate the
 // rate model, plan per-partition error bounds, and compare adaptive
 // compression against the static baseline — the whole pipeline of the
-// paper in ~60 lines.
+// paper in ~60 lines, entirely through the public adaptive facade.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/nyx"
-	"repro/internal/stats"
+	"repro/adaptive"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. A 64³ synthetic Nyx-like snapshot (stands in for real data).
-	snap, err := nyx.Generate(nyx.Params{N: 64, Seed: 1, Redshift: 42})
+	snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: 64, Seed: 1, Redshift: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
-	density, err := snap.Field(nyx.FieldBaryonDensity)
+	density, err := snap.Field(adaptive.FieldBaryonDensity)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. An engine that cuts the field into 16³ bricks (64 partitions).
-	// Config.Codec picks the compression backend from the codec registry;
+	// 2. A system that cuts the field into 16³ bricks (64 partitions).
+	// WithCodec picks the compression backend from the codec registry;
 	// the default is "sz", and "zfp" runs the same pipeline fixed-rate.
-	eng, err := core.NewEngine(core.Config{PartitionDim: 16})
+	sys, err := adaptive.New(adaptive.WithPartitionDim(16))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("engine codec: %s\n", eng.Config().Codec)
+	fmt.Printf("system codec: %s\n", sys.Codec())
 
 	// 3. Calibrate the bit-rate/error-bound model once (paper Eq. 15).
-	cal, err := eng.Calibrate(density)
+	cal, err := sys.Calibrate(ctx, density)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,18 +47,18 @@ func main() {
 
 	// 4. Derive the quality budget from the power-spectrum target
 	// (P'(k)/P(k) within ±1 % for k < 10, 2σ confidence).
-	avgEB, err := core.SpectrumBudget(density, core.BudgetOptions{})
+	avgEB, err := adaptive.SpectrumBudget(density, adaptive.BudgetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("quality budget: average error bound %.4g\n", avgEB)
 
 	// 5. Plan per-partition bounds (paper Eq. 16 + clamp).
-	plan, err := eng.Plan(density, cal, core.PlanOptions{AvgEB: avgEB})
+	plan, err := sys.Plan(ctx, density, cal, adaptive.PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var m stats.Moments
+	var m adaptive.Moments
 	for _, eb := range plan.EBs {
 		m.Add(eb)
 	}
@@ -66,24 +66,24 @@ func main() {
 		len(plan.EBs), m.Min(), m.Max())
 
 	// 6. Compress both ways and compare.
-	adaptive, err := eng.CompressAdaptive(density, plan)
+	adaptiveCF, err := sys.CompressAdaptive(ctx, density, plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	static, err := eng.CompressStatic(density, avgEB)
+	static, err := sys.CompressStatic(ctx, density, avgEB)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("static   ratio: %6.2f (%.3f bits/value)\n", static.Ratio(), static.BitRate())
 	fmt.Printf("adaptive ratio: %6.2f (%.3f bits/value)  %+.1f%%\n",
-		adaptive.Ratio(), adaptive.BitRate(), (adaptive.Ratio()/static.Ratio()-1)*100)
+		adaptiveCF.Ratio(), adaptiveCF.BitRate(), (adaptiveCF.Ratio()/static.Ratio()-1)*100)
 
 	// 7. Round-trip and verify the error bound held everywhere.
-	recon, err := adaptive.Decompress()
+	recon, err := adaptiveCF.Decompress(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	maxErr, err := stats.MaxAbsError(density.Data, recon.Data)
+	maxErr, err := adaptive.MaxAbsError(density.Data, recon.Data)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,34 +10,31 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"strings"
 
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/model"
-	"repro/internal/nyx"
-	"repro/internal/spectrum"
+	"repro/adaptive"
+	"repro/adaptive/codecs"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	const n = 64
-	snap, err := nyx.Generate(nyx.Params{N: n, Seed: 9, Redshift: 42})
+	snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: n, Seed: 9, Redshift: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
-	density, err := snap.Field(nyx.FieldBaryonDensity)
+	density, err := snap.Field(adaptive.FieldBaryonDensity)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The compressor comes out of the codec registry — swap codec.SZ for
-	// codec.ZFP (or any registered backend) to rerun the study cross-codec.
-	comp, err := codec.Lookup(codec.SZ)
+	// The compressor comes out of the codec registry — swap codecs.SZ for
+	// codecs.ZFP (or any registered backend) to rerun the study cross-codec.
+	comp, err := codecs.Lookup(codecs.SZ)
 	if err != nil {
 		log.Fatal(err)
 	}
-	orig, err := spectrum.Compute(density, spectrum.Options{})
+	orig, err := adaptive.ComputeSpectrum(density, adaptive.SpectrumOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,11 +42,11 @@ func main() {
 	// The model: FFT bin error is Gaussian with σ = sqrt(N³/6)·eb (Eq. 9).
 	fmt.Println("FFT error model (Eq. 9): sigma = sqrt(N³/6)·eb")
 	for _, eb := range []float64{0.01, 0.1, 1.0} {
-		fmt.Printf("  eb %-6g → sigma %.4g\n", eb, model.SigmaFFT3D(n, eb))
+		fmt.Printf("  eb %-6g → sigma %.4g\n", eb, adaptive.SigmaFFT3D(n, eb))
 	}
 
 	// Derive the budget that keeps the band, compress, measure.
-	avgEB, err := core.SpectrumBudget(density, core.BudgetOptions{})
+	avgEB, err := adaptive.SpectrumBudget(density, adaptive.BudgetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +55,7 @@ func main() {
 	for _, scale := range []float64{1, 8, 64} {
 		eb := avgEB * scale
 		c, err := comp.Compress(density.Data, density.Nx, density.Ny, density.Nz,
-			codec.Options{ErrorBound: eb}, nil)
+			codecs.Options{ErrorBound: eb}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,12 +63,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		recon := &grid.Field3D{Nx: density.Nx, Ny: density.Ny, Nz: density.Nz, Data: values}
-		rec, err := spectrum.Compute(recon, spectrum.Options{})
+		recon := &adaptive.Field{Nx: density.Nx, Ny: density.Ny, Nz: density.Nz, Data: values}
+		rec, err := adaptive.ComputeSpectrum(recon, adaptive.SpectrumOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		dev, err := spectrum.MaxDeviation(orig, rec, 10)
+		dev, err := adaptive.SpectrumMaxDeviation(orig, rec, 10)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,7 +82,7 @@ func main() {
 
 	// Show the per-shell ratios at the budget bound.
 	c, err := comp.Compress(density.Data, density.Nx, density.Ny, density.Nz,
-		codec.Options{ErrorBound: avgEB}, nil)
+		codecs.Options{ErrorBound: avgEB}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,12 +90,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	recon := &grid.Field3D{Nx: density.Nx, Ny: density.Ny, Nz: density.Nz, Data: values}
-	rec, err := spectrum.Compute(recon, spectrum.Options{})
+	recon := &adaptive.Field{Nx: density.Nx, Ny: density.Ny, Nz: density.Nz, Data: values}
+	rec, err := adaptive.ComputeSpectrum(recon, adaptive.SpectrumOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ratios, err := spectrum.Ratio(orig, rec)
+	ratios, err := adaptive.SpectrumRatios(orig, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,14 +105,6 @@ func main() {
 			continue
 		}
 		bar := int(math.Min(40, math.Abs(ratios[k]-1)*4000))
-		fmt.Printf("  k=%5.2f  %.5f  %s\n", orig.K[k], ratios[k], stringsRepeat("#", bar))
+		fmt.Printf("  k=%5.2f  %.5f  %s\n", orig.K[k], ratios[k], strings.Repeat("#", bar))
 	}
-}
-
-func stringsRepeat(s string, n int) string {
-	out := ""
-	for i := 0; i < n; i++ {
-		out += s
-	}
-	return out
 }

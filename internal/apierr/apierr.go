@@ -1,0 +1,67 @@
+// Package apierr holds the sentinel errors of the public error taxonomy.
+//
+// The sentinels are defined here — below internal/ — because every layer
+// of the stack wraps them (codec lookups, archive parsers, config
+// validation, the streaming driver), and the public facade re-exports the
+// same values as adaptive.ErrBadConfig, adaptive.ErrCorruptArchive,
+// adaptive.ErrCodecUnknown, and adaptive.ErrDriftRecalibration. Because
+// re-export is by value (var aliasing), errors.Is from a facade-level call
+// matches no matter how many layers wrapped the error with %w on the way
+// up.
+//
+// Wrapping convention: each layer keeps its stable "pkg:" message prefix
+// and wraps both the sentinel and the underlying cause, e.g.
+//
+//	fmt.Errorf("core: %w: bad archive magic %q", apierr.ErrCorruptArchive, m)
+//	fmt.Errorf("core: partition %d: %w", i, err) // cause already tagged
+package apierr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrBadConfig marks a rejected configuration: a non-positive
+	// partition dim, an out-of-range clamp factor, a non-positive quality
+	// budget, a field whose geometry does not match the engine layout.
+	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrCorruptArchive marks an archive (v2 field archive, v3 stream
+	// container, or a codec frame inside one) that failed validation:
+	// bad magic, hostile header, truncation, trailing bytes, CRC mismatch.
+	ErrCorruptArchive = errors.New("corrupt archive")
+
+	// ErrCodecUnknown marks a codec ID no backend is registered for,
+	// whether it came from configuration or from a frame header.
+	ErrCodecUnknown = errors.New("unknown codec")
+
+	// ErrDriftRecalibration marks a mid-run recalibration failure: the
+	// streaming driver detected drift (or was told to re-fit), and fitting
+	// the new rate model failed. The initial calibration of a field is a
+	// plain error — only re-fits of an already-calibrated field carry this
+	// sentinel, so callers can distinguish "the stream went bad mid-run"
+	// from "the run never got started".
+	ErrDriftRecalibration = errors.New("drift recalibration failed")
+)
+
+// DriftRecalibrationError is the typed form of ErrDriftRecalibration: it
+// records which field's re-fit failed and the drift that triggered it, so
+// callers can errors.As for the details while errors.Is still matches the
+// sentinel (both the sentinel and the cause are in the unwrap chain).
+type DriftRecalibrationError struct {
+	// Field is the streamed field whose recalibration failed.
+	Field string
+	// Drift is the relative drift of the global mean feature from the
+	// calibration anchor, measured when the re-fit was triggered.
+	Drift float64
+	// Err is the underlying calibration failure.
+	Err error
+}
+
+func (e *DriftRecalibrationError) Error() string {
+	return fmt.Sprintf("%v for field %q at drift %.3g: %v", ErrDriftRecalibration, e.Field, e.Drift, e.Err)
+}
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
+func (e *DriftRecalibrationError) Unwrap() []error { return []error{ErrDriftRecalibration, e.Err} }

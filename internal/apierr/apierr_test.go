@@ -1,0 +1,47 @@
+package apierr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDriftRecalibrationErrorChain(t *testing.T) {
+	cause := errors.New("core: cannot calibrate")
+	var err error = &DriftRecalibrationError{Field: "rho", Drift: 0.4, Err: cause}
+
+	if !errors.Is(err, ErrDriftRecalibration) {
+		t.Fatal("sentinel not in the unwrap chain")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("cause not in the unwrap chain")
+	}
+	var dre *DriftRecalibrationError
+	if !errors.As(err, &dre) || dre.Field != "rho" || dre.Drift != 0.4 {
+		t.Fatalf("errors.As: %+v", dre)
+	}
+	msg := err.Error()
+	for _, want := range []string{"rho", "0.4", "drift recalibration failed", "cannot calibrate"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+
+	// One more wrapping layer (as the pipeline adds) keeps both visible.
+	wrapped := fmt.Errorf("pipeline: field rho: %w", err)
+	if !errors.Is(wrapped, ErrDriftRecalibration) || !errors.As(wrapped, &dre) {
+		t.Fatal("wrapping hides the typed error")
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrBadConfig, ErrCorruptArchive, ErrCodecUnknown, ErrDriftRecalibration}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("sentinel identity broken between %v and %v", a, b)
+			}
+		}
+	}
+}

@@ -18,9 +18,9 @@
 package codec
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/sz"
 	"repro/internal/zfp"
@@ -140,8 +140,10 @@ type Codec interface {
 }
 
 // ErrUnknownCodec is wrapped by registry lookups and frame decodes that
-// name a codec no backend is registered for.
-var ErrUnknownCodec = errors.New("codec: unknown codec")
+// name a codec no backend is registered for. It is the same value the
+// public facade exports as adaptive.ErrCodecUnknown, so errors.Is matches
+// against either name from any layer.
+var ErrUnknownCodec = apierr.ErrCodecUnknown
 
 // validateDims rejects inconsistent brick geometry before it reaches a
 // backend (shared by the adapters).

@@ -61,7 +61,7 @@ func (r *Registry) Lookup(id ID) (Codec, error) {
 	c, ok := r.codecs[id]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownCodec, id, r.idList())
+		return nil, fmt.Errorf("codec: %w %q (registered: %s)", ErrUnknownCodec, id, r.idList())
 	}
 	return c, nil
 }

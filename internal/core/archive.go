@@ -2,12 +2,31 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 
+	"repro/internal/apierr"
 	"repro/internal/codec"
 )
+
+// errCorrupt is the sentinel every archive-validation failure in this file
+// wraps (re-exported by the facade as adaptive.ErrCorruptArchive), so a
+// reader can classify any parse failure with one errors.Is check.
+var errCorrupt = apierr.ErrCorruptArchive
+
+// readAtErr classifies an io.ReaderAt failure: running off the end of the
+// stream is truncation — corruption — but any other I/O failure (a closed
+// handle, a transient EIO from network storage) is passed through
+// untagged, so a caller that quarantines archives on ErrCorruptArchive
+// never condemns a healthy file over a flaky read.
+func readAtErr(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("core: %s: %w: %w", what, errCorrupt, err)
+	}
+	return fmt.Errorf("core: %s: %w", what, err)
+}
 
 // Archive framing for a CompressedField: a small header followed by
 // length-prefixed self-describing codec frames, one per partition in
@@ -63,13 +82,13 @@ func ParseCompressedField(data []byte) (*CompressedField, error) {
 // codec registry.
 func ParseCompressedFieldWith(data []byte, reg *codec.Registry) (*CompressedField, error) {
 	if len(data) < archiveHeader {
-		return nil, fmt.Errorf("core: archive shorter than header")
+		return nil, fmt.Errorf("core: %w: archive shorter than header", errCorrupt)
 	}
 	if string(data[0:4]) != archiveMagic {
-		return nil, fmt.Errorf("core: bad archive magic %q", data[0:4])
+		return nil, fmt.Errorf("core: %w: bad archive magic %q", errCorrupt, data[0:4])
 	}
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != archiveVersion {
-		return nil, fmt.Errorf("core: unsupported archive version %d", v)
+		return nil, fmt.Errorf("core: %w: unsupported archive version %d", errCorrupt, v)
 	}
 	cf := &CompressedField{
 		Nx:           int(binary.LittleEndian.Uint32(data[8:12])),
@@ -87,29 +106,32 @@ func ParseCompressedFieldWith(data []byte, reg *codec.Registry) (*CompressedFiel
 	if cf.Nx <= 0 || cf.Ny <= 0 || cf.Nz <= 0 || cf.PartitionDim <= 0 || count <= 0 ||
 		cf.Nx > maxArchiveDim || cf.Ny > maxArchiveDim || cf.Nz > maxArchiveDim ||
 		count > (len(data)-archiveHeader)/4 {
-		return nil, fmt.Errorf("core: invalid archive header (%d×%d×%d / dim %d / %d parts)",
-			cf.Nx, cf.Ny, cf.Nz, cf.PartitionDim, count)
+		return nil, fmt.Errorf("core: %w: invalid archive header (%d×%d×%d / dim %d / %d parts)",
+			errCorrupt, cf.Nx, cf.Ny, cf.Nz, cf.PartitionDim, count)
 	}
 	pos := archiveHeader
 	cf.Parts = make([]codec.Frame, 0, count)
 	for i := 0; i < count; i++ {
 		if pos+4 > len(data) {
-			return nil, fmt.Errorf("core: archive truncated at partition %d", i)
+			return nil, fmt.Errorf("core: %w: archive truncated at partition %d", errCorrupt, i)
 		}
 		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
 		pos += 4
 		if pos+n > len(data) {
-			return nil, fmt.Errorf("core: partition %d stream truncated", i)
+			return nil, fmt.Errorf("core: %w: partition %d stream truncated", errCorrupt, i)
 		}
 		p, err := reg.DecodeFrame(data[pos : pos+n])
 		if err != nil {
-			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+			// Both the taxonomy sentinel and the codec-level cause are
+			// wrapped, so errors.Is sees ErrCorruptArchive here and (for a
+			// frame naming a foreign backend) ErrCodecUnknown from below.
+			return nil, fmt.Errorf("core: partition %d: %w: %w", i, errCorrupt, err)
 		}
 		cf.Parts = append(cf.Parts, p)
 		pos += n
 	}
 	if pos != len(data) {
-		return nil, fmt.Errorf("core: %d trailing bytes in archive", len(data)-pos)
+		return nil, fmt.Errorf("core: %w: %d trailing bytes in archive", errCorrupt, len(data)-pos)
 	}
 	cf.Codec = cf.Parts[0].CodecID()
 	return cf, nil
@@ -269,37 +291,37 @@ func OpenStream(r io.ReaderAt, size int64) (*StreamReader, error) {
 // OpenStreamWith is OpenStream against a specific codec registry.
 func OpenStreamWith(r io.ReaderAt, size int64, reg *codec.Registry) (*StreamReader, error) {
 	if size < streamHeaderBytes+streamTrailerBytes {
-		return nil, fmt.Errorf("core: stream shorter than header+footer")
+		return nil, fmt.Errorf("core: %w: stream shorter than header+footer", errCorrupt)
 	}
 	var hdr [streamHeaderBytes]byte
 	if _, err := r.ReadAt(hdr[:], 0); err != nil {
-		return nil, fmt.Errorf("core: stream header: %w", err)
+		return nil, readAtErr("stream header", err)
 	}
 	if string(hdr[0:4]) != streamMagic {
-		return nil, fmt.Errorf("core: bad stream magic %q", hdr[0:4])
+		return nil, fmt.Errorf("core: %w: bad stream magic %q", errCorrupt, hdr[0:4])
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != streamVersion {
-		return nil, fmt.Errorf("core: unsupported stream version %d", v)
+		return nil, fmt.Errorf("core: %w: unsupported stream version %d", errCorrupt, v)
 	}
 	var trailer [streamTrailerBytes]byte
 	if _, err := r.ReadAt(trailer[:], size-streamTrailerBytes); err != nil {
-		return nil, fmt.Errorf("core: stream trailer: %w", err)
+		return nil, readAtErr("stream trailer", err)
 	}
 	if string(trailer[12:16]) != streamTrailerMagic {
-		return nil, fmt.Errorf("core: bad stream trailer magic %q", trailer[12:16])
+		return nil, fmt.Errorf("core: %w: bad stream trailer magic %q", errCorrupt, trailer[12:16])
 	}
 	count := int(binary.LittleEndian.Uint32(trailer[0:4]))
 	indexOff := binary.LittleEndian.Uint64(trailer[4:12])
 	indexLen := 16 * uint64(count)
 	if indexLen > uint64(size) || indexOff > uint64(size) ||
 		indexOff < streamHeaderBytes || indexOff+indexLen != uint64(size-streamTrailerBytes) {
-		return nil, fmt.Errorf("core: stream index at %d (%d steps) inconsistent with size %d",
-			indexOff, count, size)
+		return nil, fmt.Errorf("core: %w: stream index at %d (%d steps) inconsistent with size %d",
+			errCorrupt, indexOff, count, size)
 	}
 	raw := make([]byte, indexLen)
 	if count > 0 {
 		if _, err := r.ReadAt(raw, int64(indexOff)); err != nil {
-			return nil, fmt.Errorf("core: stream index: %w", err)
+			return nil, readAtErr("stream index", err)
 		}
 	}
 	index := make([]streamIndexEntry, count)
@@ -310,13 +332,13 @@ func OpenStreamWith(r io.ReaderAt, size int64, reg *codec.Registry) (*StreamRead
 		// Steps are appended back to back, so the index must tile
 		// [header, indexOff) exactly; anything else is corruption.
 		if index[i].Offset != end || index[i].Length == 0 {
-			return nil, fmt.Errorf("core: stream index entry %d ([%d,+%d)) does not follow previous step at %d",
-				i, index[i].Offset, index[i].Length, end)
+			return nil, fmt.Errorf("core: %w: stream index entry %d ([%d,+%d)) does not follow previous step at %d",
+				errCorrupt, i, index[i].Offset, index[i].Length, end)
 		}
 		end += index[i].Length
 	}
 	if end != indexOff {
-		return nil, fmt.Errorf("core: stream steps end at %d, index starts at %d", end, indexOff)
+		return nil, fmt.Errorf("core: %w: stream steps end at %d, index starts at %d", errCorrupt, end, indexOff)
 	}
 	return &StreamReader{r: r, index: index, reg: reg}, nil
 }
@@ -333,54 +355,56 @@ func (sr *StreamReader) ReadStep(i int) (map[string]*CompressedField, error) {
 	e := sr.index[i]
 	buf := make([]byte, e.Length)
 	if _, err := sr.r.ReadAt(buf, int64(e.Offset)); err != nil {
-		return nil, fmt.Errorf("core: stream step %d: %w", i, err)
+		return nil, readAtErr(fmt.Sprintf("stream step %d", i), err)
 	}
 	return parseStepBlock(buf, i, sr.reg)
 }
 
 func parseStepBlock(buf []byte, step int, reg *codec.Registry) (map[string]*CompressedField, error) {
 	if len(buf) < 4 {
-		return nil, fmt.Errorf("core: step %d block shorter than field count", step)
+		return nil, fmt.Errorf("core: %w: step %d block shorter than field count", errCorrupt, step)
 	}
 	count := int(binary.LittleEndian.Uint32(buf[0:4]))
 	// Each field needs at least a name length, one name byte, and a payload
 	// length, so a count beyond len(buf)/7 cannot be honest.
 	if count <= 0 || count > len(buf)/7+1 {
-		return nil, fmt.Errorf("core: step %d has field count %d", step, count)
+		return nil, fmt.Errorf("core: %w: step %d has field count %d", errCorrupt, step, count)
 	}
 	pos := 4
 	fields := make(map[string]*CompressedField, count)
 	for j := 0; j < count; j++ {
 		if pos+2 > len(buf) {
-			return nil, fmt.Errorf("core: step %d truncated at field %d name length", step, j)
+			return nil, fmt.Errorf("core: %w: step %d truncated at field %d name length", errCorrupt, step, j)
 		}
 		nameLen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
 		pos += 2
 		if nameLen == 0 || pos+nameLen > len(buf) {
-			return nil, fmt.Errorf("core: step %d truncated inside field %d name", step, j)
+			return nil, fmt.Errorf("core: %w: step %d truncated inside field %d name", errCorrupt, step, j)
 		}
 		name := string(buf[pos : pos+nameLen])
 		pos += nameLen
 		if pos+4 > len(buf) {
-			return nil, fmt.Errorf("core: step %d truncated at field %q payload length", step, name)
+			return nil, fmt.Errorf("core: %w: step %d truncated at field %q payload length", errCorrupt, step, name)
 		}
 		n := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
 		pos += 4
 		if n < 0 || pos+n > len(buf) {
-			return nil, fmt.Errorf("core: step %d field %q payload truncated", step, name)
+			return nil, fmt.Errorf("core: %w: step %d field %q payload truncated", errCorrupt, step, name)
 		}
 		cf, err := ParseCompressedFieldWith(buf[pos:pos+n], reg)
 		if err != nil {
+			// The nested v2 parse already tagged ErrCorruptArchive; keep
+			// its chain intact and add the step/field position.
 			return nil, fmt.Errorf("core: step %d field %q: %w", step, name, err)
 		}
 		if _, dup := fields[name]; dup {
-			return nil, fmt.Errorf("core: step %d has duplicate field %q", step, name)
+			return nil, fmt.Errorf("core: %w: step %d has duplicate field %q", errCorrupt, step, name)
 		}
 		fields[name] = cf
 		pos += n
 	}
 	if pos != len(buf) {
-		return nil, fmt.Errorf("core: step %d has %d trailing bytes", step, len(buf)-pos)
+		return nil, fmt.Errorf("core: %w: step %d has %d trailing bytes", errCorrupt, step, len(buf)-pos)
 	}
 	return fields, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/halo"
 	"repro/internal/model"
@@ -58,7 +59,7 @@ func (o BudgetOptions) withDefaults() BudgetOptions {
 func SpectrumBudget(f *grid.Field3D, opt BudgetOptions) (float64, error) {
 	opt = opt.withDefaults()
 	if f.Nx != f.Ny || f.Ny != f.Nz {
-		return 0, fmt.Errorf("core: spectrum budget needs a cubic field, got %s", f)
+		return 0, fmt.Errorf("core: %w: spectrum budget needs a cubic field, got %s", apierr.ErrBadConfig, f)
 	}
 	sp, err := spectrum.Compute(f, spectrum.Options{Workers: opt.Workers})
 	if err != nil {
@@ -102,10 +103,10 @@ func SpectrumBudget(f *grid.Field3D, opt BudgetOptions) (float64, error) {
 // RMSE within 1 ± tol (paper: 0.01).
 func HaloBudget(f *grid.Field3D, cfg halo.Config, tol, refEB float64, p *grid.Partitioner) (*HaloBudgetResult, error) {
 	if tol <= 0 {
-		return nil, errors.New("core: halo tolerance must be positive")
+		return nil, fmt.Errorf("core: %w: halo tolerance must be positive", apierr.ErrBadConfig)
 	}
 	if refEB <= 0 {
-		return nil, errors.New("core: halo reference eb must be positive")
+		return nil, fmt.Errorf("core: %w: halo reference eb must be positive", apierr.ErrBadConfig)
 	}
 	cat, err := halo.Find(f, cfg)
 	if err != nil {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/stats"
@@ -57,7 +59,8 @@ func (o CalibrationOptions) withDefaults() CalibrationOptions {
 // Calibrate samples bit-rate/error-bound curves from a representative field
 // and fits the rate model. This is the offline step of the paper's
 // methodology — done once, reused for every snapshot and partition.
-func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibration, error) {
+// Cancellation is checked between sample compressions.
+func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...CalibrationOptions) (*Calibration, error) {
 	var o CalibrationOptions
 	if len(opts) > 0 {
 		o = opts[0]
@@ -68,10 +71,13 @@ func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibr
 	if err != nil {
 		return nil, err
 	}
-	features := e.extractFeatures(f, p)
+	features := e.extractFeatures(ctx, f, p)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: calibration: %w", err)
+	}
 	lo, hi := f.MinMax()
 	if hi <= lo {
-		return nil, errors.New("core: cannot calibrate on a constant field")
+		return nil, fmt.Errorf("core: %w: cannot calibrate on a constant field", apierr.ErrBadConfig)
 	}
 	var ebs []float64
 	if len(o.EBs) > 0 {
@@ -88,7 +94,7 @@ func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibr
 	}
 	for _, eb := range ebs {
 		if eb <= 0 {
-			return nil, fmt.Errorf("core: non-positive calibration eb %v", eb)
+			return nil, fmt.Errorf("core: %w: non-positive calibration eb %v", apierr.ErrBadConfig, eb)
 		}
 	}
 
@@ -104,7 +110,7 @@ func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibr
 		nSamp = len(idx)
 	}
 	if nSamp < 2 {
-		return nil, errors.New("core: need at least 2 partitions to calibrate")
+		return nil, fmt.Errorf("core: %w: need at least 2 partitions to calibrate", apierr.ErrBadConfig)
 	}
 	samples := make([]int, 0, nSamp)
 	for i := 0; i < nSamp; i++ {
@@ -148,6 +154,9 @@ func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibr
 		cu := model.Curve{Feature: features[pi], EBs: ebs}
 		rates := make([]float64, len(ebs))
 		for j, eb := range ebs {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: calibration: %w", err)
+			}
 			c, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(eb), scratch)
 			if err != nil {
 				return nil, fmt.Errorf("core: calibration compress (partition %d, eb %g): %w", pi, eb, err)
@@ -170,10 +179,10 @@ func (e *Engine) Calibrate(f *grid.Field3D, opts ...CalibrationOptions) (*Calibr
 // a given adaptive plan (used by equal-rate comparisons).
 func (c *Calibration) SuggestStaticEB(features []float64, targetBitRate float64) (float64, error) {
 	if c == nil || c.Model == nil {
-		return 0, errors.New("core: nil calibration")
+		return 0, fmt.Errorf("core: %w: nil calibration", apierr.ErrBadConfig)
 	}
 	if targetBitRate <= 0 {
-		return 0, errors.New("core: target bit rate must be positive")
+		return 0, fmt.Errorf("core: %w: target bit rate must be positive", apierr.ErrBadConfig)
 	}
 	// Bisection on eb: dataset bit rate is monotone decreasing in eb.
 	lo, hi := 1e-12, 1e12

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestSuggestStaticEBEdgeCases(t *testing.T) {
 	}
 
 	e := engine(t, Config{PartitionDim: 16})
-	cal, err := e.Calibrate(field(t, nyx.FieldBaryonDensity))
+	cal, err := e.Calibrate(context.Background(), field(t, nyx.FieldBaryonDensity))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestCalibrateSinglePartition(t *testing.T) {
 	for i := range f.Data {
 		f.Data[i] = float32(i % 97)
 	}
-	if _, err := e.Calibrate(f); err == nil {
+	if _, err := e.Calibrate(context.Background(), f); err == nil {
 		t.Error("single-partition calibration accepted (cannot fit C_m vs feature)")
 	}
 }
@@ -107,10 +108,10 @@ func TestCalibrateSinglePartition(t *testing.T) {
 func TestCalibrateRejectsBadEBGrid(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldBaryonDensity)
-	if _, err := e.Calibrate(f, CalibrationOptions{EBs: []float64{0.1, 0}}); err == nil {
+	if _, err := e.Calibrate(context.Background(), f, CalibrationOptions{EBs: []float64{0.1, 0}}); err == nil {
 		t.Error("non-positive calibration eb accepted")
 	}
-	if _, err := e.Calibrate(f, CalibrationOptions{EBs: []float64{-0.5}}); err == nil {
+	if _, err := e.Calibrate(context.Background(), f, CalibrationOptions{EBs: []float64{-0.5}}); err == nil {
 		t.Error("negative calibration eb accepted")
 	}
 }
@@ -118,11 +119,11 @@ func TestCalibrateRejectsBadEBGrid(t *testing.T) {
 func TestPlanFromFeaturesValidation(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldBaryonDensity)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	features, err := e.Features(f)
+	features, err := e.Features(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestPlanFromFeaturesValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	direct, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestPlanFromFeaturesValidation(t *testing.T) {
 		}
 	}
 	// Features on a non-divisible field propagates the layout error.
-	if _, err := e.Features(grid.NewCube(30)); err == nil {
+	if _, err := e.Features(context.Background(), grid.NewCube(30)); err == nil {
 		t.Error("non-divisible field accepted by Features")
 	}
 }

@@ -3,13 +3,14 @@
 // error-bound optimization, and compression into the workflow the paper
 // deploys in situ (Sec. 3.6, Fig. 2).
 //
-// Typical use:
+// Typical use (external programs should go through the public facade in
+// package adaptive instead of importing this package directly):
 //
 //	eng, _ := core.NewEngine(core.Config{PartitionDim: 16})
-//	cal, _ := eng.Calibrate(field)                 // once per field kind
-//	plan, _ := eng.Plan(field, cal, core.PlanOptions{AvgEB: 0.1})
-//	cf, _ := eng.CompressAdaptive(field, plan)     // per snapshot
-//	recon, _ := cf.Decompress()
+//	cal, _ := eng.Calibrate(ctx, field)                 // once per field kind
+//	plan, _ := eng.Plan(ctx, field, cal, core.PlanOptions{AvgEB: 0.1})
+//	cf, _ := eng.CompressAdaptive(ctx, field, plan)     // per snapshot
+//	recon, _ := cf.Decompress(ctx)
 //
 // The static baseline (one error bound everywhere) is CompressStatic; the
 // two paths share everything but the allocation, so their ratio difference
@@ -22,11 +23,12 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/apierr"
 	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/model"
@@ -74,13 +76,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Rejections wrap apierr.ErrBadConfig.
 func (c Config) Validate() error {
 	if c.PartitionDim <= 0 {
-		return errors.New("core: partition dim must be positive")
+		return fmt.Errorf("core: %w: partition dim %d must be positive", apierr.ErrBadConfig, c.PartitionDim)
 	}
 	if c.ClampFactor < 1 {
-		return fmt.Errorf("core: clamp factor %v must be ≥ 1", c.ClampFactor)
+		return fmt.Errorf("core: %w: clamp factor %v must be ≥ 1", apierr.ErrBadConfig, c.ClampFactor)
 	}
 	return nil
 }
@@ -127,7 +129,7 @@ func (e *Engine) putScratch(s *codec.Scratch) { e.scratch.Put(s) }
 func (e *Engine) partitioner(f *grid.Field3D) (*grid.Partitioner, error) {
 	d := e.cfg.PartitionDim
 	if f.Nx%d != 0 || f.Ny%d != 0 || f.Nz%d != 0 {
-		return nil, fmt.Errorf("core: field %s not divisible by partition dim %d", f, d)
+		return nil, fmt.Errorf("core: %w: field %s not divisible by partition dim %d", apierr.ErrBadConfig, f, d)
 	}
 	return grid.NewPartitioner(f.Nx, f.Ny, f.Nz, f.Nx/d, f.Ny/d, f.Nz/d)
 }
@@ -168,8 +170,8 @@ type PlanOptions struct {
 }
 
 // Plan computes the adaptive per-partition error bounds for a field.
-func (e *Engine) Plan(f *grid.Field3D, cal *Calibration, opt PlanOptions) (*Plan, error) {
-	features, err := e.Features(f)
+func (e *Engine) Plan(ctx context.Context, f *grid.Field3D, cal *Calibration, opt PlanOptions) (*Plan, error) {
+	features, err := e.Features(ctx, f)
 	if err != nil {
 		return nil, err
 	}
@@ -179,23 +181,28 @@ func (e *Engine) Plan(f *grid.Field3D, cal *Calibration, opt PlanOptions) (*Plan
 // Features computes the per-partition rate-model predictor for a field
 // (mean |value| per partition, in partition-ID order). Streaming callers
 // extract features once per step to monitor drift and then hand them to
-// PlanFromFeatures, so the field is scanned a single time.
-func (e *Engine) Features(f *grid.Field3D) ([]float64, error) {
+// PlanFromFeatures, so the field is scanned a single time. Cancellation is
+// checked between partitions.
+func (e *Engine) Features(ctx context.Context, f *grid.Field3D) ([]float64, error) {
 	p, err := e.partitioner(f)
 	if err != nil {
 		return nil, err
 	}
-	return e.extractFeatures(f, p), nil
+	features := e.extractFeatures(ctx, f, p)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: feature extraction: %w", err)
+	}
+	return features, nil
 }
 
 // PlanFromFeatures is Plan with the per-partition features already in hand
 // (they must come from Features on a field of the same layout).
 func (e *Engine) PlanFromFeatures(features []float64, cal *Calibration, opt PlanOptions) (*Plan, error) {
 	if cal == nil || cal.Model == nil {
-		return nil, errors.New("core: nil calibration")
+		return nil, fmt.Errorf("core: %w: nil calibration", apierr.ErrBadConfig)
 	}
 	if opt.AvgEB <= 0 {
-		return nil, errors.New("core: PlanOptions.AvgEB must be positive")
+		return nil, fmt.Errorf("core: %w: PlanOptions.AvgEB %g must be positive", apierr.ErrBadConfig, opt.AvgEB)
 	}
 	cfg := optimizer.Config{
 		AvgEB:       opt.AvgEB,
@@ -216,11 +223,12 @@ func (e *Engine) PlanFromFeatures(features []float64, cal *Calibration, opt Plan
 }
 
 // extractFeatures computes the per-partition rate-model predictor:
-// mean |value| (see model.RateModel for why |·|).
-func (e *Engine) extractFeatures(f *grid.Field3D, p *grid.Partitioner) []float64 {
+// mean |value| (see model.RateModel for why |·|). On cancellation the
+// returned slice is partially filled; callers must check ctx.Err().
+func (e *Engine) extractFeatures(ctx context.Context, f *grid.Field3D, p *grid.Partitioner) []float64 {
 	parts := p.Partitions()
 	out := make([]float64, len(parts))
-	e.forEachPartition(len(parts), func(i int, s *codec.Scratch) {
+	e.forEachPartition(ctx, len(parts), func(i int, s *codec.Scratch) {
 		part := parts[i]
 		data := e.brick(s, f, part)
 		var sum float64
@@ -249,29 +257,31 @@ type CompressedField struct {
 }
 
 // CompressAdaptive compresses each partition with its planned error bound.
-func (e *Engine) CompressAdaptive(f *grid.Field3D, plan *Plan) (*CompressedField, error) {
+// Cancellation is checked between partitions, never mid-partition, so every
+// frame that was produced is complete and bit-exact.
+func (e *Engine) CompressAdaptive(ctx context.Context, f *grid.Field3D, plan *Plan) (*CompressedField, error) {
 	p, err := e.partitioner(f)
 	if err != nil {
 		return nil, err
 	}
 	if plan == nil || len(plan.EBs) != p.Count() {
-		return nil, fmt.Errorf("core: plan has %d bounds for %d partitions",
-			planLen(plan), p.Count())
+		return nil, fmt.Errorf("core: %w: plan has %d bounds for %d partitions",
+			apierr.ErrBadConfig, planLen(plan), p.Count())
 	}
-	return e.compressWith(f, p, func(i int) float64 { return plan.EBs[i] })
+	return e.compressWith(ctx, f, p, func(i int) float64 { return plan.EBs[i] })
 }
 
 // CompressStatic compresses every partition with the same bound — the
 // paper's "traditional" baseline.
-func (e *Engine) CompressStatic(f *grid.Field3D, eb float64) (*CompressedField, error) {
+func (e *Engine) CompressStatic(ctx context.Context, f *grid.Field3D, eb float64) (*CompressedField, error) {
 	if eb <= 0 {
-		return nil, errors.New("core: static error bound must be positive")
+		return nil, fmt.Errorf("core: %w: static error bound %g must be positive", apierr.ErrBadConfig, eb)
 	}
 	p, err := e.partitioner(f)
 	if err != nil {
 		return nil, err
 	}
-	return e.compressWith(f, p, func(int) float64 { return eb })
+	return e.compressWith(ctx, f, p, func(int) float64 { return eb })
 }
 
 func planLen(p *Plan) int {
@@ -281,7 +291,7 @@ func planLen(p *Plan) int {
 	return len(p.EBs)
 }
 
-func (e *Engine) compressWith(f *grid.Field3D, p *grid.Partitioner, ebOf func(int) float64) (*CompressedField, error) {
+func (e *Engine) compressWith(ctx context.Context, f *grid.Field3D, p *grid.Partitioner, ebOf func(int) float64) (*CompressedField, error) {
 	parts := p.Partitions()
 	cf := &CompressedField{
 		Nx: f.Nx, Ny: f.Ny, Nz: f.Nz,
@@ -292,7 +302,7 @@ func (e *Engine) compressWith(f *grid.Field3D, p *grid.Partitioner, ebOf func(in
 	}
 	var firstErr error
 	var mu sync.Mutex
-	e.forEachPartition(len(parts), func(i int, s *codec.Scratch) {
+	e.forEachPartition(ctx, len(parts), func(i int, s *codec.Scratch) {
 		part := parts[i]
 		data := e.brick(s, f, part)
 		nx, ny, nz := part.Dims()
@@ -311,6 +321,9 @@ func (e *Engine) compressWith(f *grid.Field3D, p *grid.Partitioner, ebOf func(in
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: compression: %w", err)
 	}
 	return cf, nil
 }
@@ -331,16 +344,18 @@ func (e *Engine) brick(s *codec.Scratch, f *grid.Field3D, part grid.Partition) [
 // engine pool for the duration. Drawing helpers from the process-wide pool
 // keeps nested fan-outs (pipeline fields above, zfp blocks below) bounded
 // at O(GOMAXPROCS) total workers instead of multiplying per level.
-func (e *Engine) forEachPartition(n int, fn func(i int, s *codec.Scratch)) {
+// Cancellation stops the index hand-out between partitions; partitions
+// already started run to completion (callers check ctx.Err() afterwards).
+func (e *Engine) forEachPartition(ctx context.Context, n int, fn func(i int, s *codec.Scratch)) {
 	if n <= 1 || e.cfg.Workers <= 1 {
 		s := e.getScratch()
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
 			fn(i, s)
 		}
 		e.putScratch(s)
 		return
 	}
-	parallel.Workers(n, e.cfg.Workers, func(next func() (int, bool)) {
+	parallel.WorkersCtx(ctx, n, e.cfg.Workers, func(next func() (int, bool)) {
 		s := e.getScratch()
 		defer e.putScratch(s)
 		for i, ok := next(); ok; i, ok = next() {
@@ -349,8 +364,9 @@ func (e *Engine) forEachPartition(n int, fn func(i int, s *codec.Scratch)) {
 	})
 }
 
-// Decompress reconstructs the full field.
-func (cf *CompressedField) Decompress() (*grid.Field3D, error) {
+// Decompress reconstructs the full field. Cancellation is checked between
+// partitions.
+func (cf *CompressedField) Decompress(ctx context.Context) (*grid.Field3D, error) {
 	if cf.partitioner == nil {
 		p, err := grid.NewPartitioner(cf.Nx, cf.Ny, cf.Nz,
 			cf.Nx/cf.PartitionDim, cf.Ny/cf.PartitionDim, cf.Nz/cf.PartitionDim)
@@ -361,12 +377,13 @@ func (cf *CompressedField) Decompress() (*grid.Field3D, error) {
 	}
 	parts := cf.partitioner.Partitions()
 	if len(parts) != len(cf.Parts) {
-		return nil, fmt.Errorf("core: %d compressed parts for %d partitions", len(cf.Parts), len(parts))
+		return nil, fmt.Errorf("core: %w: %d compressed parts for %d partitions",
+			apierr.ErrCorruptArchive, len(cf.Parts), len(parts))
 	}
 	out := grid.NewField3D(cf.Nx, cf.Ny, cf.Nz)
 	var firstErr error
 	var mu sync.Mutex
-	parallel.ForEach(len(parts), 0, func(i int) {
+	parallel.ForEachCtx(ctx, len(parts), 0, func(i int) {
 		data, err := cf.Parts[i].Decompress()
 		if err == nil {
 			err = grid.Insert(out, parts[i], data)
@@ -381,6 +398,9 @@ func (cf *CompressedField) Decompress() (*grid.Field3D, error) {
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: decompression: %w", err)
 	}
 	return out, nil
 }

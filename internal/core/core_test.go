@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -76,15 +77,15 @@ func TestAdaptivePipelinePerCodec(t *testing.T) {
 	for _, id := range codec.IDs() {
 		t.Run(string(id), func(t *testing.T) {
 			e := engine(t, Config{PartitionDim: 16, Codec: id})
-			cal, err := e.Calibrate(f)
+			cal, err := e.Calibrate(context.Background(), f)
 			if err != nil {
 				t.Fatal(err)
 			}
-			plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+			plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			cf, err := e.CompressAdaptive(f, plan)
+			cf, err := e.CompressAdaptive(context.Background(), f, plan)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +100,7 @@ func TestAdaptivePipelinePerCodec(t *testing.T) {
 			if r := cf.Ratio(); r <= 1 {
 				t.Errorf("ratio %.2f not compressive", r)
 			}
-			recon, err := cf.Decompress()
+			recon, err := cf.Decompress(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +128,7 @@ func TestAdaptivePipelinePerCodec(t *testing.T) {
 			if parsed.Codec != id {
 				t.Errorf("parsed archive tagged %q, want %q", parsed.Codec, id)
 			}
-			back, err := parsed.Decompress()
+			back, err := parsed.Decompress(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,7 +143,7 @@ func TestAdaptivePipelinePerCodec(t *testing.T) {
 
 func TestCalibrateOnTemperature(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
-	cal, err := e.Calibrate(field(t, nyx.FieldTemperature))
+	cal, err := e.Calibrate(context.Background(), field(t, nyx.FieldTemperature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,11 +174,11 @@ func TestCalibrateErrors(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	flat := grid.NewCube(32)
 	flat.Fill(1)
-	if _, err := e.Calibrate(flat); err == nil {
+	if _, err := e.Calibrate(context.Background(), flat); err == nil {
 		t.Error("constant field calibrated")
 	}
 	odd := grid.NewCube(30) // not divisible by 16
-	if _, err := e.Calibrate(odd); err == nil {
+	if _, err := e.Calibrate(context.Background(), odd); err == nil {
 		t.Error("non-divisible field accepted")
 	}
 }
@@ -185,13 +186,13 @@ func TestCalibrateErrors(t *testing.T) {
 func TestPlanAndCompressAdaptive(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldTemperature)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lo, hi := f.MinMax()
 	avgEB := float64(hi-lo) * 1e-4
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: avgEB})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +203,11 @@ func TestPlanAndCompressAdaptive(t *testing.T) {
 		t.Errorf("plan mean eb %v != budget %v", stats.MeanOf(plan.EBs), avgEB)
 	}
 
-	adaptive, err := e.CompressAdaptive(f, plan)
+	adaptive, err := e.CompressAdaptive(context.Background(), f, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := e.CompressStatic(f, avgEB)
+	static, err := e.CompressStatic(context.Background(), f, avgEB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestPlanAndCompressAdaptive(t *testing.T) {
 	}
 
 	// Error bound per partition must hold after decompression.
-	recon, err := adaptive.Decompress()
+	recon, err := adaptive.Decompress(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,20 +236,20 @@ func TestAdaptiveBeatsStaticOnBaryonDensity(t *testing.T) {
 	// The heavy-tailed density field is where the paper's gains live.
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldBaryonDensity)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	avgEB := 0.1 // units of mean density
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: avgEB})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		t.Fatal(err)
 	}
-	adaptive, err := e.CompressAdaptive(f, plan)
+	adaptive, err := e.CompressAdaptive(context.Background(), f, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := e.CompressStatic(f, avgEB)
+	static, err := e.CompressStatic(context.Background(), f, avgEB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,17 +264,17 @@ func TestAdaptiveBeatsStaticOnBaryonDensity(t *testing.T) {
 func TestPlanErrors(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldTemperature)
-	cal, _ := e.Calibrate(f)
-	if _, err := e.Plan(f, nil, PlanOptions{AvgEB: 1}); err == nil {
+	cal, _ := e.Calibrate(context.Background(), f)
+	if _, err := e.Plan(context.Background(), f, nil, PlanOptions{AvgEB: 1}); err == nil {
 		t.Error("nil calibration accepted")
 	}
-	if _, err := e.Plan(f, cal, PlanOptions{AvgEB: 0}); err == nil {
+	if _, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0}); err == nil {
 		t.Error("zero budget accepted")
 	}
-	if _, err := e.CompressAdaptive(f, nil); err == nil {
+	if _, err := e.CompressAdaptive(context.Background(), f, nil); err == nil {
 		t.Error("nil plan accepted")
 	}
-	if _, err := e.CompressStatic(f, -1); err == nil {
+	if _, err := e.CompressStatic(context.Background(), f, -1); err == nil {
 		t.Error("negative static eb accepted")
 	}
 }
@@ -317,12 +318,12 @@ func TestHaloBudgetAndPlan(t *testing.T) {
 	if hb.MassBudget <= 0 {
 		t.Fatal("zero mass budget despite halos")
 	}
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hc := hb.Constraint()
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.5, Halo: &hc})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.5, Halo: &hc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestHaloBudgetAndPlan(t *testing.T) {
 func TestArchiveRoundTrip(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldDarkMatterDensity)
-	cf, err := e.CompressStatic(f, 0.05)
+	cf, err := e.CompressStatic(context.Background(), f, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,11 +348,11 @@ func TestArchiveRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := cf.Decompress()
+	a, err := cf.Decompress(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parsed.Decompress()
+	b, err := parsed.Decompress(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 func TestArchiveRejectsCorruption(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldDarkMatterDensity)
-	cf, _ := e.CompressStatic(f, 0.05)
+	cf, _ := e.CompressStatic(context.Background(), f, 0.05)
 	blob := cf.Bytes()
 	cases := map[string]func([]byte) []byte{
 		"short":     func(b []byte) []byte { return b[:10] },
@@ -388,11 +389,11 @@ func TestArchiveRejectsCorruption(t *testing.T) {
 func TestCompressInSitu(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldBaryonDensity)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf, st, err := e.CompressInSitu(f, cal, InSituOptions{Ranks: 8, AvgEB: 0.1})
+	cf, st, err := e.CompressInSitu(context.Background(), f, cal, InSituOptions{Ranks: 8, AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +409,7 @@ func TestCompressInSitu(t *testing.T) {
 			t.Fatalf("eb[%d] = %v outside box", i, eb)
 		}
 	}
-	recon, err := cf.Decompress()
+	recon, err := cf.Decompress(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,11 +420,11 @@ func TestCompressInSitu(t *testing.T) {
 
 	// The in situ result must agree with the offline path's ratio within
 	// a few percent (they differ only in the mean-preserving rescale).
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	offline, err := e.CompressAdaptive(f, plan)
+	offline, err := e.CompressAdaptive(context.Background(), f, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +436,7 @@ func TestCompressInSitu(t *testing.T) {
 func TestCompressInSituRankInvariance(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldTemperature)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,7 +444,7 @@ func TestCompressInSituRankInvariance(t *testing.T) {
 	avgEB := float64(hi-lo) * 1e-4
 	var ref []float64
 	for _, ranks := range []int{1, 4, 16} {
-		_, st, err := e.CompressInSitu(f, cal, InSituOptions{Ranks: ranks, AvgEB: avgEB})
+		_, st, err := e.CompressInSitu(context.Background(), f, cal, InSituOptions{Ranks: ranks, AvgEB: avgEB})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -462,13 +463,13 @@ func TestCompressInSituRankInvariance(t *testing.T) {
 func TestCompressInSituHaloBudget(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldBaryonDensity)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bt, _ := nyx.DefaultHaloConfig()
 	// An absurdly tight budget must force a visible downscale.
-	_, st, err := e.CompressInSitu(f, cal, InSituOptions{
+	_, st, err := e.CompressInSitu(context.Background(), f, cal, InSituOptions{
 		Ranks: 4, AvgEB: 1.0,
 		Halo: &InSituHalo{TBoundary: bt, RefEB: 1.0, MassBudget: 1e-6},
 	})
@@ -486,12 +487,12 @@ func TestCompressInSituHaloBudget(t *testing.T) {
 func TestSuggestStaticEB(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 16})
 	f := field(t, nyx.FieldTemperature)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p, _ := grid.PartitionerForBrickDim(64, 16)
-	features := e.extractFeatures(f, p)
+	features := e.extractFeatures(context.Background(), f, p)
 	target := 2.0 // bits/value
 	eb, err := cal.SuggestStaticEB(features, target)
 	if err != nil {
@@ -523,20 +524,20 @@ func TestSteadyStateAllocationFlat(t *testing.T) {
 	f := field(t, nyx.FieldBaryonDensity)
 	// Single worker so sync.Pool churn does not inflate the count.
 	e := engine(t, Config{PartitionDim: 16, Workers: 1})
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.CompressAdaptive(f, plan); err != nil {
+	if _, err := e.CompressAdaptive(context.Background(), f, plan); err != nil {
 		t.Fatal(err) // warm the scratch pool
 	}
 	parts := len(plan.EBs)
 	allocs := testing.AllocsPerRun(3, func() {
-		if _, err := e.CompressAdaptive(f, plan); err != nil {
+		if _, err := e.CompressAdaptive(context.Background(), f, plan); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -559,20 +560,20 @@ func TestSteadyStateAllocationFlat(t *testing.T) {
 func TestSteadyStateAllocationFlatZFP(t *testing.T) {
 	f := field(t, nyx.FieldBaryonDensity)
 	e := engine(t, Config{PartitionDim: 16, Workers: 1, Codec: codec.ZFP})
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.CompressAdaptive(f, plan); err != nil {
+	if _, err := e.CompressAdaptive(context.Background(), f, plan); err != nil {
 		t.Fatal(err) // warm the scratch pool
 	}
 	parts := len(plan.EBs)
 	allocs := testing.AllocsPerRun(3, func() {
-		if _, err := e.CompressAdaptive(f, plan); err != nil {
+		if _, err := e.CompressAdaptive(context.Background(), f, plan); err != nil {
 			t.Fatal(err)
 		}
 	})

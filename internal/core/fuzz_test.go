@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -81,7 +82,7 @@ func FuzzParseCompressedField(f *testing.F) {
 		// Decompression of plausible-size fields must not panic; errors
 		// are expected when frame dims disagree with the partitioning.
 		if cf.N() <= 1<<18 {
-			_, _ = cf.Decompress()
+			_, _ = cf.Decompress(context.Background())
 		}
 	})
 }
@@ -101,7 +102,7 @@ func FuzzOpenStream(f *testing.F) {
 			if fields, err := sr.ReadStep(i); err == nil {
 				for _, cf := range fields {
 					if cf.N() <= 1<<18 {
-						_, _ = cf.Decompress()
+						_, _ = cf.Decompress(context.Background())
 					}
 				}
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -92,7 +93,7 @@ func TestGoldenArchiveV2(t *testing.T) {
 		t.Run(string(id), func(t *testing.T) {
 			e := engine(t, Config{PartitionDim: 8, Codec: id})
 			compress := func() *CompressedField {
-				cf, err := e.CompressStatic(goldenField(), 0.05)
+				cf, err := e.CompressStatic(context.Background(), goldenField(), 0.05)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -101,7 +102,7 @@ func TestGoldenArchiveV2(t *testing.T) {
 			archive := writeOrReadGolden(t, fmt.Sprintf("golden_%s.acfd", id),
 				func() []byte { return compress().Bytes() })
 			expect := writeOrReadGolden(t, fmt.Sprintf("golden_%s.f32", id), func() []byte {
-				recon, err := compress().Decompress()
+				recon, err := compress().Decompress(context.Background())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -119,7 +120,7 @@ func TestGoldenArchiveV2(t *testing.T) {
 				t.Errorf("re-encoding the fixture changed %d of %d bytes",
 					diffCount(got, archive), len(archive))
 			}
-			recon, err := cf.Decompress()
+			recon, err := cf.Decompress(context.Background())
 			if err != nil {
 				t.Fatalf("fixture no longer decompresses: %v", err)
 			}
@@ -152,11 +153,11 @@ func TestGoldenStreamV3(t *testing.T) {
 
 	buildStep := func(step int) map[string]*CompressedField {
 		f := goldenStep(step)
-		a, err := szEng.CompressStatic(f, 0.05)
+		a, err := szEng.CompressStatic(context.Background(), f, 0.05)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := zfpEng.CompressStatic(f, 0.05)
+		b, err := zfpEng.CompressStatic(context.Background(), f, 0.05)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestGoldenStreamV3(t *testing.T) {
 		var out []byte
 		for s := 0; s < steps; s++ {
 			for _, name := range []string{"density_sz", "density_zfp"} {
-				recon, err := buildStep(s)[name].Decompress()
+				recon, err := buildStep(s)[name].Decompress(context.Background())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -210,7 +211,7 @@ func TestGoldenStreamV3(t *testing.T) {
 			if cf == nil {
 				t.Fatalf("step %d missing %q", s, name)
 			}
-			recon, err := cf.Decompress()
+			recon, err := cf.Decompress(context.Background())
 			if err != nil {
 				t.Fatalf("step %d %s: %v", s, name, err)
 			}

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"repro/internal/apierr"
 	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/mpi"
@@ -73,13 +74,14 @@ func (s *InSituStats) FeatureOverhead() float64 {
 }
 
 // CompressInSitu runs the full in situ protocol over the simulated MPI
-// runtime and returns the adaptively compressed field.
-func (e *Engine) CompressInSitu(f *grid.Field3D, cal *Calibration, opt InSituOptions) (*CompressedField, *InSituStats, error) {
+// runtime and returns the adaptively compressed field. Cancellation is
+// checked between partitions inside each rank's compression loop.
+func (e *Engine) CompressInSitu(ctx context.Context, f *grid.Field3D, cal *Calibration, opt InSituOptions) (*CompressedField, *InSituStats, error) {
 	if cal == nil || cal.Model == nil {
-		return nil, nil, errors.New("core: nil calibration")
+		return nil, nil, fmt.Errorf("core: %w: nil calibration", apierr.ErrBadConfig)
 	}
 	if opt.AvgEB <= 0 {
-		return nil, nil, errors.New("core: AvgEB must be positive")
+		return nil, nil, fmt.Errorf("core: %w: AvgEB must be positive", apierr.ErrBadConfig)
 	}
 	p, err := e.partitioner(f)
 	if err != nil {
@@ -209,6 +211,9 @@ func (e *Engine) CompressInSitu(f *grid.Field3D, cal *Calibration, opt InSituOpt
 		c.Barrier()
 		t2 := time.Now()
 		for j, pi := range mine {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: in situ compression: %w", err)
+			}
 			part := parts[pi]
 			data := e.brick(scratch, f, part)
 			nx, ny, nz := part.Dims()

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"math"
 	"testing"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/nyx"
 )
@@ -18,7 +21,7 @@ func streamField(t *testing.T, e *Engine, scale float32) *CompressedField {
 		x, y, z := f.Coords(i)
 		f.Data[i] = scale * float32(x+2*y+3*z)
 	}
-	cf, err := e.CompressStatic(f, 0.5)
+	cf, err := e.CompressStatic(context.Background(), f, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +31,11 @@ func streamField(t *testing.T, e *Engine, scale float32) *CompressedField {
 func TestStreamRoundTrip(t *testing.T) {
 	e := engine(t, Config{PartitionDim: 8})
 	f := field(t, nyx.FieldBaryonDensity)
-	cal, err := e.Calibrate(f)
+	cal, err := e.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := e.Plan(f, cal, PlanOptions{AvgEB: 0.1})
+	plan, err := e.Plan(context.Background(), f, cal, PlanOptions{AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func TestStreamRoundTrip(t *testing.T) {
 	const steps = 5
 	want := make([]*CompressedField, steps)
 	for i := 0; i < steps; i++ {
-		cf, err := e.CompressAdaptive(f, plan)
+		cf, err := e.CompressAdaptive(context.Background(), f, plan)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,11 +98,11 @@ func TestStreamRoundTrip(t *testing.T) {
 			t.Errorf("step %d: size %d codec %s, want %d %s",
 				i, got.CompressedSize(), got.Codec, want[i].CompressedSize(), want[i].Codec)
 		}
-		wantField, err := want[i].Decompress()
+		wantField, err := want[i].Decompress(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotField, err := got.Decompress()
+		gotField, err := got.Decompress(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,5 +293,35 @@ func TestOpenStreamRejectsCorruption(t *testing.T) {
 	}
 	if _, err := sr.ReadStep(0); err == nil {
 		t.Error("corrupted step payload decoded without error")
+	}
+}
+
+// flakyReaderAt fails every ReadAt with a transient I/O error.
+type flakyReaderAt struct{ err error }
+
+func (f flakyReaderAt) ReadAt([]byte, int64) (int, error) { return 0, f.err }
+
+// TestStreamIOErrorIsNotCorruption pins the read-failure taxonomy: a
+// transient I/O error opening a stream must NOT classify as
+// ErrCorruptArchive (only truncation — EOF-family errors — does), so
+// callers that quarantine corrupt archives never condemn a healthy file
+// over a flaky read.
+func TestStreamIOErrorIsNotCorruption(t *testing.T) {
+	transient := errors.New("read: transient EIO")
+	_, err := OpenStream(flakyReaderAt{err: transient}, 1<<20)
+	if err == nil {
+		t.Fatal("open succeeded on a failing reader")
+	}
+	if !errors.Is(err, transient) {
+		t.Fatalf("transient cause lost: %v", err)
+	}
+	if errors.Is(err, apierr.ErrCorruptArchive) {
+		t.Fatalf("transient I/O error classified as corruption: %v", err)
+	}
+
+	// Truncation through the same path IS corruption.
+	_, err = OpenStream(flakyReaderAt{err: io.ErrUnexpectedEOF}, 1<<20)
+	if !errors.Is(err, apierr.ErrCorruptArchive) {
+		t.Fatalf("truncated read not classified as corruption: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,7 +36,7 @@ func ablate(ctx *Context, engCfg core.Config) (adaptive, static float64, err err
 	if err != nil {
 		return 0, 0, err
 	}
-	cal, err := eng.Calibrate(f)
+	cal, err := eng.Calibrate(context.Background(), f)
 	if err != nil {
 		return 0, 0, err
 	}

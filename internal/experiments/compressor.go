@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -99,7 +100,7 @@ func CrossCodecAdaptive(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cal, err := eng.Calibrate(f)
+		cal, err := eng.Calibrate(context.Background(), f)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s calibration: %w", id, err)
 		}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -127,7 +128,7 @@ func (ctx *Context) Calibration(name string) (*core.Calibration, error) {
 	if err != nil {
 		return nil, err
 	}
-	cal, err := ctx.Engine.Calibrate(f)
+	cal, err := ctx.Engine.Calibrate(context.Background(), f)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: calibrating %s: %w", name, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,7 +28,7 @@ func Fig11ErrorBoundMap(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := ctx.Engine.Plan(f, cal, core.PlanOptions{AvgEB: avgEB})
+	plan, err := ctx.Engine.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +79,7 @@ func Fig12BitQualityRatio(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := ctx.Engine.Plan(f, cal, core.PlanOptions{AvgEB: avgEB})
+	plan, err := ctx.Engine.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		return nil, err
 	}
@@ -118,15 +119,15 @@ func Fig13PowerSpectrum(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := ctx.Engine.Plan(f, cal, core.PlanOptions{AvgEB: avgEB})
+	plan, err := ctx.Engine.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		return nil, err
 	}
-	cf, err := ctx.Engine.CompressAdaptive(f, plan)
+	cf, err := ctx.Engine.CompressAdaptive(context.Background(), f, plan)
 	if err != nil {
 		return nil, err
 	}
-	recon, err := cf.Decompress()
+	recon, err := cf.Decompress(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -198,11 +199,11 @@ func Fig15RatioAllFields(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		te, err := ev.TrialAndError(name, f, gridEBs, 1)
+		te, err := ev.TrialAndError(context.Background(), name, f, gridEBs, 1)
 		if err != nil {
 			return nil, err
 		}
-		static, err := ctx.Engine.CompressStatic(f, te.ChosenEB)
+		static, err := ctx.Engine.CompressStatic(context.Background(), f, te.ChosenEB)
 		if err != nil {
 			return nil, err
 		}
@@ -235,15 +236,15 @@ func Fig15RatioAllFields(ctx *Context) (*Result, error) {
 		avgEB := planOpts.AvgEB
 		for attempt := 0; attempt < 10; attempt++ {
 			planOpts.AvgEB = avgEB
-			plan, err := ctx.Engine.Plan(f, cal, planOpts)
+			plan, err := ctx.Engine.Plan(context.Background(), f, cal, planOpts)
 			if err != nil {
 				return nil, err
 			}
-			adaptive, err = ctx.Engine.CompressAdaptive(f, plan)
+			adaptive, err = ctx.Engine.CompressAdaptive(context.Background(), f, plan)
 			if err != nil {
 				return nil, err
 			}
-			m, err = ev.Evaluate(name, f, adaptive)
+			m, err = ev.Evaluate(context.Background(), name, f, adaptive)
 			if err != nil {
 				return nil, err
 			}

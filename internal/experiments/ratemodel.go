@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -96,11 +97,11 @@ func Fig10bRatioConsistency(ctx *Context) (*Result, error) {
 	worst := 0.0
 	for _, rel := range []float64{3e-4, 1e-3, 3e-3, 1e-2} {
 		eb := rel * fA.AbsMax()
-		cfA, err := ctx.Engine.CompressStatic(fA, eb)
+		cfA, err := ctx.Engine.CompressStatic(context.Background(), fA, eb)
 		if err != nil {
 			return nil, err
 		}
-		cfB, err := ctx.Engine.CompressStatic(fB, eb)
+		cfB, err := ctx.Engine.CompressStatic(context.Background(), fB, eb)
 		if err != nil {
 			return nil, err
 		}

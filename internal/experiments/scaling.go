@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,15 +14,15 @@ import (
 // adaptiveVsStatic compresses one field both ways at the same quality
 // budget and returns the two ratios.
 func adaptiveVsStatic(eng *core.Engine, f *grid.Field3D, cal *core.Calibration, avgEB float64) (adaptive, static float64, plan *core.Plan, err error) {
-	plan, err = eng.Plan(f, cal, core.PlanOptions{AvgEB: avgEB})
+	plan, err = eng.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: avgEB})
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	cfA, err := eng.CompressAdaptive(f, plan)
+	cfA, err := eng.CompressAdaptive(context.Background(), f, plan)
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	cfS, err := eng.CompressStatic(f, avgEB)
+	cfS, err := eng.CompressStatic(context.Background(), f, avgEB)
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -57,24 +58,24 @@ func Fig16Redshifts(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := ctx.Engine.Plan(f, cal, core.PlanOptions{AvgEB: avgEB})
+		plan, err := ctx.Engine.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: avgEB})
 		if err != nil {
 			return nil, err
 		}
 		if earlyPlan == nil {
 			earlyPlan = plan // optimized once, at the earliest snapshot
 		}
-		adaptive, err := ctx.Engine.CompressAdaptive(f, plan)
+		adaptive, err := ctx.Engine.CompressAdaptive(context.Background(), f, plan)
 		if err != nil {
 			return nil, err
 		}
-		staticOnce, err := ctx.Engine.CompressAdaptive(f, &core.Plan{
+		staticOnce, err := ctx.Engine.CompressAdaptive(context.Background(), f, &core.Plan{
 			EBs: earlyPlan.EBs, Features: plan.Features, AvgEB: earlyPlan.AvgEB,
 		})
 		if err != nil {
 			return nil, err
 		}
-		traditional, err := ctx.Engine.CompressStatic(f, avgEB)
+		traditional, err := ctx.Engine.CompressStatic(context.Background(), f, avgEB)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func Fig17RedshiftEbMaps(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := ctx.Engine.Plan(f, cal, core.PlanOptions{AvgEB: avgEB})
+		plan, err := ctx.Engine.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: avgEB})
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +175,7 @@ func Fig18PartitionSize(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cal, err := eng.Calibrate(f)
+		cal, err := eng.Calibrate(context.Background(), f)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +211,7 @@ func Fig19SimulationScale(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cal, err := ctx.Engine.Calibrate(f)
+		cal, err := ctx.Engine.Calibrate(context.Background(), f)
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +253,7 @@ func Sec43Overhead(ctx *Context) (*Result, error) {
 			bt, _ := nyx.DefaultHaloConfig()
 			opt.Halo = &core.InSituHalo{TBoundary: bt, RefEB: 1, MassBudget: math.Inf(1)}
 		}
-		_, st, err := ctx.Engine.CompressInSitu(f, cal, opt)
+		_, st, err := ctx.Engine.CompressInSitu(context.Background(), f, cal, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/codec"
@@ -68,7 +69,7 @@ func TimeseriesPipeline(ctx *Context) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := drv.Run(pipeline.FromSnapshots(steps))
+			run, err := drv.Run(context.Background(), pipeline.FromSnapshots(steps))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", id, pol, err)
 			}

@@ -10,6 +10,7 @@
 package foresight
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -126,12 +127,13 @@ func (ev *Evaluator) prepare(f *grid.Field3D) error {
 }
 
 // Evaluate computes the full metric set for a compressed field.
-func (ev *Evaluator) Evaluate(name string, f *grid.Field3D, cf *core.CompressedField) (*Metrics, error) {
+// Cancellation is checked between decompression partitions.
+func (ev *Evaluator) Evaluate(ctx context.Context, name string, f *grid.Field3D, cf *core.CompressedField) (*Metrics, error) {
 	if err := ev.prepare(f); err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	recon, err := cf.Decompress()
+	recon, err := cf.Decompress(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -184,14 +186,14 @@ func (ev *Evaluator) Evaluate(name string, f *grid.Field3D, cf *core.CompressedF
 }
 
 // EvaluateStatic compresses f at a static bound and evaluates it.
-func (ev *Evaluator) EvaluateStatic(name string, f *grid.Field3D, eb float64) (*Metrics, error) {
+func (ev *Evaluator) EvaluateStatic(ctx context.Context, name string, f *grid.Field3D, eb float64) (*Metrics, error) {
 	t0 := time.Now()
-	cf, err := ev.Engine.CompressStatic(f, eb)
+	cf, err := ev.Engine.CompressStatic(ctx, f, eb)
 	if err != nil {
 		return nil, err
 	}
 	compSec := time.Since(t0).Seconds()
-	m, err := ev.Evaluate(name, f, cf)
+	m, err := ev.Evaluate(ctx, name, f, cf)
 	if err != nil {
 		return nil, err
 	}
@@ -201,13 +203,13 @@ func (ev *Evaluator) EvaluateStatic(name string, f *grid.Field3D, eb float64) (*
 
 // Sweep evaluates a list of static bounds (the broad-spectrum analysis the
 // paper attributes to Foresight).
-func (ev *Evaluator) Sweep(name string, f *grid.Field3D, ebs []float64) ([]Metrics, error) {
+func (ev *Evaluator) Sweep(ctx context.Context, name string, f *grid.Field3D, ebs []float64) ([]Metrics, error) {
 	if len(ebs) == 0 {
 		return nil, errors.New("foresight: empty sweep")
 	}
 	out := make([]Metrics, 0, len(ebs))
 	for _, eb := range ebs {
-		m, err := ev.EvaluateStatic(name, f, eb)
+		m, err := ev.EvaluateStatic(ctx, name, f, eb)
 		if err != nil {
 			return nil, fmt.Errorf("foresight: eb %g: %w", eb, err)
 		}
@@ -236,7 +238,7 @@ type TrialAndErrorResult struct {
 // usually choose a relatively lower error-bound ... based on empirical
 // studies" because one tested snapshot cannot guarantee the quality of
 // every future snapshot. safetyNotches = 0 yields the oracle static bound.
-func (ev *Evaluator) TrialAndError(name string, f *grid.Field3D, ebs []float64, safetyNotches int) (*TrialAndErrorResult, error) {
+func (ev *Evaluator) TrialAndError(ctx context.Context, name string, f *grid.Field3D, ebs []float64, safetyNotches int) (*TrialAndErrorResult, error) {
 	if len(ebs) == 0 {
 		return nil, errors.New("foresight: empty candidate grid")
 	}
@@ -248,7 +250,7 @@ func (ev *Evaluator) TrialAndError(name string, f *grid.Field3D, ebs []float64, 
 	res := &TrialAndErrorResult{}
 	bestIdx := -1
 	for i, eb := range sorted {
-		m, err := ev.EvaluateStatic(name, f, eb)
+		m, err := ev.EvaluateStatic(ctx, name, f, eb)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package foresight
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func newEvaluator(t *testing.T, withHalo bool) *Evaluator {
 func TestEvaluateStaticBasics(t *testing.T) {
 	ev := newEvaluator(t, true)
 	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
-	m, err := ev.EvaluateStatic(nyx.FieldBaryonDensity, f, 0.01)
+	m, err := ev.EvaluateStatic(context.Background(), nyx.FieldBaryonDensity, f, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestEvaluateStaticBasics(t *testing.T) {
 func TestQualityDegradesWithEB(t *testing.T) {
 	ev := newEvaluator(t, false)
 	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
-	rows, err := ev.Sweep(nyx.FieldBaryonDensity, f, []float64{0.001, 0.1, 10})
+	rows, err := ev.Sweep(context.Background(), nyx.FieldBaryonDensity, f, []float64{0.001, 0.1, 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,19 +83,19 @@ func TestQualityDegradesWithEB(t *testing.T) {
 func TestEvaluateAdaptiveFlag(t *testing.T) {
 	ev := newEvaluator(t, false)
 	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
-	cal, err := ev.Engine.Calibrate(f)
+	cal, err := ev.Engine.Calibrate(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := ev.Engine.Plan(f, cal, core.PlanOptions{AvgEB: 0.1})
+	plan, err := ev.Engine.Plan(context.Background(), f, cal, core.PlanOptions{AvgEB: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf, err := ev.Engine.CompressAdaptive(f, plan)
+	cf, err := ev.Engine.CompressAdaptive(context.Background(), f, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := ev.Evaluate(nyx.FieldBaryonDensity, f, cf)
+	m, err := ev.Evaluate(context.Background(), nyx.FieldBaryonDensity, f, cf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestTrialAndError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ev.TrialAndError(nyx.FieldBaryonDensity, f, grid, 1)
+	res, err := ev.TrialAndError(context.Background(), nyx.FieldBaryonDensity, f, grid, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestTrialAndError(t *testing.T) {
 		t.Errorf("suspiciously few trials: %d", res.Trials)
 	}
 	// Oracle (no safety margin) must pick the best passing bound.
-	oracle, err := ev.TrialAndError(nyx.FieldBaryonDensity, f, grid, 0)
+	oracle, err := ev.TrialAndError(context.Background(), nyx.FieldBaryonDensity, f, grid, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestTrialAndErrorNoPassingBound(t *testing.T) {
 	ev := newEvaluator(t, false)
 	ev.SpectrumTol = 1e-12 // impossible target
 	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
-	if _, err := ev.TrialAndError(nyx.FieldBaryonDensity, f, []float64{1, 10}, 0); err == nil {
+	if _, err := ev.TrialAndError(context.Background(), nyx.FieldBaryonDensity, f, []float64{1, 10}, 0); err == nil {
 		t.Error("impossible target produced a bound")
 	}
 }
@@ -148,10 +149,10 @@ func TestTrialAndErrorNoPassingBound(t *testing.T) {
 func TestTrialAndErrorValidation(t *testing.T) {
 	ev := newEvaluator(t, false)
 	f, _ := snap(t).Field(nyx.FieldBaryonDensity)
-	if _, err := ev.TrialAndError("x", f, nil, 0); err == nil {
+	if _, err := ev.TrialAndError(context.Background(), "x", f, nil, 0); err == nil {
 		t.Error("empty grid accepted")
 	}
-	if _, err := ev.TrialAndError("x", f, []float64{1}, -1); err == nil {
+	if _, err := ev.TrialAndError(context.Background(), "x", f, []float64{1}, -1); err == nil {
 		t.Error("negative margin accepted")
 	}
 }

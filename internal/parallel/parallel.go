@@ -19,6 +19,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -94,11 +95,28 @@ func exit() { active.Add(-1) }
 // index has been processed. Use this form when each participant carries
 // per-worker state (a scratch checkout); use ForEach when it does not.
 func Workers(n, max int, body func(next func() (int, bool))) {
+	WorkersCtx(context.Background(), n, max, body)
+}
+
+// WorkersCtx is Workers with cooperative cancellation: once ctx is done,
+// next stops handing out indices, so every participant drains at the next
+// index boundary and WorkersCtx returns promptly with all pool tokens
+// released. Indices already handed out finish normally — cancellation never
+// interrupts a body mid-item, which is what keeps compressed bitstreams
+// bit-exact up to the cancellation point. Callers observe cancellation via
+// ctx.Err() after the fan-out returns.
+func WorkersCtx(ctx context.Context, n, max int, body func(next func() (int, bool))) {
 	if n <= 0 {
 		return
 	}
+	done := ctx.Done()
 	var idx atomic.Int64
 	next := func() (int, bool) {
+		select {
+		case <-done:
+			return 0, false
+		default:
+		}
 		i := idx.Add(1) - 1
 		if i >= int64(n) {
 			return 0, false
@@ -136,7 +154,14 @@ recruit:
 // ForEach runs fn(i) for every i in [0, n), using the caller plus at most
 // max−1 pool helpers (max <= 0 means no per-call cap).
 func ForEach(n, max int, fn func(i int)) {
-	Workers(n, max, func(next func() (int, bool)) {
+	ForEachCtx(context.Background(), n, max, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation (see WorkersCtx):
+// indices stop being handed out once ctx is done, in-flight fn calls run to
+// completion, and the call returns with no tokens retained.
+func ForEachCtx(ctx context.Context, n, max int, fn func(i int)) {
+	WorkersCtx(ctx, n, max, func(next func() (int, bool)) {
 		for i, ok := next(); ok; i, ok = next() {
 			fn(i)
 		}

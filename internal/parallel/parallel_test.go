@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -108,5 +109,74 @@ func TestSetLimitRestores(t *testing.T) {
 	restore()
 	if Limit() != prev {
 		t.Fatalf("limit %d after restore, want %d", Limit(), prev)
+	}
+}
+
+func TestForEachCtxPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	ForEachCtx(ctx, 1000, 0, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d indices ran under a pre-canceled context", got)
+	}
+}
+
+func TestWorkersCtxCancelStopsHandout(t *testing.T) {
+	restore := SetLimit(4)
+	defer restore()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 100000
+	ForEachCtx(ctx, n, 0, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel() // mid-fan-out: later indices must never be handed out
+		}
+	})
+	got := ran.Load()
+	if got == 0 || got >= n {
+		t.Errorf("ran %d of %d indices, want a strict mid-run cut", got, n)
+	}
+	// In-flight bodies may each finish the index they already held, but
+	// nothing beyond one index per participant can run after the cancel.
+	if max := int64(10 + Limit() + 1); got > max {
+		t.Errorf("ran %d indices after cancel at 10, want ≤ %d", got, max)
+	}
+}
+
+// TestCancelReleasesTokens pins the no-leak guarantee the streaming
+// cancellation story depends on: a canceled fan-out must return every
+// helper token to the pool, leaving the full helper budget available to
+// the next fan-out.
+func TestCancelReleasesTokens(t *testing.T) {
+	restore := SetLimit(3)
+	defer restore()
+	for round := 0; round < 50; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		ForEachCtx(ctx, 512, 0, func(int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		if got := len(tokens); got != 0 {
+			t.Fatalf("round %d: %d helper tokens still checked out after a canceled fan-out", round, got)
+		}
+	}
+	// The pool must still be fully usable: a follow-up fan-out can
+	// recruit the whole helper budget again.
+	ResetPeak()
+	var bodies atomic.Int64
+	gate := make(chan struct{})
+	Workers(8, 0, func(next func() (int, bool)) {
+		if bodies.Add(1) == 4 { // caller + 3 helpers
+			close(gate)
+		}
+		<-gate
+		for _, ok := next(); ok; _, ok = next() {
+		}
+	})
+	if got := bodies.Load(); got != 4 {
+		t.Errorf("post-cancel fan-out recruited %d bodies, want caller + 3 helpers", got)
 	}
 }

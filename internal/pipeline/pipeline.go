@@ -13,13 +13,14 @@
 //		RelAvgEB: 0.1, Policy: pipeline.DriftTriggered, DriftThreshold: 0.25,
 //	})
 //	stream, _ := nyx.NewStream(nyx.StreamParams{Base: nyx.Params{N: 64, Seed: 7}, Steps: 16})
-//	stats, _ := drv.Run(stream)
+//	stats, _ := drv.Run(ctx, stream)
 //
 // Each step's compressed fields can be appended to an archive v3 stream
 // (core.StreamWriter) for O(1) post-hoc access to any timestep.
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/apierr"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/parallel"
@@ -105,17 +107,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Validate checks the options.
+// Validate checks the options. Rejections wrap apierr.ErrBadConfig.
 func (o Options) Validate() error {
 	if o.DriftThreshold < 0 {
-		return errors.New("pipeline: drift threshold must be ≥ 0")
+		return fmt.Errorf("pipeline: %w: drift threshold must be ≥ 0", apierr.ErrBadConfig)
 	}
 	if o.RelAvgEB <= 0 {
-		return errors.New("pipeline: RelAvgEB must be positive")
+		return fmt.Errorf("pipeline: %w: RelAvgEB must be positive", apierr.ErrBadConfig)
 	}
 	for name, eb := range o.AvgEBs {
 		if eb <= 0 {
-			return fmt.Errorf("pipeline: non-positive budget %g for field %q", eb, name)
+			return fmt.Errorf("pipeline: %w: non-positive budget %g for field %q", apierr.ErrBadConfig, eb, name)
 		}
 	}
 	return nil
@@ -279,9 +281,18 @@ func (d *Driver) Calibration(name string) *core.Calibration {
 // Run consumes the source until io.EOF, compressing every field of every
 // step, and returns the per-step stats. On error the run stops and the
 // stats collected so far are returned alongside it.
-func (d *Driver) Run(src Source) (*RunStats, error) {
+//
+// Cancellation: ctx is checked between steps and, inside each step, between
+// partitions — a cancel mid-run surfaces as an error satisfying
+// errors.Is(err, context.Canceled) within one step, and the configured
+// archive writer never sees a partial step, so Close()-ing it still yields
+// a valid (truncated) v3 stream covering every completed step.
+func (d *Driver) Run(ctx context.Context, src Source) (*RunStats, error) {
 	run := &RunStats{}
 	for {
+		if err := ctx.Err(); err != nil {
+			return run, fmt.Errorf("pipeline: run canceled after %d steps: %w", len(run.Steps), err)
+		}
 		snap, err := src.Next()
 		if err == io.EOF {
 			return run, nil
@@ -289,7 +300,7 @@ func (d *Driver) Run(src Source) (*RunStats, error) {
 		if err != nil {
 			return run, fmt.Errorf("pipeline: source: %w", err)
 		}
-		st, err := d.Step(snap)
+		st, err := d.Step(ctx, snap)
 		if err != nil {
 			return run, err
 		}
@@ -311,9 +322,9 @@ func (d *Driver) Run(src Source) (*RunStats, error) {
 // Step compresses one snapshot's fields (concurrently, bounded by
 // FieldWorkers), updates the calibration state, and appends the step to
 // the archive writer when one is configured.
-func (d *Driver) Step(snap map[string]*grid.Field3D) (*StepStats, error) {
+func (d *Driver) Step(ctx context.Context, snap map[string]*grid.Field3D) (*StepStats, error) {
 	if len(snap) == 0 {
-		return nil, errors.New("pipeline: empty snapshot")
+		return nil, fmt.Errorf("pipeline: %w: empty snapshot", apierr.ErrBadConfig)
 	}
 	names := make([]string, 0, len(snap))
 	for name := range snap {
@@ -337,9 +348,9 @@ func (d *Driver) Step(snap map[string]*grid.Field3D) (*StepStats, error) {
 	// and, transitively, GOMAXPROCS): the partition- and block-level
 	// fan-outs below draw from the same pool, so a nested run cannot
 	// oversubscribe to FieldWorkers × engine workers goroutines.
-	parallel.ForEach(len(names), workers, func(i int) {
+	parallel.ForEachCtx(ctx, len(names), workers, func(i int) {
 		name := names[i]
-		cf, fs, err := d.compressField(name, snap[name])
+		cf, fs, err := d.compressField(ctx, name, snap[name])
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -353,6 +364,11 @@ func (d *Driver) Step(snap map[string]*grid.Field3D) (*StepStats, error) {
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		// No partial step ever reaches the archive writer: a canceled step
+		// is dropped whole, so the stream stays valid at step granularity.
+		return nil, fmt.Errorf("pipeline: step canceled: %w", err)
 	}
 	for i := range st.Fields {
 		fs := &st.Fields[i]
@@ -375,13 +391,26 @@ func (d *Driver) Step(snap map[string]*grid.Field3D) (*StepStats, error) {
 	return st, nil
 }
 
+// tagRefitFailure wraps a mid-run recalibration failure in the typed
+// drift error so callers can tell a stream that went bad (drift refit
+// failed) from a run that never calibrated at all — except when the
+// "failure" is just the run's own cancellation surfacing inside
+// Calibrate: a clean shutdown must classify as context.Canceled only,
+// never as ErrDriftRecalibration.
+func tagRefitFailure(name string, drift float64, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &apierr.DriftRecalibrationError{Field: name, Drift: drift, Err: err}
+}
+
 // compressField runs one field through feature extraction, the drift
 // check, (re)calibration when due, planning, and compression.
-func (d *Driver) compressField(name string, f *grid.Field3D) (*core.CompressedField, *FieldStats, error) {
+func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D) (*core.CompressedField, *FieldStats, error) {
 	fs := &FieldStats{Name: name, Cells: f.Len()}
 
 	t0 := time.Now()
-	features, err := d.eng.Features(f)
+	features, err := d.eng.Features(ctx, f)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -408,9 +437,13 @@ func (d *Driver) compressField(name string, f *grid.Field3D) (*core.CompressedFi
 		recal = recal || fs.Drift > d.opt.DriftThreshold
 	}
 	if recal {
+		refit := cal != nil // a re-fit, not the field's first calibration
 		t1 := time.Now()
-		cal, err = d.eng.Calibrate(f, d.opt.Calibration)
+		cal, err = d.eng.Calibrate(ctx, f, d.opt.Calibration)
 		if err != nil {
+			if refit {
+				err = tagRefitFailure(name, fs.Drift, err)
+			}
 			return nil, nil, err
 		}
 		fs.CalibrateSeconds = time.Since(t1).Seconds()
@@ -443,7 +476,7 @@ func (d *Driver) compressField(name string, f *grid.Field3D) (*core.CompressedFi
 	fs.PlanSeconds += time.Since(t2).Seconds()
 
 	t3 := time.Now()
-	cf, err := d.eng.CompressAdaptive(f, plan)
+	cf, err := d.eng.CompressAdaptive(ctx, f, plan)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,11 +2,14 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"testing"
 
+	"repro/internal/apierr"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -59,7 +62,7 @@ func TestPipelineStreamSZ(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := drv.Run(FromSnapshots(steps))
+	run, err := drv.Run(context.Background(), FromSnapshots(steps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,7 @@ func TestPipelineStreamSZ(t *testing.T) {
 			if cf == nil {
 				t.Fatalf("step %d archive missing field %s", i, fs.Name)
 			}
-			recon, err := cf.Decompress()
+			recon, err := cf.Decompress(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +160,7 @@ func TestPipelineStreamZFP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := drv.Run(FromSnapshots(steps))
+	run, err := drv.Run(context.Background(), FromSnapshots(steps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +185,7 @@ func TestPipelineStreamZFP(t *testing.T) {
 	if cf == nil || cf.Codec != codec.ZFP {
 		t.Fatalf("archived step 7 codec = %v, want zfp", cf)
 	}
-	if _, err := cf.Decompress(); err != nil {
+	if _, err := cf.Decompress(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -200,7 +203,7 @@ func TestPipelinePolicies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run, err := drv.Run(FromSnapshots(steps))
+		run, err := drv.Run(context.Background(), FromSnapshots(steps))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +260,7 @@ func TestDriverCalibrationReuse(t *testing.T) {
 	if drv.Calibration(nyx.FieldBaryonDensity) != nil {
 		t.Fatal("calibration exists before any step")
 	}
-	first, err := drv.Run(FromSnapshots(steps[:2]))
+	first, err := drv.Run(context.Background(), FromSnapshots(steps[:2]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +268,7 @@ func TestDriverCalibrationReuse(t *testing.T) {
 	if cal == nil {
 		t.Fatal("no calibration after first run")
 	}
-	second, err := drv.Run(FromSnapshots(steps[2:]))
+	second, err := drv.Run(context.Background(), FromSnapshots(steps[2:]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +289,7 @@ func TestPipelineBudgetOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := drv.Run(FromSnapshots(steps))
+	run, err := drv.Run(context.Background(), FromSnapshots(steps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +319,7 @@ func TestPipelineSourceAdapters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := drv.Run(FromChannel(ch))
+	run, err := drv.Run(context.Background(), FromChannel(ch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +336,7 @@ func TestPipelineSourceAdapters(t *testing.T) {
 		}
 		return steps[0], nil
 	})
-	run, err = drv.Run(src)
+	run, err = drv.Run(context.Background(), src)
 	if !errors.Is(err, boom) {
 		t.Fatalf("source error not propagated: %v", err)
 	}
@@ -342,7 +345,7 @@ func TestPipelineSourceAdapters(t *testing.T) {
 	}
 
 	// An empty snapshot is a driver error.
-	if _, err := drv.Step(nil); err == nil {
+	if _, err := drv.Step(context.Background(), nil); err == nil {
 		t.Error("empty snapshot accepted")
 	}
 }
@@ -367,7 +370,7 @@ func TestNestedFanOutBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	parallel.ResetPeak()
-	if _, err := drv.Step(steps[0]); err != nil {
+	if _, err := drv.Step(context.Background(), steps[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Three nested levels (fields → partitions → block chunks), each
@@ -377,5 +380,145 @@ func TestNestedFanOutBounded(t *testing.T) {
 	}
 	if parallel.Peak() < 2 {
 		t.Errorf("fan-out never went concurrent (peak %d) — pool helpers were not recruited", parallel.Peak())
+	}
+}
+
+// TestRunCancelBetweenSteps cancels from the OnStep callback: the run must
+// stop within one step with context.Canceled, keep the stats of every
+// completed step, and — because no partial step ever reaches the writer —
+// leave a stream that Close turns into a valid truncated v3 archive.
+func TestRunCancelBetweenSteps(t *testing.T) {
+	steps := testSteps(t, 32, 8, nyx.FieldBaryonDensity)
+
+	var buf bytes.Buffer
+	sw, err := core.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAfter = 3
+	drv, err := New(core.Config{PartitionDim: 8}, Options{
+		Writer: sw,
+		OnStep: func(st *StepStats) {
+			if st.Step == cancelAfter-1 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := drv.Run(ctx, FromSnapshots(steps))
+	if err == nil {
+		t.Fatal("run completed despite mid-run cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) is false: %v", err)
+	}
+	if len(run.Steps) != cancelAfter {
+		t.Fatalf("run kept %d steps, want the %d completed before cancel", len(run.Steps), cancelAfter)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("truncated stream did not open: %v", err)
+	}
+	if sr.Steps() != cancelAfter {
+		t.Fatalf("truncated stream has %d steps, want %d", sr.Steps(), cancelAfter)
+	}
+	for i := 0; i < sr.Steps(); i++ {
+		fields, err := sr.ReadStep(i)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		cf := fields[nyx.FieldBaryonDensity]
+		recon, err := cf.Decompress(context.Background())
+		if err != nil {
+			t.Fatalf("step %d decompress: %v", i, err)
+		}
+		if recon.Len() != steps[i][nyx.FieldBaryonDensity].Len() {
+			t.Fatalf("step %d reconstructed %d cells", i, recon.Len())
+		}
+	}
+}
+
+// TestRunCancelMidStep cancels while a step is compressing (the source
+// cancels right after handing out its snapshot): the step must fail with
+// context.Canceled, the partial step must not reach the writer, and no
+// pool tokens may leak.
+func TestRunCancelMidStep(t *testing.T) {
+	steps := testSteps(t, 32, 4, nyx.FieldBaryonDensity)
+
+	var buf bytes.Buffer
+	sw, err := core.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := 0
+	src := SourceFunc(func() (map[string]*grid.Field3D, error) {
+		if served >= len(steps) {
+			return nil, io.EOF
+		}
+		snap := steps[served]
+		served++
+		if served == 3 {
+			cancel() // the driver is handed the snapshot, then sees the cancel mid-step
+		}
+		return snap, nil
+	})
+	drv, err := New(core.Config{PartitionDim: 8}, Options{Writer: sw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := drv.Run(ctx, src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) is false: %v", err)
+	}
+	if len(run.Steps) != 2 {
+		t.Fatalf("run kept %d steps, want 2 completed before the mid-step cancel", len(run.Steps))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("truncated stream did not open: %v", err)
+	}
+	if sr.Steps() != 2 {
+		t.Fatalf("canceled step leaked into the archive: %d steps, want 2", sr.Steps())
+	}
+}
+
+// TestRefitFailureTagging pins the classification of mid-run
+// recalibration failures: real fit failures carry the drift sentinel, but
+// the run's own cancellation surfacing inside Calibrate must classify as
+// context.Canceled only — a clean shutdown is not a bad stream.
+func TestRefitFailureTagging(t *testing.T) {
+	fitErr := errors.New("core: rate-model fit: degenerate curves")
+	err := tagRefitFailure("rho", 0.4, fitErr)
+	if !errors.Is(err, apierr.ErrDriftRecalibration) || !errors.Is(err, fitErr) {
+		t.Fatalf("fit failure lost its tagging: %v", err)
+	}
+	var dre *apierr.DriftRecalibrationError
+	if !errors.As(err, &dre) || dre.Field != "rho" || dre.Drift != 0.4 {
+		t.Fatalf("typed error: %+v", dre)
+	}
+
+	for _, cancelErr := range []error{
+		fmt.Errorf("core: calibration: %w", context.Canceled),
+		fmt.Errorf("core: calibration: %w", context.DeadlineExceeded),
+	} {
+		err := tagRefitFailure("rho", 0.4, cancelErr)
+		if errors.Is(err, apierr.ErrDriftRecalibration) {
+			t.Fatalf("cancellation misclassified as drift failure: %v", err)
+		}
+		if err != cancelErr {
+			t.Fatalf("cancellation rewrapped: %v", err)
+		}
 	}
 }

@@ -1,16 +1,19 @@
 package sz
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/huffman"
 )
 
-// ErrCorrupt is wrapped by all decompression-time integrity failures.
-var ErrCorrupt = errors.New("sz: corrupt compressed stream")
+// ErrCorrupt is wrapped by all decompression-time integrity failures. It
+// wraps the public ErrCorruptArchive sentinel, so a corrupt sz stream is
+// classifiable from the facade whether it was hit inside an archive parse
+// or through a direct codec-level decode.
+var ErrCorrupt = fmt.Errorf("sz: corrupt compressed stream (%w)", apierr.ErrCorruptArchive)
 
 // Decompress reconstructs the field from a Compressed brick.
 func Decompress(c *Compressed) (*grid.Field3D, error) {

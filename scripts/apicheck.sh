@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# apicheck.sh — pin the public API surface.
+#
+# Snapshots `go doc -all` of the two public packages (adaptive and
+# adaptive/codecs) into committed golden files and diffs against them, so
+# any change to the facade shows up as an explicit diff in review instead
+# of slipping through. Regenerate deliberately with:
+#
+#   scripts/apicheck.sh -update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A goldens=(
+    ["./adaptive"]="adaptive/api.txt"
+    ["./adaptive/codecs"]="adaptive/codecs/api.txt"
+)
+
+update=0
+[[ "${1:-}" == "-update" ]] && update=1
+
+status=0
+for pkg in "${!goldens[@]}"; do
+    golden="${goldens[$pkg]}"
+    current="$(mktemp)"
+    go doc -all "$pkg" > "$current"
+    if [[ "$update" == 1 ]]; then
+        cp "$current" "$golden"
+        echo "updated $golden"
+    elif ! diff -u "$golden" "$current"; then
+        echo "API surface of $pkg drifted from $golden." >&2
+        echo "If the change is intentional, run: scripts/apicheck.sh -update" >&2
+        status=1
+    fi
+    rm -f "$current"
+done
+exit $status
