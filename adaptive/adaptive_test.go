@@ -149,6 +149,14 @@ func TestErrorTaxonomy(t *testing.T) {
 			want: []error{adaptive.ErrBadConfig},
 		},
 		{
+			name: "option rejects ambiguous zero guard band",
+			err: func(t *testing.T) error {
+				_, err := adaptive.New(adaptive.WithModelGuardBand(0))
+				return err
+			},
+			want: []error{adaptive.ErrBadConfig},
+		},
+		{
 			name: "unknown backend name",
 			err: func(t *testing.T) error {
 				_, err := adaptive.New(adaptive.WithCodec("lz77"))

@@ -133,6 +133,22 @@ func WithCalibration(o CalibrationOptions) Option {
 	}
 }
 
+// WithModelGuardBand sets the streaming pipeline's bound on the rate
+// model's smoothed prediction residual: within it, drift events are
+// absorbed by O(1) model corrections; beyond it, the next drift event
+// forces a full recalibration (default 0.25; negative disables
+// corrections entirely).
+func WithModelGuardBand(gb float64) Option {
+	return func(c *config) error {
+		if gb == 0 {
+			return fmt.Errorf("adaptive: %w: model guard band must be positive (or negative to disable)", apierr.ErrBadConfig)
+		}
+		c.pipe.ModelGuardBand = gb
+		c.engineOnly("WithModelGuardBand")
+		return nil
+	}
+}
+
 // WithPolicy selects the streaming recalibration schedule
 // (default DriftTriggered).
 func WithPolicy(p Policy) Option {

@@ -60,7 +60,8 @@ func TestFacadeSurface(t *testing.T) {
 		adaptive.WithQuantizeBeforePredict(false),
 		adaptive.WithClampFactor(4),
 		adaptive.WithStrategy(adaptive.EqualDerivative),
-		adaptive.WithCalibration(adaptive.CalibrationOptions{Partitions: 8}),
+		adaptive.WithCalibration(adaptive.CalibrationOptions{Partitions: 8, Mode: adaptive.ModelScan}),
+		adaptive.WithModelGuardBand(0.25),
 		adaptive.WithRelAvgEB(0.1),
 		adaptive.WithFieldWorkers(1),
 		adaptive.WithRedshift(42),
@@ -91,6 +92,9 @@ func TestFacadeSurface(t *testing.T) {
 	cal, err := sys.Calibrate(ctx, density)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cal.Mode != adaptive.ModelScan && cal.Mode != adaptive.ProbeLadder {
+		t.Fatalf("calibration mode %v is neither model-scan nor a recorded fallback", cal.Mode)
 	}
 	features, err := sys.Features(ctx, density)
 	if err != nil {

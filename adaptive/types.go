@@ -36,6 +36,23 @@ type Calibration = core.Calibration
 // CalibrationOptions tunes calibration sampling (see WithCalibration).
 type CalibrationOptions = core.CalibrationOptions
 
+// CalibrationMode selects how Calibrate fits the rate model
+// (CalibrationOptions.Mode).
+type CalibrationMode = core.CalibrationMode
+
+const (
+	// ModelScan fits from one streaming feature scan plus a single
+	// validation compression per sampled partition (default). A guard-band
+	// breach falls back to ProbeLadder per field, recorded on the
+	// Calibration.
+	ModelScan CalibrationMode = core.ModelScan
+	// ProbeValidated runs the full probe ladder and reports the scan
+	// model's out-of-sample residual alongside it.
+	ProbeValidated CalibrationMode = core.ProbeValidated
+	// ProbeLadder is the original measure-everything calibration.
+	ProbeLadder CalibrationMode = core.ProbeLadder
+)
+
 // Plan is a chosen per-partition error-bound assignment for one field.
 type Plan = core.Plan
 

@@ -379,6 +379,142 @@ func BenchmarkPipelineStream(b *testing.B) {
 	}
 }
 
+// BenchmarkCalibrate measures one full calibration of the 64³ density
+// field per codec — the cost the streaming pipeline pays every time a
+// field's rate model is (re)fitted, and the figure the closed-form
+// ratio-quality model exists to shrink (ROADMAP item 2).
+func BenchmarkCalibrate(b *testing.B) {
+	f := benchDensity(b)
+	for _, id := range []codec.ID{codec.SZ, codec.ZFP} {
+		b.Run(string(id), func(b *testing.B) {
+			eng, err := core.NewEngine(core.Config{PartitionDim: 16, Codec: id})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(4 * f.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Calibrate(context.Background(), f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDriftRecalibration measures the steady-state per-step cost of a
+// streaming run whose drift monitor fires on essentially every step (the
+// evolving source moves ~16 % per step against a near-zero threshold): the
+// price of keeping the rate model fresh under continuous drift.
+func BenchmarkDriftRecalibration(b *testing.B) {
+	stream, err := nyx.NewStream(nyx.StreamParams{
+		Base:   nyx.Params{N: 64, Seed: 11, Redshift: 42},
+		Steps:  8,
+		Fields: []string{nyx.FieldBaryonDensity},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps []map[string]*grid.Field3D
+	for {
+		snap, err := stream.Next()
+		if err != nil {
+			break
+		}
+		steps = append(steps, snap)
+	}
+	var cells int64
+	for _, s := range steps {
+		for _, f := range s {
+			cells += int64(f.Len())
+		}
+	}
+	for _, id := range []codec.ID{codec.SZ, codec.ZFP} {
+		b.Run(string(id), func(b *testing.B) {
+			drv, err := pipeline.New(core.Config{PartitionDim: 16, Codec: id},
+				pipeline.Options{Policy: pipeline.DriftTriggered, DriftThreshold: 1e-9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := drv.Run(context.Background(), pipeline.FromSnapshots(steps)); err != nil {
+				b.Fatal(err) // warmup: first calibration fitted
+			}
+			b.ReportAllocs()
+			b.SetBytes(4 * cells)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := drv.Run(context.Background(), pipeline.FromSnapshots(steps)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(steps))/elapsed, "steps/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkTimeseriesModelVsProbe runs the same drift-triggered streaming
+// workload twice per iteration — once under the default model-scan
+// calibration and once under the pre-model probe ladder (corrections
+// disabled) — and reports the realized bit rates of both plus their gap in
+// percent. The PR 6 acceptance criterion is model_vs_probe_pct within ±1.
+func BenchmarkTimeseriesModelVsProbe(b *testing.B) {
+	stream, err := nyx.NewStream(nyx.StreamParams{
+		Base:   nyx.Params{N: 64, Seed: 11, Redshift: 42},
+		Steps:  8,
+		Fields: []string{nyx.FieldBaryonDensity},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps []map[string]*grid.Field3D
+	for {
+		snap, err := stream.Next()
+		if err != nil {
+			break
+		}
+		steps = append(steps, snap)
+	}
+	configs := []struct {
+		name string
+		opts pipeline.Options
+	}{
+		{"model", pipeline.Options{Policy: pipeline.DriftTriggered, DriftThreshold: 0.25}},
+		{"probe", pipeline.Options{
+			Policy:         pipeline.DriftTriggered,
+			DriftThreshold: 0.25,
+			ModelGuardBand: -1,
+			Calibration:    core.CalibrationOptions{Mode: core.ProbeLadder},
+		}},
+	}
+	for _, id := range []codec.ID{codec.SZ, codec.ZFP} {
+		b.Run(string(id), func(b *testing.B) {
+			var rates [2]float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, cfg := range configs {
+					drv, err := pipeline.New(core.Config{PartitionDim: 16, Codec: id}, cfg.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					run, err := drv.Run(context.Background(), pipeline.FromSnapshots(steps))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rates[j] = run.BitRate()
+				}
+			}
+			b.ReportMetric(rates[0], "model_bits")
+			b.ReportMetric(rates[1], "probe_bits")
+			b.ReportMetric((rates[0]/rates[1]-1)*100, "model_vs_probe_pct")
+		})
+	}
+}
+
 func BenchmarkNyxGenerate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := nyx.Generate(nyx.Params{N: 64, Seed: uint64(i + 1), Redshift: 42}); err != nil {

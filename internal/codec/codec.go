@@ -18,6 +18,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apierr"
@@ -78,7 +79,38 @@ type Options struct {
 	QuantizeBeforePredict bool
 	// Radius overrides the quantization radius when > 0 (SZ).
 	Radius int
+	// RateHint is an advisory predicted bit rate (bits/value) for
+	// rate-searching codecs: the zfp adapter seeds its bracket search from
+	// it, cutting the probe ladder to a couple of truncated decodes. The
+	// hint never changes the chosen frame — a wrong hint only costs extra
+	// probes — so hinted and unhinted searches are byte-identical. 0 means
+	// no hint.
+	RateHint float64
+	// Telemetry, when non-nil, is filled by the codec with introspection
+	// from the compression it performs (quantization histogram, rate-search
+	// probe counts). It adds one cheap pass at most; leave nil on paths
+	// that don't consume it.
+	Telemetry *Telemetry
 }
+
+// Telemetry is per-compression introspection surfaced through
+// Options.Telemetry. Codecs fill the subset they understand.
+type Telemetry struct {
+	// QuantHist is the quantization-symbol histogram of prediction-based
+	// codecs, from the prediction pass compression already ran — the free
+	// feature scan of the ratio-quality model. Layout: index 0 counts
+	// exact hits (code 0); index k ∈ [1, 16] counts codes with
+	// |q| ∈ [2^(k−1), 2^k); the final index counts outliers.
+	QuantHist []int64
+	// Probes counts the truncated-decode probes a rate search performed.
+	Probes int
+	// ChosenRate is the bit rate the search settled on (bits/value).
+	ChosenRate float64
+}
+
+// QuantHistBins is the length of Telemetry.QuantHist: hits, 16 magnitude
+// octaves, outliers.
+const QuantHistBins = 18
 
 // Frame is one compressed 3-D brick, tagged with the codec that produced
 // it. Frames decode themselves, so mixed-codec archives need no external
@@ -137,6 +169,20 @@ type Codec interface {
 	Compress(data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error)
 	// Parse deserializes a frame previously produced by Frame.Bytes.
 	Parse(body []byte) (Frame, error)
+}
+
+// CompressCtx compresses through c, forwarding ctx to codecs that support
+// mid-compression cancellation (the zfp rate search checks it between
+// truncated-decode probes); other codecs fall back to plain Compress,
+// whose callers already check ctx between partitions.
+func CompressCtx(ctx context.Context, c Codec, data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error) {
+	type ctxCompressor interface {
+		CompressCtx(ctx context.Context, data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error)
+	}
+	if cc, ok := c.(ctxCompressor); ok {
+		return cc.CompressCtx(ctx, data, nx, ny, nz, opt, s)
+	}
+	return c.Compress(data, nx, ny, nz, opt, s)
 }
 
 // ErrUnknownCodec is wrapped by registry lookups and frame decodes that

@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestZFPHintByteIdentity pins the rate-hint contract: a hint — accurate,
+// wildly wrong, or absent — may change only how many probes the bracket
+// search spends, never the frame it settles on.
+func TestZFPHintByteIdentity(t *testing.T) {
+	data, nx, ny, nz := testBrick()
+	c, err := Lookup(ZFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eb := range []float64{0.5, 0.05, 0.005} {
+		var refTel Telemetry
+		ref, err := c.Compress(data, nx, ny, nz, Options{ErrorBound: eb, Telemetry: &refTel}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hint := range []float64{0.1, 0.9, refTel.ChosenRate, 7.3, 32, 1e6} {
+			var tel Telemetry
+			got, err := c.Compress(data, nx, ny, nz,
+				Options{ErrorBound: eb, RateHint: hint, Telemetry: &tel}, nil)
+			if err != nil {
+				t.Fatalf("eb %g hint %g: %v", eb, hint, err)
+			}
+			if !bytes.Equal(got.Bytes(), ref.Bytes()) {
+				t.Errorf("eb %g: hint %g changed the frame bytes", eb, hint)
+			}
+			if tel.ChosenRate != refTel.ChosenRate {
+				t.Errorf("eb %g hint %g: chose rate %g, unhinted chose %g",
+					eb, hint, tel.ChosenRate, refTel.ChosenRate)
+			}
+			if tel.Probes <= 0 {
+				t.Errorf("eb %g hint %g: telemetry counted no probes", eb, hint)
+			}
+		}
+		// The point of the hint: seeding at the chosen rate brackets in at
+		// most two ladder probes before the (shared) bisection refinement.
+		var tel Telemetry
+		if _, err := c.Compress(data, nx, ny, nz,
+			Options{ErrorBound: eb, RateHint: refTel.ChosenRate, Telemetry: &tel}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if tel.Probes > refTel.Probes {
+			t.Errorf("eb %g: accurate hint spent %d probes, unhinted spent %d",
+				eb, tel.Probes, refTel.Probes)
+		}
+	}
+}
+
+// TestZFPCompressCtxCancel: cancellation reaches the rate search's
+// truncated-decode probe loop, not just the partition boundaries above it.
+func TestZFPCompressCtxCancel(t *testing.T) {
+	data, nx, ny, nz := testBrick()
+	c, err := Lookup(ZFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = CompressCtx(ctx, c, data, nx, ny, nz, Options{ErrorBound: 0.01}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled rate search returned %v, want context.Canceled", err)
+	}
+	// Fixed-rate compression does no probing and must ignore the context.
+	if _, err := CompressCtx(ctx, c, data, nx, ny, nz, Options{Rate: 8}, nil); err != nil {
+		t.Errorf("fixed-rate compression failed under canceled ctx: %v", err)
+	}
+	// The sz backend has no ctx-aware path: CompressCtx must fall back to
+	// plain Compress and succeed.
+	szc, err := Lookup(SZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompressCtx(ctx, szc, data, nx, ny, nz, Options{ErrorBound: 0.01}, nil); err != nil {
+		t.Errorf("sz CompressCtx fallback failed: %v", err)
+	}
+}
+
+// TestSZTelemetryQuantHist: the quantization histogram surfaced from the
+// prediction pass must account for every cell and land hits in the right
+// octave bins.
+func TestSZTelemetryQuantHist(t *testing.T) {
+	data, nx, ny, nz := testBrick()
+	c, err := Lookup(SZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withScratch := range []bool{true, false} {
+		var s *Scratch
+		if withScratch {
+			s = &Scratch{}
+		}
+		var tel Telemetry
+		if _, err := c.Compress(data, nx, ny, nz, Options{ErrorBound: 0.01, Telemetry: &tel}, s); err != nil {
+			t.Fatal(err)
+		}
+		if len(tel.QuantHist) != QuantHistBins {
+			t.Fatalf("histogram has %d bins, want %d", len(tel.QuantHist), QuantHistBins)
+		}
+		var total int64
+		for _, n := range tel.QuantHist {
+			if n < 0 {
+				t.Fatalf("negative bin count %d", n)
+			}
+			total += n
+		}
+		if want := int64(len(data)); total != want {
+			t.Errorf("histogram counts %d symbols for %d cells (scratch=%v)", total, want, withScratch)
+		}
+		// A smooth brick at a loose bound predicts well: exact hits dominate
+		// and almost nothing is an outlier.
+		if tel.QuantHist[0] == 0 {
+			t.Error("no exact prediction hits on a smooth brick")
+		}
+		if out := tel.QuantHist[QuantHistBins-1]; out > int64(len(data)/10) {
+			t.Errorf("%d outliers on a smooth brick", out)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package codec
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/grid"
@@ -38,7 +40,15 @@ const (
 	zfpRefineSteps = 3
 )
 
-func (zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error) {
+func (z zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error) {
+	return z.CompressCtx(context.Background(), data, nx, ny, nz, opt, s)
+}
+
+// CompressCtx is Compress with mid-compression cancellation: the rate
+// search checks ctx before every truncated-decode probe, so a canceled
+// context stops a search after the probe in flight instead of running the
+// remaining ladder (see codec.CompressCtx).
+func (zfpCodec) CompressCtx(ctx context.Context, data []float32, nx, ny, nz int, opt Options, s *Scratch) (Frame, error) {
 	if err := validateDims(data, nx, ny, nz); err != nil {
 		return nil, err
 	}
@@ -56,44 +66,96 @@ func (zfpCodec) Compress(data []float32, nx, ny, nz int, opt Options, s *Scratch
 	if opt.Mode != ABS {
 		return nil, errors.New("codec: zfp rate search supports ABS error bounds only")
 	}
-	return compressBounded(f, opt.ErrorBound, s)
+	return compressBounded(ctx, f, opt, s)
 }
 
+// zfpLadder is the geometric rate ladder of the bracket search.
+var zfpLadder = [...]float64{0.5, 1, 2, 4, 8, 16, 32}
+
 // compressBounded finds the cheapest fixed rate meeting an absolute error
-// bound: double the rate until the measured max error fits, then bisect
-// between the last failing and first passing rate to shave bits. One
-// compression total; each probe decodes the indexed max-rate stream
-// truncated to the probe's budget.
-func compressBounded(f *grid.Field3D, eb float64, s *Scratch) (Frame, error) {
+// bound. One compression total; each probe decodes the indexed max-rate
+// stream truncated to the probe's budget. The bracket comes from the
+// geometric ladder — seeded at the model's predicted rate when
+// Options.RateHint is set, so an accurate hint brackets in two probes
+// where the unhinted search walks the ladder from the bottom — followed by
+// the same bisection refinement either way. Because truncated-stream max
+// error is non-increasing in rate, every path settles on the identical
+// bracket, so hinted and unhinted searches (and the pre-hint ladder
+// search) produce byte-identical frames.
+func compressBounded(ctx context.Context, f *grid.Field3D, opt Options, s *Scratch) (Frame, error) {
+	eb := opt.ErrorBound
 	zs := zfpScratch(s)
 	ix, err := zfp.CompressIndexed(f, zfp.Options{Rate: zfpMaxRate}, zs)
 	if err != nil {
 		return nil, err
 	}
 	probe := zfpProbe(s, f)
+	probes := 0
 	try := func(rate float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("codec: zfp rate search: %w", err)
+		}
+		probes++
 		if err := ix.DecompressAtRateInto(probe, rate, zs); err != nil {
 			return 0, err
 		}
 		return maxAbsErr(f.Data, probe.Data), nil
 	}
+
+	// Bracket: start at the ladder rung covering the hint (the bottom rung
+	// without one) and walk toward the boundary between failing and
+	// passing rungs.
+	start := 0
+	if opt.RateHint > 0 {
+		for start < len(zfpLadder)-1 && zfpLadder[start] < opt.RateHint {
+			start++
+		}
+	}
 	lo := 0.0 // highest rate known to miss the bound
 	hi := 0.0 // cheapest rate known to meet it
-	for rate := zfpMinRate; rate <= zfpMaxRate; rate *= 2 {
-		maxErr, err := try(rate)
-		if err != nil {
-			return nil, err
+	k := start
+	maxErr, err := try(zfpLadder[k])
+	if err != nil {
+		return nil, err
+	}
+	if maxErr <= eb {
+		for k > 0 {
+			below, err := try(zfpLadder[k-1])
+			if err != nil {
+				return nil, err
+			}
+			if below > eb {
+				break
+			}
+			k--
 		}
-		if maxErr <= eb {
-			hi = rate
-			break
+		hi = zfpLadder[k]
+		if k > 0 {
+			lo = zfpLadder[k-1]
 		}
-		lo = rate
+	} else {
+		lo = zfpLadder[k]
+		for k < len(zfpLadder)-1 {
+			k++
+			maxErr, err := try(zfpLadder[k])
+			if err != nil {
+				return nil, err
+			}
+			if maxErr <= eb {
+				hi = zfpLadder[k]
+				break
+			}
+			lo = zfpLadder[k]
+		}
 	}
 	if hi == 0 {
 		// Even the maximum rate misses the bound: the max-rate stream is
 		// the best the codec can do; return it with ErrorBound 0 to signal
 		// "no guarantee".
+		if opt.Telemetry != nil {
+			opt.Telemetry.Probes = probes
+			opt.Telemetry.ChosenRate = zfpMaxRate
+		}
 		return zfpFrame{c: ix.C}, nil
 	}
 	for i := 0; i < zfpRefineSteps && hi-lo > 0.25 && lo >= zfpMinRate; i++ {
@@ -107,6 +169,10 @@ func compressBounded(f *grid.Field3D, eb float64, s *Scratch) (Frame, error) {
 		} else {
 			lo = mid
 		}
+	}
+	if opt.Telemetry != nil {
+		opt.Telemetry.Probes = probes
+		opt.Telemetry.ChosenRate = hi
 	}
 	c, err := ix.TruncateToRate(hi, zs)
 	if err != nil {

@@ -8,10 +8,47 @@ import (
 	"sort"
 
 	"repro/internal/apierr"
+	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/stats"
 )
+
+// CalibrationMode selects how Calibrate obtains the bit-rate curves the
+// Eq.-15 fit consumes.
+type CalibrationMode uint8
+
+const (
+	// ModelScan (default) fits the ratio-quality model from one streaming
+	// residual scan plus ONE validation compression per sampled partition,
+	// then synthesizes the rate curves analytically — the O(samples) path
+	// that replaces the probe ladder's O(samples × bounds) compressions.
+	// Falls back to ProbeLadder for a field whose cross-sample model
+	// residual breaches the guard band (Calibration.FellBack records it).
+	ModelScan CalibrationMode = iota
+	// ProbeValidated measures the full probe ladder (identical curves and
+	// fit to ProbeLadder) and *additionally* runs the feature scan,
+	// anchoring the model mid-grid and recording its out-of-sample residual
+	// against the measured points — the opt-in mode that keeps the model
+	// continuously checked while paying the ladder's cost.
+	ProbeValidated
+	// ProbeLadder compresses every sampled partition at every grid bound —
+	// the original, purely empirical calibration.
+	ProbeLadder
+)
+
+func (m CalibrationMode) String() string {
+	switch m {
+	case ModelScan:
+		return "model-scan"
+	case ProbeValidated:
+		return "probe-validated"
+	case ProbeLadder:
+		return "probe-ladder"
+	default:
+		return fmt.Sprintf("CalibrationMode(%d)", int(m))
+	}
+}
 
 // Calibration is a fitted rate model for one field kind. The paper fits the
 // shared exponent c once and predicts each partition's coefficient from its
@@ -22,12 +59,27 @@ import (
 type Calibration struct {
 	Model *model.RateModel
 	// Curves are the sampled calibration curves (kept for diagnostics and
-	// the Fig. 9/10 experiments).
+	// the Fig. 9/10 experiments). Under ModelScan they are synthesized by
+	// the ratio-quality model; otherwise they are measured.
 	Curves []model.Curve
 	// PartitionIDs[i] is the partition index curve i was sampled from.
 	PartitionIDs []int
 	// EBs is the error-bound grid the curves were sampled at.
 	EBs []float64
+	// Mode records how the curves were obtained, after any fallback.
+	Mode CalibrationMode
+	// RQ[i] is the anchored ratio-quality model of sampled partition
+	// PartitionIDs[i] (nil under ProbeLadder and after a fallback).
+	RQ []*model.RQModel
+	// Residual is the model-consistency metric checked against the guard
+	// band: the median |ln(observed/predicted)| bit-rate gap (see
+	// sharedResidual for the ModelScan form). Recorded even when the
+	// calibration fell back, so callers can log why.
+	Residual float64
+	// FellBack is set when ModelScan breached the guard band (or the
+	// synthetic curves were too degenerate to fit) and the probe ladder
+	// was used for this field instead.
+	FellBack bool
 }
 
 // CalibrationOptions tunes sampling.
@@ -44,6 +96,12 @@ type CalibrationOptions struct {
 	// EBs, when non-empty, overrides the relative grid with absolute
 	// error bounds.
 	EBs []float64
+	// Mode selects the calibration path (default ModelScan).
+	Mode CalibrationMode
+	// GuardBand is the relative tolerance on the model residual before
+	// ModelScan falls back to the probe ladder (default 0.25, i.e. a
+	// median observed-vs-predicted gap of 25 %).
+	GuardBand float64
 }
 
 func (o CalibrationOptions) withDefaults() CalibrationOptions {
@@ -53,13 +111,31 @@ func (o CalibrationOptions) withDefaults() CalibrationOptions {
 	if len(o.RelEBs) == 0 {
 		o.RelEBs = []float64{1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1}
 	}
+	if o.GuardBand == 0 {
+		o.GuardBand = 0.25
+	}
 	return o
 }
 
-// Calibrate samples bit-rate/error-bound curves from a representative field
-// and fits the rate model. This is the offline step of the paper's
-// methodology — done once, reused for every snapshot and partition.
-// Cancellation is checked between sample compressions.
+// residualFloorBits excludes near-floor observations from residual
+// metrics: a bit rate at the codec's fixed floor (sz header + run tokens,
+// zfp's minimum rate) no longer responds to the error bound, so it carries
+// no information about the model's curve — the same reason the Eq.-15 fit
+// drops flat curves.
+const residualFloorBits = 0.51
+
+// Calibrate fits the rate model for a representative field. This is the
+// offline step of the paper's methodology — done once per field kind,
+// reused for every snapshot and partition.
+//
+// Under the default ModelScan mode each sampled partition costs one
+// streaming residual scan plus a single validation compression; the rate
+// curves are synthesized by the ratio-quality model (arXiv 2111.09815) and
+// cross-checked against the validation points, falling back to the probe
+// ladder when the check breaches CalibrationOptions.GuardBand. ProbeLadder
+// restores the original measure-everything behavior; ProbeValidated does
+// both and reports the model's out-of-sample residual. Cancellation is
+// checked between sample compressions.
 func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...CalibrationOptions) (*Calibration, error) {
 	var o CalibrationOptions
 	if len(opts) > 0 {
@@ -98,28 +174,70 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 		}
 	}
 
-	// Pick sample partitions at evenly spaced feature quantiles so the
-	// C_m-vs-feature fit sees the whole compressibility range.
+	samples := pickSamples(features, o.Partitions)
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("core: %w: need at least 2 distinct sample partitions to calibrate (got %d)",
+			apierr.ErrBadConfig, len(samples))
+	}
+
+	scratch := e.getScratch()
+	defer e.putScratch(scratch)
+
+	mode := o.Mode
+	if mode == ModelScan && e.cfg.Mode != codec.ABS {
+		// The residual scan characterizes absolute prediction errors; PWREL
+		// compresses log-transformed values, so measure instead of model.
+		mode = ProbeLadder
+	}
+	var fellBack bool
+	var residual float64
+	switch mode {
+	case ProbeValidated:
+		return e.probeValidated(ctx, f, p, features, samples, ebs, scratch)
+	case ModelScan:
+		cal, res, err := e.modelScanCalibration(ctx, f, p, features, samples, ebs, o.GuardBand, scratch)
+		if err != nil {
+			return nil, err
+		}
+		if cal != nil {
+			return cal, nil
+		}
+		fellBack, residual = true, res
+	}
+	cal, err := e.probeCalibration(ctx, f, p, features, samples, ebs, scratch)
+	if err != nil {
+		return nil, err
+	}
+	cal.FellBack = fellBack
+	cal.Residual = residual
+	return cal, nil
+}
+
+// pickSamples selects the calibration sample partitions: evenly spaced
+// feature quantiles (so the C_m-vs-feature fit sees the whole
+// compressibility range) merged with the top partitions by feature
+// (heavy-tailed fields concentrate all rate information there), then
+// de-duplicated preserving order.
+func pickSamples(features []float64, want int) []int {
 	idx := make([]int, len(features))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return features[idx[a]] < features[idx[b]] })
-	nSamp := o.Partitions
+	nSamp := want
 	if nSamp > len(idx) {
 		nSamp = len(idx)
 	}
-	if nSamp < 2 {
-		return nil, fmt.Errorf("core: %w: need at least 2 partitions to calibrate", apierr.ErrBadConfig)
+	samples := make([]int, 0, nSamp+4)
+	if nSamp <= 1 {
+		// A single quantile is the median — indexing directly instead of
+		// spacing by (nSamp−1), which divides by zero here.
+		samples = append(samples, idx[len(idx)/2])
+	} else {
+		for i := 0; i < nSamp; i++ {
+			samples = append(samples, idx[i*(len(idx)-1)/(nSamp-1)])
+		}
 	}
-	samples := make([]int, 0, nSamp)
-	for i := 0; i < nSamp; i++ {
-		q := idx[i*(len(idx)-1)/(nSamp-1)]
-		samples = append(samples, q)
-	}
-	// Heavy-tailed fields (most partitions are near-empty voids) would
-	// fill every quantile with flat curves, so the top partitions by
-	// feature are always included: they carry the rate information.
 	topK := nSamp / 2
 	if topK < 4 {
 		topK = 4
@@ -127,8 +245,8 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 	for i := 0; i < topK && i < len(idx); i++ {
 		samples = append(samples, idx[len(idx)-1-i])
 	}
-	// De-duplicate while preserving order (quantiles can collide on small
-	// partition counts).
+	// De-duplicate while preserving order (quantiles collide on small
+	// partition counts, and the top-K overlaps the upper quantiles).
 	seen := make(map[int]bool, len(samples))
 	uniq := samples[:0]
 	for _, s := range samples {
@@ -137,16 +255,18 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 			uniq = append(uniq, s)
 		}
 	}
-	samples = uniq
+	return uniq
+}
 
-	// The curves are sampled through the engine's configured codec, so the
-	// fitted rate model describes the backend that will actually compress —
-	// cross-codec calibration for free.
+// probeCalibration measures one bit-rate curve per sample by compressing
+// at every grid bound — the original probe ladder, and the fallback path.
+// The curves are sampled through the engine's configured codec, so the
+// fitted rate model describes the backend that will actually compress.
+func (e *Engine) probeCalibration(ctx context.Context, f *grid.Field3D, p *grid.Partitioner,
+	features []float64, samples []int, ebs []float64, scratch *codec.Scratch) (*Calibration, error) {
+	parts := p.Partitions()
 	curves := make([]model.Curve, 0, len(samples))
 	ids := make([]int, 0, len(samples))
-	parts := p.Partitions()
-	scratch := e.getScratch()
-	defer e.putScratch(scratch)
 	for _, pi := range samples {
 		part := parts[pi]
 		data := e.brick(scratch, f, part)
@@ -157,7 +277,7 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: calibration: %w", err)
 			}
-			c, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(eb), scratch)
+			c, err := codec.CompressCtx(ctx, e.cdc, data, nx, ny, nz, e.codecOptions(eb), scratch)
 			if err != nil {
 				return nil, fmt.Errorf("core: calibration compress (partition %d, eb %g): %w", pi, eb, err)
 			}
@@ -171,7 +291,214 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 	if err != nil {
 		return nil, fmt.Errorf("core: rate-model fit: %w", err)
 	}
-	return &Calibration{Model: rm, Curves: curves, PartitionIDs: ids, EBs: ebs}, nil
+	return &Calibration{Model: rm, Curves: curves, PartitionIDs: ids, EBs: ebs, Mode: ProbeLadder}, nil
+}
+
+// modelScanCalibration is the ModelScan path: one residual scan and one
+// validation compression per sample, synthetic curves, Eq.-15 fit. A nil
+// Calibration (with nil error) means the guard band was breached — or the
+// synthetic curves were degenerate — and the caller should fall back to
+// the probe ladder; the returned residual documents the breach.
+func (e *Engine) modelScanCalibration(ctx context.Context, f *grid.Field3D, p *grid.Partitioner,
+	features []float64, samples []int, ebs []float64, guard float64, scratch *codec.Scratch) (*Calibration, float64, error) {
+	parts := p.Partitions()
+	anchorEB := ebs[len(ebs)/2]
+	rqs := make([]*model.RQModel, 0, len(samples))
+	obs := make([]float64, 0, len(samples))
+	var scan stats.PredScan
+	for _, pi := range samples {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: calibration: %w", err)
+		}
+		part := parts[pi]
+		data := e.brick(scratch, f, part)
+		nx, ny, nz := part.Dims()
+		rq, err := e.scanModel(data, nx, ny, nz, &scan)
+		if err != nil {
+			return nil, 0, err
+		}
+		opt := e.codecOptions(anchorEB)
+		opt.RateHint = rq.PriorBitRate(anchorEB)
+		c, err := codec.CompressCtx(ctx, e.cdc, data, nx, ny, nz, opt, scratch)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: calibration compress (partition %d, eb %g): %w", pi, anchorEB, err)
+		}
+		rqs = append(rqs, rq)
+		obs = append(obs, c.BitRate())
+	}
+	res := sharedResidual(rqs, obs, anchorEB)
+	for i, rq := range rqs {
+		rq.Anchor(anchorEB, obs[i])
+	}
+	if res > math.Log(1+guard) {
+		return nil, res, nil
+	}
+	curves := make([]model.Curve, len(rqs))
+	for i, rq := range rqs {
+		curves[i] = rq.Curve(features[samples[i]], ebs)
+	}
+	rm, err := model.Calibrate(curves)
+	if err != nil {
+		return nil, res, nil
+	}
+	return &Calibration{
+		Model: rm, Curves: curves,
+		PartitionIDs: append([]int(nil), samples...),
+		EBs:          ebs,
+		Mode:         ModelScan,
+		RQ:           rqs,
+		Residual:     res,
+	}, res, nil
+}
+
+// probeValidated measures the ladder exactly like probeCalibration and
+// additionally scans each sample, anchoring its ratio-quality model at the
+// mid-grid measured point and scoring the model against every *other*
+// measured point — a true out-of-sample residual, recorded for online
+// monitoring.
+func (e *Engine) probeValidated(ctx context.Context, f *grid.Field3D, p *grid.Partitioner,
+	features []float64, samples []int, ebs []float64, scratch *codec.Scratch) (*Calibration, error) {
+	cal, err := e.probeCalibration(ctx, f, p, features, samples, ebs, scratch)
+	if err != nil {
+		return nil, err
+	}
+	parts := p.Partitions()
+	mid := len(ebs) / 2
+	var scan stats.PredScan
+	rqs := make([]*model.RQModel, len(cal.PartitionIDs))
+	var rs []float64
+	for i, pi := range cal.PartitionIDs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: calibration: %w", err)
+		}
+		part := parts[pi]
+		data := e.brick(scratch, f, part)
+		nx, ny, nz := part.Dims()
+		rq, err := e.scanModel(data, nx, ny, nz, &scan)
+		if err != nil {
+			return nil, err
+		}
+		rates := cal.Curves[i].BitRates
+		rq.Anchor(ebs[mid], rates[mid])
+		rqs[i] = rq
+		for j := range ebs {
+			if j == mid || rates[j] < residualFloorBits {
+				continue
+			}
+			rs = append(rs, rq.LogResidual(ebs[j], rates[j]))
+		}
+	}
+	cal.Mode = ProbeValidated
+	cal.RQ = rqs
+	cal.Residual = medianOf(rs)
+	return cal, nil
+}
+
+// scanModel builds an unanchored ratio-quality model for one brick from a
+// single streaming pass (the "one feature scan").
+func (e *Engine) scanModel(data []float32, nx, ny, nz int, ps *stats.PredScan) (*model.RQModel, error) {
+	ps.Reset()
+	if err := codec.ScanResiduals(data, nx, ny, nz, e.cfg.Predictor, ps); err != nil {
+		return nil, err
+	}
+	rq := &model.RQModel{
+		Kind:       model.RQPrediction,
+		N:          len(data),
+		ValueRange: ps.Values.Range(),
+		HeaderBits: codec.SZHeaderBits,
+	}
+	if e.cfg.Codec == codec.ZFP {
+		rq.Kind = model.RQTransform
+	} else {
+		rq.Dist = ps.Errs.Clone()
+	}
+	return rq, nil
+}
+
+// sharedResidual measures cross-sample model consistency from the one
+// validation compression each sample got: a sound scan model is off from
+// the observation by a single codec-wide constant (Huffman-vs-entropy gap,
+// table overhead — multiplicative for prediction codecs, additive for
+// transform codecs), so every sample's anchor implies the *same*
+// correction. The residual is the median |ln| distance of each sample's
+// implied correction from the shared (median) one — zero for a perfect
+// model regardless of the constant's size, and computable without a second
+// compression per sample. Near-floor observations are excluded (see
+// residualFloorBits).
+func sharedResidual(rqs []*model.RQModel, obs []float64, anchorEB float64) float64 {
+	type point struct{ prior, obs float64 }
+	pts := make([]point, 0, len(rqs))
+	transform := len(rqs) > 0 && rqs[0].Kind == model.RQTransform
+	for i, rq := range rqs {
+		if obs[i] < residualFloorBits {
+			continue
+		}
+		pts = append(pts, point{rq.PriorBitRate(anchorEB), obs[i]})
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	rs := make([]float64, 0, len(pts))
+	if transform {
+		offs := make([]float64, len(pts))
+		for i, pt := range pts {
+			offs[i] = pt.obs - pt.prior
+		}
+		med := medianOf(offs)
+		for _, pt := range pts {
+			pred := pt.prior + med
+			if pred <= 0 {
+				rs = append(rs, math.Inf(1))
+				continue
+			}
+			rs = append(rs, math.Abs(math.Log(pt.obs/pred)))
+		}
+	} else {
+		ls := make([]float64, len(pts))
+		for i, pt := range pts {
+			if pt.prior <= 0 {
+				continue // prior floor: no shape information
+			}
+			ls[i] = math.Log(pt.obs / pt.prior)
+		}
+		med := medianOf(ls)
+		for _, l := range ls {
+			rs = append(rs, math.Abs(l-med))
+		}
+	}
+	return medianOf(rs)
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Rescaled returns a copy of the calibration whose rate model predicts
+// factor× the bit rate everywhere. C_m is affine in (Alpha, Beta) and
+// floored at MinC, so scaling all three scales every prediction uniformly —
+// which leaves the budget-normalized error-bound allocation unchanged and
+// only corrects the predicted rates. This is the O(1) online correction the
+// pipeline applies when the observed/predicted rate ratio drifts.
+func (c *Calibration) Rescaled(factor float64) *Calibration {
+	if c == nil || c.Model == nil || factor <= 0 || factor == 1 {
+		return c
+	}
+	m := *c.Model
+	m.Alpha *= factor
+	m.Beta *= factor
+	m.MinC *= factor
+	cp := *c
+	cp.Model = &m
+	return &cp
 }
 
 // SuggestStaticEB inverts the rate model for the static baseline: the

@@ -154,6 +154,10 @@ type Plan struct {
 	EBs []float64
 	// Features[i] is the rate-model predictor used for partition i.
 	Features []float64
+	// Rates[i] is the model-predicted bit rate of partition i at its
+	// planned bound, forwarded to rate-searching codecs as an advisory
+	// search seed (codec.Options.RateHint — never changes the frames).
+	Rates []float64
 	// AvgEB is the quality budget the plan satisfies.
 	AvgEB float64
 	// Predicted carries the optimizer's model estimates.
@@ -219,7 +223,11 @@ func (e *Engine) PlanFromFeatures(features []float64, cal *Calibration, opt Plan
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{EBs: res.EBs, Features: features, AvgEB: opt.AvgEB, Predicted: *res}, nil
+	rates := make([]float64, len(res.EBs))
+	for i := range rates {
+		rates[i] = cal.Model.BitRate(features[i], res.EBs[i])
+	}
+	return &Plan{EBs: res.EBs, Features: features, Rates: rates, AvgEB: opt.AvgEB, Predicted: *res}, nil
 }
 
 // extractFeatures computes the per-partition rate-model predictor:
@@ -268,7 +276,11 @@ func (e *Engine) CompressAdaptive(ctx context.Context, f *grid.Field3D, plan *Pl
 		return nil, fmt.Errorf("core: %w: plan has %d bounds for %d partitions",
 			apierr.ErrBadConfig, planLen(plan), p.Count())
 	}
-	return e.compressWith(ctx, f, p, func(i int) float64 { return plan.EBs[i] })
+	var rateOf func(int) float64
+	if len(plan.Rates) == len(plan.EBs) {
+		rateOf = func(i int) float64 { return plan.Rates[i] }
+	}
+	return e.compressWith(ctx, f, p, func(i int) float64 { return plan.EBs[i] }, rateOf)
 }
 
 // CompressStatic compresses every partition with the same bound — the
@@ -281,7 +293,7 @@ func (e *Engine) CompressStatic(ctx context.Context, f *grid.Field3D, eb float64
 	if err != nil {
 		return nil, err
 	}
-	return e.compressWith(ctx, f, p, func(int) float64 { return eb })
+	return e.compressWith(ctx, f, p, func(int) float64 { return eb }, nil)
 }
 
 func planLen(p *Plan) int {
@@ -291,7 +303,7 @@ func planLen(p *Plan) int {
 	return len(p.EBs)
 }
 
-func (e *Engine) compressWith(ctx context.Context, f *grid.Field3D, p *grid.Partitioner, ebOf func(int) float64) (*CompressedField, error) {
+func (e *Engine) compressWith(ctx context.Context, f *grid.Field3D, p *grid.Partitioner, ebOf, rateOf func(int) float64) (*CompressedField, error) {
 	parts := p.Partitions()
 	cf := &CompressedField{
 		Nx: f.Nx, Ny: f.Ny, Nz: f.Nz,
@@ -308,7 +320,11 @@ func (e *Engine) compressWith(ctx context.Context, f *grid.Field3D, p *grid.Part
 		nx, ny, nz := part.Dims()
 		// The codec retains neither the input nor the scratch past the
 		// call, so the per-worker buffers are reused across partitions.
-		c, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(ebOf(i)), s)
+		opt := e.codecOptions(ebOf(i))
+		if rateOf != nil {
+			opt.RateHint = rateOf(i)
+		}
+		c, err := codec.CompressCtx(ctx, e.cdc, data, nx, ny, nz, opt, s)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {

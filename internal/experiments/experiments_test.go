@@ -313,33 +313,45 @@ func TestRemainingExperimentsRun(t *testing.T) {
 }
 
 // TestTimeseriesDriftAmortizesCalibration asserts the streaming pipeline's
-// headline property per codec: drift-triggered recalibrates strictly fewer
-// times than calibrate-every-step while staying within 5 % of its bit rate.
+// headline property per codec: drift-triggered reacts to drift (through
+// recalibrations or O(1) model corrections) strictly less often than
+// calibrate-every-step refits, while staying within 5 % of its bit rate —
+// and the model-scan calibration chooses bit rates within 1 % of the
+// probe-ladder configuration it replaced.
 func TestTimeseriesDriftAmortizesCalibration(t *testing.T) {
 	res := runExperiment(t, "timeseries")
-	type cell struct{ recals, bitrate float64 }
+	type cell struct{ recals, corr, bitrate float64 }
 	runs := map[string]cell{} // "codec/policy"
 	for _, row := range res.Rows {
-		runs[row[0]+"/"+row[1]] = cell{parse(t, row[2]), parse(t, row[3])}
+		runs[row[0]+"/"+row[1]] = cell{parse(t, row[2]), parse(t, row[3]), parse(t, row[4])}
 	}
 	for _, id := range []string{"sz", "zfp"} {
 		every, okE := runs[id+"/calibrate-every-step"]
 		drift, okD := runs[id+"/drift-triggered"]
 		once, okO := runs[id+"/calibrate-once"]
-		if !okE || !okD || !okO {
+		probe, okP := runs[id+"/drift-probe-ladder"]
+		if !okE || !okD || !okO || !okP {
 			t.Fatalf("%s: missing policy rows in %v", id, runs)
 		}
 		if drift.recals >= every.recals {
 			t.Errorf("%s: drift-triggered recalibrated %v times, not fewer than every-step's %v",
 				id, drift.recals, every.recals)
 		}
-		if drift.recals <= once.recals {
-			t.Errorf("%s: drift-triggered recalibrated %v times; drift never triggered", id, drift.recals)
+		if drift.recals+drift.corr <= once.recals {
+			t.Errorf("%s: drift-triggered made %v recals + %v corrections; drift never triggered",
+				id, drift.recals, drift.corr)
 		}
 		rel := drift.bitrate/every.bitrate - 1
 		if rel < -0.05 || rel > 0.05 {
 			t.Errorf("%s: drift-triggered bit rate %v vs every-step %v (%.1f%% apart), want within 5%%",
 				id, drift.bitrate, every.bitrate, rel*100)
+		}
+		// Acceptance criterion: the model-chosen bit rate tracks the
+		// probe-based choice within 1 %.
+		mvp := drift.bitrate/probe.bitrate - 1
+		if mvp < -0.01 || mvp > 0.01 {
+			t.Errorf("%s: model-scan bit rate %v vs probe-ladder %v (%.2f%% apart), want within 1%%",
+				id, drift.bitrate, probe.bitrate, mvp*100)
 		}
 	}
 }

@@ -88,6 +88,15 @@ type Options struct {
 	// step (default: min(#fields, GOMAXPROCS)). Partition-level
 	// parallelism inside each field is governed by the engine config.
 	FieldWorkers int
+	// ModelGuardBand bounds the smoothed |ln(observed/predicted)| bit-rate
+	// residual the driver tracks per field (EWMA over steps). While the
+	// residual stays inside the band, a drift event under DriftTriggered is
+	// absorbed by an O(1) rate-model rescale (exp of the EWMA) instead of a
+	// full recalibration; a breach schedules a real recalibration at the
+	// next drift event. The zero value selects the default (0.25); negative
+	// disables corrections entirely — every drift event rescans, the
+	// pre-model behavior.
+	ModelGuardBand float64
 	// Calibration tunes the sampling of (re)calibrations.
 	Calibration core.CalibrationOptions
 	// Writer, when set, receives every step as an archive v3 stream block.
@@ -104,8 +113,23 @@ func (o Options) withDefaults() Options {
 	if o.RelAvgEB == 0 {
 		o.RelAvgEB = 0.1
 	}
+	if o.ModelGuardBand == 0 {
+		o.ModelGuardBand = 0.25
+	}
 	return o
 }
+
+// Online-correction tuning. The EWMA weight favors recent steps without
+// chasing single-step noise; the correction budget bounds how long the
+// error-bound allocation (which a uniform rescale cannot update) may go
+// without a real refit; the drift floor routes genuinely regime-changing
+// steps straight to recalibration no matter how small the configured
+// threshold is.
+const (
+	residualAlpha     = 0.3
+	maxCorrections    = 3
+	extremeDriftFloor = 0.5
+)
 
 // Validate checks the options. Rejections wrap apierr.ErrBadConfig.
 func (o Options) Validate() error {
@@ -131,6 +155,13 @@ type FieldStats struct {
 	Drift float64
 	// Recalibrated is set when this step re-fitted the field's rate model.
 	Recalibrated bool
+	// ModelCorrected is set when a drift event was absorbed by an O(1)
+	// rate-model rescale instead of a full recalibration.
+	ModelCorrected bool
+	// ModelResidual is the field's smoothed |ln(observed/predicted)|
+	// bit-rate residual after this step — the quantity held against
+	// Options.ModelGuardBand.
+	ModelResidual float64
 	// AvgEB is the field's (fixed) quality budget.
 	AvgEB float64
 	// Bytes is the compressed payload size.
@@ -150,8 +181,11 @@ type StepStats struct {
 	Fields []FieldStats
 	// Recalibrations counts fields that re-fitted this step.
 	Recalibrations int
-	Bytes          int64
-	Cells          int64
+	// ModelCorrections counts fields whose drift was absorbed by an O(1)
+	// model rescale this step.
+	ModelCorrections int
+	Bytes            int64
+	Cells            int64
 	// Phase seconds are summed across fields (work, not wall: fields run
 	// concurrently), so ratios between phases stay meaningful — the
 	// Sec. 4.3 overhead story extended to a run.
@@ -193,7 +227,10 @@ type RunStats struct {
 	Steps []StepStats
 	// Recalibrations counts field recalibrations over the run, including
 	// each field's initial fit on its first step.
-	Recalibrations                                               int
+	Recalibrations int
+	// ModelCorrections counts drift events absorbed by O(1) model rescales
+	// over the run.
+	ModelCorrections                                             int
 	Bytes                                                        int64
 	Cells                                                        int64
 	CalibrateSeconds, PlanSeconds, CompressSeconds, WriteSeconds float64
@@ -228,11 +265,43 @@ func (r *RunStats) CompressMBPerSec() float64 {
 // fieldState is the retained per-field calibration state.
 type fieldState struct {
 	cal *core.Calibration
-	// anchor is the global mean feature the model was last fitted at.
+	// anchor is the global mean feature the model was last fitted (or
+	// corrected) at.
 	anchor float64
 	// avgEB is the budget, resolved at the field's first calibration and
 	// fixed thereafter.
 	avgEB float64
+	// ewma is the smoothed ln(observed/predicted) bit-rate residual;
+	// ewmaOK marks it initialized (at least one observation since the last
+	// full recalibration).
+	ewma   float64
+	ewmaOK bool
+	// pendingRecal is set when the residual breached the guard band: the
+	// next drift event recalibrates for real instead of correcting.
+	pendingRecal bool
+	// corrections counts O(1) rescales since the last full recalibration.
+	corrections int
+}
+
+// correctionScale reports whether a drift event can be absorbed by an O(1)
+// model rescale and, if so, the multiplicative bit-rate factor (exp of the
+// residual EWMA). A correction is refused when the model is on notice
+// (guard-band breach), unobserved since its last fit, already at the
+// correction budget, or when the drift is extreme — those all need a real
+// refit of the allocation shape, which a uniform rescale cannot fix.
+func (st *fieldState) correctionScale(drift, threshold float64) (float64, bool) {
+	if st.pendingRecal || !st.ewmaOK || st.corrections >= maxCorrections {
+		return 0, false
+	}
+	if drift > math.Max(4*threshold, extremeDriftFloor) {
+		return 0, false
+	}
+	return math.Exp(st.ewma), true
+}
+
+// resetModelTracking clears the residual state after a full recalibration.
+func (st *fieldState) resetModelTracking() {
+	st.ewma, st.ewmaOK, st.pendingRecal, st.corrections = 0, false, false, 0
 }
 
 // Driver runs the streaming pipeline. Calibration state persists across
@@ -307,6 +376,7 @@ func (d *Driver) Run(ctx context.Context, src Source) (*RunStats, error) {
 		st.Step = len(run.Steps)
 		run.Steps = append(run.Steps, *st)
 		run.Recalibrations += st.Recalibrations
+		run.ModelCorrections += st.ModelCorrections
 		run.Bytes += st.Bytes
 		run.Cells += st.Cells
 		run.CalibrateSeconds += st.CalibrateSeconds
@@ -380,6 +450,9 @@ func (d *Driver) Step(ctx context.Context, snap map[string]*grid.Field3D) (*Step
 		if fs.Recalibrated {
 			st.Recalibrations++
 		}
+		if fs.ModelCorrected {
+			st.ModelCorrections++
+		}
 	}
 	if d.opt.Writer != nil {
 		t0 := time.Now()
@@ -436,6 +509,21 @@ func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D
 	case DriftTriggered:
 		recal = recal || fs.Drift > d.opt.DriftThreshold
 	}
+	if recal && cal != nil && d.opt.Policy == DriftTriggered && d.opt.ModelGuardBand >= 0 {
+		// Drift event with a healthy model: absorb it with an O(1) rescale
+		// of the rate model instead of paying for a rescan.
+		d.mu.Lock()
+		if scale, ok := state.correctionScale(fs.Drift, d.opt.DriftThreshold); ok {
+			cal = cal.Rescaled(scale)
+			state.cal, state.anchor = cal, mean
+			state.corrections++
+			state.ewma = 0 // the rescale consumed the accumulated residual
+			anchor = mean
+			recal = false
+			fs.ModelCorrected = true
+		}
+		d.mu.Unlock()
+	}
 	if recal {
 		refit := cal != nil // a re-fit, not the field's first calibration
 		t1 := time.Now()
@@ -454,6 +542,7 @@ func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D
 	d.mu.Lock()
 	if recal {
 		state.cal, state.anchor = cal, anchor
+		state.resetModelTracking()
 	}
 	if state.avgEB == 0 {
 		if eb, ok := d.opt.AvgEBs[name]; ok {
@@ -484,5 +573,24 @@ func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D
 	fs.Bytes = cf.CompressedSize()
 	fs.Ratio = cf.Ratio()
 	fs.BitRate = cf.BitRate()
+
+	// Fold the step's observed bit rate into the residual EWMA — the free
+	// online check that keeps O(1) corrections honest: while predictions
+	// track observations the model may rescale through drift; once they
+	// diverge past the guard band the next drift event rescans.
+	if pred := plan.Predicted.PredictedBitRate; pred > 0 && fs.BitRate > 0 {
+		r := math.Log(fs.BitRate / pred)
+		d.mu.Lock()
+		if state.ewmaOK {
+			state.ewma = (1-residualAlpha)*state.ewma + residualAlpha*r
+		} else {
+			state.ewma, state.ewmaOK = r, true
+		}
+		if gb := d.opt.ModelGuardBand; gb >= 0 && math.Abs(state.ewma) > math.Log(1+gb) {
+			state.pendingRecal = true
+		}
+		fs.ModelResidual = math.Abs(state.ewma)
+		d.mu.Unlock()
+	}
 	return cf, fs, nil
 }

@@ -77,10 +77,16 @@ func TestPipelineStreamSZ(t *testing.T) {
 		t.Errorf("run ratio %.2f, want > 1", run.Ratio())
 	}
 	// The density field drifts ~16 % per step: with a 25 % threshold the
-	// run must recalibrate after the initial fit (drift is real) but far
-	// less than once per field per step (calibration is amortized).
-	if run.Recalibrations <= 2 {
-		t.Errorf("%d recalibrations; drift never triggered", run.Recalibrations)
+	// run must react after the initial fits (drift is real) but far less
+	// than once per field per step (calibration is amortized). Drift events
+	// with a healthy model are absorbed by O(1) rescales, so the reaction
+	// count is recalibrations plus corrections.
+	if reacted := run.Recalibrations + run.ModelCorrections; reacted <= 2 {
+		t.Errorf("%d recalibrations + %d corrections; drift never triggered",
+			run.Recalibrations, run.ModelCorrections)
+	}
+	if run.ModelCorrections == 0 {
+		t.Error("no drift event was absorbed by an O(1) model correction")
 	}
 	if run.Recalibrations >= 16 {
 		t.Errorf("%d recalibrations for 16 field-steps; nothing was reused", run.Recalibrations)
@@ -223,8 +229,13 @@ func TestPipelinePolicies(t *testing.T) {
 		t.Errorf("drift-triggered made %d calibrations, not fewer than every-step's %d",
 			drift.Recalibrations, every.Recalibrations)
 	}
-	if drift.Recalibrations <= 1 {
-		t.Errorf("drift-triggered made %d calibrations; drift never triggered", drift.Recalibrations)
+	if reacted := drift.Recalibrations + drift.ModelCorrections; reacted <= 1 {
+		t.Errorf("drift-triggered made %d calibrations + %d corrections; drift never triggered",
+			drift.Recalibrations, drift.ModelCorrections)
+	}
+	if every.ModelCorrections != 0 || once.ModelCorrections != 0 {
+		t.Errorf("corrections outside DriftTriggered: every=%d once=%d",
+			every.ModelCorrections, once.ModelCorrections)
 	}
 	rel := math.Abs(drift.BitRate()/every.BitRate() - 1)
 	if rel > 0.05 {

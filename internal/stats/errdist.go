@@ -1,0 +1,168 @@
+package stats
+
+import "math"
+
+// ErrDist is a log₂-spaced histogram of absolute values, the streaming
+// summary of a prediction-error distribution that the ratio-quality model
+// (Jin et al., arXiv 2111.09815) consumes: from it, the mass of every
+// quantization-bin octave can be recovered for *any* candidate error bound
+// without rescanning the data. Bins subdivide each octave into
+// errDistSubBins slices (via Frexp, no logarithms on the hot path); values
+// at or below 2^errDistMinExp collapse into the exact-zero count, far
+// outside any float32-scale error bound. The zero value is ready to use.
+type ErrDist struct {
+	counts []int64
+	n      int64
+	zero   int64
+	max    float64
+	sum    float64
+	// tails memoizes suffix sums of counts (tails[i] = Σ counts[i:]) so the
+	// ratio-quality model's many TailCount queries per fitted curve cost
+	// O(1) instead of a bin scan each; rebuilt lazily after any Add.
+	tails []int64
+}
+
+const (
+	errDistSubBins = 4
+	// errDistMinExp/MaxExp bound the binned Frexp exponent range; float32
+	// magnitudes (1e-45 .. 3e38) fit with slack on both sides.
+	errDistMinExp = -170
+	errDistMaxExp = 150
+	errDistBins   = (errDistMaxExp - errDistMinExp) * errDistSubBins
+)
+
+// Reset clears the accumulator, keeping the bin storage.
+func (d *ErrDist) Reset() {
+	clear(d.counts)
+	d.n, d.zero, d.max, d.sum = 0, 0, 0, 0
+	d.tails = d.tails[:0]
+}
+
+// Add folds one observation's magnitude into the histogram.
+func (d *ErrDist) Add(x float64) {
+	if x < 0 {
+		x = -x
+	}
+	d.n++
+	d.sum += x
+	if x > d.max {
+		d.max = x
+	}
+	frac, exp := math.Frexp(x) // x = frac·2^exp, frac ∈ [0.5, 1)
+	if x == 0 || exp <= errDistMinExp {
+		d.zero++
+		return
+	}
+	if exp > errDistMaxExp {
+		exp = errDistMaxExp
+	}
+	sub := int((frac - 0.5) * (2 * errDistSubBins))
+	if sub >= errDistSubBins {
+		sub = errDistSubBins - 1
+	}
+	if d.counts == nil {
+		d.counts = make([]int64, errDistBins)
+	}
+	d.counts[(exp-1-errDistMinExp)*errDistSubBins+sub]++
+	d.tails = d.tails[:0]
+}
+
+// Count returns the number of observations.
+func (d *ErrDist) Count() int64 { return d.n }
+
+// Zeros returns the observations indistinguishable from zero.
+func (d *ErrDist) Zeros() int64 { return d.zero }
+
+// Max returns the largest observed magnitude.
+func (d *ErrDist) Max() float64 { return d.max }
+
+// MeanAbs returns the mean magnitude (0 for an empty accumulator).
+func (d *ErrDist) MeanAbs() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// TailCount estimates the number of observations with magnitude strictly
+// greater than t, interpolating log-uniformly inside the bin containing t.
+// The per-octave sub-binning keeps the interpolation error per query under
+// a quarter octave of mass — well inside the guard band the calibration
+// layer checks the model against.
+func (d *ErrDist) TailCount(t float64) float64 {
+	if d.n == 0 || t >= d.max {
+		return 0
+	}
+	nonZero := float64(d.n - d.zero)
+	if t <= 0 {
+		return nonZero
+	}
+	frac, exp := math.Frexp(t)
+	if exp <= errDistMinExp {
+		return nonZero
+	}
+	if exp > errDistMaxExp {
+		return 0
+	}
+	sub := int((frac - 0.5) * (2 * errDistSubBins))
+	if sub >= errDistSubBins {
+		sub = errDistSubBins - 1
+	}
+	i := (exp-1-errDistMinExp)*errDistSubBins + sub
+	if d.counts == nil {
+		return 0
+	}
+	if len(d.tails) != len(d.counts)+1 {
+		if cap(d.tails) < len(d.counts)+1 {
+			d.tails = make([]int64, len(d.counts)+1)
+		} else {
+			d.tails = d.tails[:len(d.counts)+1]
+		}
+		d.tails[len(d.counts)] = 0
+		for j := len(d.counts) - 1; j >= 0; j-- {
+			d.tails[j] = d.tails[j+1] + d.counts[j]
+		}
+	}
+	tail := float64(d.tails[i+1])
+	if c := d.counts[i]; c > 0 {
+		// Bin edges: frac ∈ [0.5·(1+sub/4), 0.5·(1+(sub+1)/4)) at this exp.
+		lo := math.Ldexp(0.5*(1+float64(sub)/errDistSubBins), exp)
+		hi := math.Ldexp(0.5*(1+float64(sub+1)/errDistSubBins), exp)
+		f := (math.Log(t) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		tail += float64(c) * (1 - f)
+	}
+	return tail
+}
+
+// Clone returns an independent copy (calibration keeps one per sampled
+// partition for diagnostics while the scan scratch is reused).
+func (d *ErrDist) Clone() *ErrDist {
+	cp := *d
+	if d.counts != nil {
+		cp.counts = append([]int64(nil), d.counts...)
+	}
+	cp.tails = nil // memo is rebuilt on first query
+	return &cp
+}
+
+// PredScan is the reusable scratch of one streaming feature scan: value
+// moments (range, mean — the rate-model feature) and the prediction-error
+// magnitude distribution, gathered in a single pass over a partition.
+// Reset and reuse it across partitions; Clone the parts that must outlive
+// the scan.
+type PredScan struct {
+	Values Moments
+	Errs   ErrDist
+}
+
+// Reset clears both accumulators, keeping allocated storage.
+func (s *PredScan) Reset() {
+	s.Values = Moments{}
+	s.Errs.Reset()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErrDistBasics(t *testing.T) {
+	var d ErrDist
+	if d.TailCount(0.5) != 0 || d.Count() != 0 || d.MeanAbs() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	d.Add(0)
+	d.Add(-2) // magnitudes: sign folded
+	d.Add(2)
+	d.Add(8)
+	if d.Count() != 4 || d.Zeros() != 1 {
+		t.Fatalf("count %d zeros %d", d.Count(), d.Zeros())
+	}
+	if d.Max() != 8 {
+		t.Errorf("max %g", d.Max())
+	}
+	if got := d.MeanAbs(); got != 3 {
+		t.Errorf("mean |x| %g, want 3", got)
+	}
+	if got := d.TailCount(0); got != 3 {
+		t.Errorf("tail above 0: %g, want all 3 non-zeros", got)
+	}
+	if got := d.TailCount(4); math.Abs(got-1) > 0.5 {
+		t.Errorf("tail above 4: %g, want ≈ 1", got)
+	}
+	if got := d.TailCount(100); got != 0 {
+		t.Errorf("tail above max: %g, want 0", got)
+	}
+}
+
+// TestErrDistTailInterpolation: inside a populated bin the tail estimate
+// interpolates log-uniformly; across bin boundaries it is exact.
+func TestErrDistTailInterpolation(t *testing.T) {
+	var d ErrDist
+	n := 10000
+	for i := 0; i < n; i++ {
+		// Log-uniform magnitudes across 6 decades.
+		d.Add(math.Pow(10, -3+6*float64(i)/float64(n)))
+	}
+	for _, tt := range []struct{ t, wantFrac float64 }{
+		{1e-3, 1.0}, {1e-2, 5.0 / 6}, {1, 1.0 / 2}, {1e2, 1.0 / 6},
+	} {
+		got := d.TailCount(tt.t) / float64(n)
+		if math.Abs(got-tt.wantFrac) > 0.01 {
+			t.Errorf("tail fraction above %g: %.4f, want %.4f", tt.t, got, tt.wantFrac)
+		}
+	}
+}
+
+// TestErrDistMemoInvalidation: the suffix-sum memo must give the same
+// answers as a fresh scan after interleaved Add/TailCount/Reset/Clone.
+func TestErrDistMemoInvalidation(t *testing.T) {
+	var d ErrDist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	before := d.TailCount(50) // builds the memo
+	d.Add(60)                 // must invalidate it
+	if got := d.TailCount(50); got != before+1 {
+		t.Errorf("tail after memoized add: %g, want %g", got, before+1)
+	}
+	c := d.Clone()
+	if got := c.TailCount(50); got != before+1 {
+		t.Errorf("cloned tail: %g, want %g", got, before+1)
+	}
+	d.Add(70) // the clone must be unaffected
+	if got := c.TailCount(50); got != before+1 {
+		t.Errorf("clone saw the original's add: %g", got)
+	}
+	c.Reset()
+	if c.Count() != 0 || c.TailCount(1) != 0 {
+		t.Error("reset clone not empty")
+	}
+}
+
+func TestErrDistExtremes(t *testing.T) {
+	var d ErrDist
+	d.Add(1e-300) // far below float32 scale: counts as zero
+	d.Add(1e300)  // clamped into the top bin
+	if d.Zeros() != 1 {
+		t.Errorf("denormal-scale value not folded to zero (%d zeros)", d.Zeros())
+	}
+	if got := d.TailCount(1); got != 1 {
+		t.Errorf("tail above 1: %g, want the huge value only", got)
+	}
+	if got := d.TailCount(1e-310); got != 1 {
+		t.Errorf("tail above subnormal threshold: %g, want 1", got)
+	}
+}
+
+func TestPredScanReset(t *testing.T) {
+	var s PredScan
+	s.Values.Add(3)
+	s.Errs.Add(1)
+	s.Reset()
+	if s.Values.Count() != 0 || s.Errs.Count() != 0 {
+		t.Error("PredScan.Reset left state behind")
+	}
+}

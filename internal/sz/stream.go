@@ -31,6 +31,10 @@ const (
 	version    = 1
 )
 
+// HeaderBytes is the fixed per-brick framing overhead, exported for the
+// ratio-quality model's per-partition header term.
+const HeaderBytes = headerSize
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Bytes serializes the brick.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the hot-path benchmark suite and record it in the
-# BENCH_PR4.json trajectory file.
+# BENCH_PR6.json trajectory file.
 #
 # Covers the substrate micro-benchmarks (SZCompress, SZDecompress,
-# ZFPCompress, ZFPDecompress, HuffmanEncode, HuffmanDecode) plus the
+# ZFPCompress, ZFPDecompress, HuffmanEncode, HuffmanDecode), the
 # end-to-end paths whose allocation flatness the perf work must preserve
-# (AdaptivePipeline, PipelineStream), all with -benchmem.
+# (AdaptivePipeline, PipelineStream), and the calibration paths the
+# ratio-quality model accelerates (Calibrate, DriftRecalibration,
+# TimeseriesModelVsProbe), all with -benchmem.
 #
 # Usage:
 #   scripts/bench.sh                  # 2s per benchmark, label "current"
@@ -19,11 +21,11 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 BENCH_LABEL="${BENCH_LABEL:-current}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR4.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR6.json}"
 RAW="$(mktemp /tmp/bench.XXXXXX.txt)"
 trap 'rm -f "$RAW"' EXIT
 
-PATTERN='^(BenchmarkSZCompress|BenchmarkSZDecompress|BenchmarkZFPCompress|BenchmarkZFPDecompress|BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkAdaptivePipeline|BenchmarkPipelineStream)$'
+PATTERN='^(BenchmarkSZCompress|BenchmarkSZDecompress|BenchmarkZFPCompress|BenchmarkZFPDecompress|BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkAdaptivePipeline|BenchmarkPipelineStream|BenchmarkCalibrate|BenchmarkDriftRecalibration|BenchmarkTimeseriesModelVsProbe)$'
 
 echo "running hot-path benches (benchtime=${BENCHTIME}) ..." >&2
 go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" -benchmem . | tee "$RAW"
