@@ -29,9 +29,21 @@ var (
 	// calibration failing is a plain error — this sentinel distinguishes
 	// "the stream went bad mid-run".
 	ErrDriftRecalibration = apierr.ErrDriftRecalibration
+
+	// ErrOverloaded marks a request the compression service refused to
+	// keep its queues bounded: the tenant's admission queue was full
+	// (backpressure) or the server was shutting down. The request was
+	// never started; retrying after a backoff is safe, which is what the
+	// service's 429 responses advertise.
+	ErrOverloaded = apierr.ErrOverloaded
 )
 
 // DriftRecalibrationError is the typed form of ErrDriftRecalibration:
 // errors.As extracts the failing field and the drift that triggered the
 // re-fit, while errors.Is on the same error still matches the sentinel.
 type DriftRecalibrationError = apierr.DriftRecalibrationError
+
+// OverloadError is the typed form of ErrOverloaded: errors.As extracts
+// which tenant's queue refused the request and its configured depth, while
+// errors.Is on the same error still matches the sentinel.
+type OverloadError = apierr.OverloadError

@@ -1,0 +1,187 @@
+package adaptive_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/adaptive"
+	"repro/adaptive/codecs"
+)
+
+// newService spins up a facade-built compression service and tears it
+// down with the test.
+func newService(t *testing.T, cfg adaptive.ServerConfig, opts ...adaptive.Option) *httptest.Server {
+	t.Helper()
+	sys := newSystem(t, opts...)
+	srv, err := sys.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		// Service first: Close drains parked jobs so their handlers
+		// return; ts.Close blocks until every outstanding request ends.
+		_ = srv.Close()
+		ts.Close()
+	})
+	return ts
+}
+
+// waitUntil polls cond until it holds or the test deadline nears.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func postBody(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServiceRoundTrip drives compress and decompress through the public
+// facade's server, wire helpers, and error mapping only.
+func TestServiceRoundTrip(t *testing.T) {
+	ts := newService(t, adaptive.ServerConfig{}, adaptive.WithPartitionDim(8), adaptive.WithCodec("sz"))
+	f := testField(16)
+
+	status, archive := postBody(t, ts.URL+"/v1/compress/density", adaptive.MarshalFieldPayload(f))
+	if status != http.StatusOK {
+		t.Fatalf("compress: HTTP %d: %s", status, archive)
+	}
+	status, raw := postBody(t, ts.URL+"/v1/decompress", archive)
+	if status != http.StatusOK {
+		t.Fatalf("decompress: HTTP %d: %s", status, raw)
+	}
+	g, err := adaptive.UnmarshalFieldPayload(raw, int64(f.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameShape(g) {
+		t.Fatalf("shape changed over the wire: %v vs %v", f, g)
+	}
+
+	// A typed error response must map back onto the taxonomy sentinel.
+	status, body := postBody(t, ts.URL+"/v1/decompress", []byte("junk"))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("junk archive: HTTP %d", status)
+	}
+	if err := adaptive.ServiceError(status, body); !errors.Is(err, adaptive.ErrCorruptArchive) {
+		t.Fatalf("ServiceError = %v, want ErrCorruptArchive", err)
+	}
+}
+
+// TestCalibratePWRELDowngradeVisible pins the downgrade disclosure at the
+// facade boundary: a PWREL system asked for the ModelScan calibration must
+// return a Calibration that says the probe ladder ran instead and why —
+// locally via System.Calibrate and remotely via the service's JSON.
+func TestCalibratePWRELDowngradeVisible(t *testing.T) {
+	ctx := t.Context()
+	pwrelEBs := []float64{1e-3, 3e-3, 1e-2, 3e-2, 0.1}
+	sys := newSystem(t,
+		adaptive.WithPartitionDim(8),
+		adaptive.WithMode(codecs.PWREL),
+		adaptive.WithCalibration(adaptive.CalibrationOptions{Mode: adaptive.ModelScan, EBs: pwrelEBs}),
+	)
+	f := testField(16)
+
+	cal, err := sys.Calibrate(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Mode != adaptive.ProbeLadder {
+		t.Errorf("mode %v, want ProbeLadder", cal.Mode)
+	}
+	if !cal.Downgraded || cal.DowngradeReason == "" {
+		t.Errorf("downgrade not visible at the facade: Downgraded=%v reason=%q", cal.Downgraded, cal.DowngradeReason)
+	}
+	if cal.FellBack {
+		t.Error("a pre-sampling downgrade must not read as a data-driven fallback")
+	}
+
+	// Same disclosure over the service API.
+	srv, err := sys.NewServer(adaptive.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, body := postBody(t, ts.URL+"/v1/calibrate/density", adaptive.MarshalFieldPayload(f))
+	if status != http.StatusOK {
+		t.Fatalf("calibrate: HTTP %d: %s", status, body)
+	}
+	var view struct {
+		Mode            string `json:"mode"`
+		Downgraded      bool   `json:"downgraded"`
+		DowngradeReason string `json:"downgrade_reason"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Mode != "probe-ladder" || !view.Downgraded || view.DowngradeReason == "" {
+		t.Errorf("service calibrate response hides the downgrade: %s", body)
+	}
+}
+
+// TestServiceOverloadError pins the typed 429 at the facade boundary.
+func TestServiceOverloadError(t *testing.T) {
+	// Token-starved single-slot queue: the second concurrent request must
+	// be refused with the typed overload error.
+	ts := newService(t, adaptive.ServerConfig{QueueDepth: 1, TokenRate: 1e-9, TokenBurst: 1},
+		adaptive.WithPartitionDim(8))
+	payload := adaptive.MarshalFieldPayload(testField(16))
+
+	// Park one request in the single queue slot (it can never dispatch —
+	// its cost dwarfs the token budget — and server close drains it; the
+	// server-side timeout is a backstop against leaking the goroutine).
+	go func() {
+		_, _ = http.Post(ts.URL+"/v1/compress/a?timeout=30s", "application/octet-stream", bytes.NewReader(payload))
+	}()
+	// Only the server knows when that request reached its queue; poll the
+	// stats endpoint rather than racing the goroutine's POST.
+	waitUntil(t, func() bool {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Queued int `json:"queued"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return false
+		}
+		return st.Queued >= 1
+	})
+
+	// With the slot held, the next request must be refused at admission.
+	status, body := postBody(t, ts.URL+"/v1/compress/b?timeout=1s", payload)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("want a 429 with the queue full, got HTTP %d: %s", status, body)
+	}
+	err := adaptive.ServiceError(status, body)
+	if !errors.Is(err, adaptive.ErrOverloaded) {
+		t.Fatalf("ServiceError = %v, want ErrOverloaded", err)
+	}
+}

@@ -1,0 +1,104 @@
+// Command adaptived serves the adaptive compressor over the network: a
+// long-running HTTP/1.1 + h2c service that compresses, decompresses, and
+// calibrates fields for many concurrent tenants, with per-tenant bounded
+// queues (typed 429 backpressure), deficit-round-robin fair batching,
+// token-bucket rate metering, and — with -adapt — a load controller that
+// steps error-bound budgets up under pressure and back down when it
+// clears.
+//
+// Usage:
+//
+//	adaptived -addr :8323 [-codec sz] [-partition 16] [-rel-eb 0.1] \
+//	          [-queue 64] [-token-rate 0] [-batch-fields 16] [-inflight 2] \
+//	          [-adapt] [-slo 250ms] [-max-level 4] [-eb-step 2]
+//
+// API (tenancy via the X-Tenant header; bodies are the raw-field wire
+// format, 12-byte little-endian dim header + fp32 cells):
+//
+//	POST /v1/compress/{field}   raw field in  → archive v2 out
+//	POST /v1/decompress         archive v2 in → raw field out
+//	POST /v1/calibrate/{field}  raw field in  → calibration JSON out
+//	GET  /v1/stats              counters and controller state
+//	GET  /healthz               liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/adaptive"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptived: ")
+	var (
+		addr      = flag.String("addr", ":8323", "listen address")
+		codecName = flag.String("codec", "sz", "compression backend")
+		partition = flag.Int("partition", 16, "partition brick dimension")
+		relEB     = flag.Float64("rel-eb", 0.1, "quality budget relative to each field's mean |value|")
+		queue     = flag.Int("queue", 64, "per-tenant admission queue depth")
+		tokenRate = flag.Float64("token-rate", 0, "per-tenant rate limit in cells/sec (0 = unmetered)")
+		batchF    = flag.Int("batch-fields", 16, "max fields coalesced into one pipeline batch")
+		inflight  = flag.Int("inflight", 2, "max concurrently executing batches")
+		adapt     = flag.Bool("adapt", false, "enable load-driven rate stepping")
+		slo       = flag.Duration("slo", 250*time.Millisecond, "p99 latency SLO for the load controller")
+		maxLevel  = flag.Int("max-level", 4, "load controller's max step level")
+		ebStep    = flag.Float64("eb-step", 2, "per-level budget multiplier")
+	)
+	flag.Parse()
+
+	sys, err := adaptive.New(
+		adaptive.WithCodec(*codecName),
+		adaptive.WithPartitionDim(*partition),
+		adaptive.WithRelAvgEB(*relEB),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := sys.NewServer(adaptive.ServerConfig{
+		QueueDepth:         *queue,
+		TokenRate:          *tokenRate,
+		MaxBatchFields:     *batchF,
+		MaxInflightBatches: *inflight,
+		Adapt: adaptive.ServerAdaptConfig{
+			Enabled:    *adapt,
+			LatencySLO: *slo,
+			MaxLevel:   *maxLevel,
+			EBStep:     *ebStep,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := adaptive.NewH2CServer(*addr, srv.Handler())
+	go func() {
+		log.Printf("serving on %s (codec %s, partition %d, adapt %v)", *addr, sys.Codec(), sys.PartitionDim(), *adapt)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("service close: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("served %d requests (%d rejected, %d failed) in %d batches", st.Served, st.Rejected, st.Failed, st.Batches)
+}

@@ -1,0 +1,237 @@
+// Command loadgen drives a running adaptived with synthetic load: many
+// concurrent clients posting Nyx-like fields for compression over h2c,
+// measuring throughput (field-steps/sec), latency percentiles, and the
+// backpressure/adaptation behavior (429 counts, final rate level). It is
+// both the benchmark harness behind BENCH_PR7.json and the CI smoke test
+// for the service.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8323 -clients 1000 -duration 10s \
+//	        [-dim 32] [-fields 4] [-tenants 8] [-label adapt-on] \
+//	        [-json BENCH_PR7.json] [-max-p99 2s]
+//
+// With -json the results merge into the named file under -label (same
+// shape as the BENCH_PR*.json trajectory files: a "runs" map keyed by
+// label). With -max-p99 the command exits non-zero when the successful
+// requests' p99 exceeds the bound — the CI gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/adaptive"
+)
+
+type result struct {
+	ok, rejected, failed uint64
+	bytesOut, bytesIn    uint64
+	lats                 []time.Duration
+	maxLevel             int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8323", "adaptived base URL")
+		clients  = flag.Int("clients", 256, "concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		dim      = flag.Int("dim", 32, "field edge length (must divide the server's partition dim)")
+		nFields  = flag.Int("fields", 4, "distinct fields per tenant (max 6)")
+		tenants  = flag.Int("tenants", 8, "distinct tenants")
+		seed     = flag.Uint64("seed", 7, "synthetic universe seed")
+		conns    = flag.Int("conns", 16, "h2c connections to spread clients over (each multiplexes ~250 streams)")
+		label    = flag.String("label", "", "label for the JSON report entry")
+		jsonPath = flag.String("json", "", "merge results into this BENCH-style JSON file")
+		maxP99   = flag.Duration("max-p99", 0, "exit non-zero when the success p99 exceeds this (0 = no gate)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: *dim, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := adaptive.FieldNames()
+	if *nFields < 1 || *nFields > len(names) {
+		log.Fatalf("-fields must be 1..%d", len(names))
+	}
+	names = names[:*nFields]
+	payloads := make(map[string][]byte, len(names))
+	for _, name := range names {
+		f, err := snap.Field(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payloads[name] = adaptive.MarshalFieldPayload(f)
+	}
+
+	// One h2c connection caps out around 250 concurrent streams, and Go's
+	// transport queues the excess client-side — which would measure the
+	// client's own throttle, not the server's backpressure. A pool of
+	// transports (one connection each) lets the configured client count
+	// actually reach the service.
+	if *conns < 1 {
+		*conns = 1
+	}
+	pool := make([]*http.Client, *conns)
+	for i := range pool {
+		pool[i] = &http.Client{Transport: adaptive.NewH2CTransport(), Timeout: *timeout}
+	}
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	results := make([]result, *clients)
+	var launched atomic.Uint64
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := &results[c]
+			client := pool[c%len(pool)]
+			tenant := fmt.Sprintf("tenant-%02d", c%*tenants)
+			for i := 0; time.Now().Before(deadline); i++ {
+				name := names[(c+i)%len(names)]
+				body := payloads[name]
+				launched.Add(1)
+				t0 := time.Now()
+				req, err := http.NewRequest(http.MethodPost, *url+"/v1/compress/"+name, bytes.NewReader(body))
+				if err != nil {
+					log.Fatal(err)
+				}
+				req.Header.Set("X-Tenant", tenant)
+				resp, err := client.Do(req)
+				if err != nil {
+					r.failed++
+					continue
+				}
+				out, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					r.ok++
+					r.bytesOut += uint64(len(body))
+					r.bytesIn += uint64(len(out))
+					r.lats = append(r.lats, lat)
+					var level int
+					fmt.Sscanf(resp.Header.Get("X-Rate-Level"), "%d", &level)
+					if level > r.maxLevel {
+						r.maxLevel = level
+					}
+				case http.StatusTooManyRequests:
+					r.rejected++
+					time.Sleep(time.Millisecond) // honor the backoff cheaply
+				default:
+					r.failed++
+					if r.failed <= 3 {
+						log.Printf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(out))
+					}
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total result
+	var lats []time.Duration
+	for i := range results {
+		total.ok += results[i].ok
+		total.rejected += results[i].rejected
+		total.failed += results[i].failed
+		total.bytesOut += results[i].bytesOut
+		total.bytesIn += results[i].bytesIn
+		lats = append(lats, results[i].lats...)
+		if results[i].maxLevel > total.maxLevel {
+			total.maxLevel = results[i].maxLevel
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	p50, p99 := pct(0.50), pct(0.99)
+	stepsPerSec := float64(total.ok) / elapsed.Seconds()
+	ratio := 0.0
+	if total.bytesIn > 0 {
+		ratio = float64(total.bytesOut) / float64(total.bytesIn)
+	}
+
+	log.Printf("%d clients for %v: %d ok (%.1f steps/sec), %d rejected (429), %d failed",
+		*clients, elapsed.Round(time.Millisecond), total.ok, stepsPerSec, total.rejected, total.failed)
+	log.Printf("latency p50 %v p99 %v; aggregate ratio %.2fx; max rate level seen %d",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), ratio, total.maxLevel)
+
+	if *jsonPath != "" {
+		if *label == "" {
+			log.Fatal("-json requires -label")
+		}
+		entry := map[string]any{
+			"recorded_at":    time.Now().UTC().Format(time.RFC3339),
+			"goos":           runtime.GOOS,
+			"goarch":         runtime.GOARCH,
+			"clients":        *clients,
+			"tenants":        *tenants,
+			"field_dim":      *dim,
+			"duration_sec":   elapsed.Seconds(),
+			"ok":             total.ok,
+			"rejected":       total.rejected,
+			"failed":         total.failed,
+			"steps_per_sec":  stepsPerSec,
+			"latency_p50_ms": float64(p50) / float64(time.Millisecond),
+			"latency_p99_ms": float64(p99) / float64(time.Millisecond),
+			"compress_ratio": ratio,
+			"max_rate_level": total.maxLevel,
+		}
+		if err := mergeJSON(*jsonPath, *label, entry); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged run %q into %s", *label, *jsonPath)
+	}
+
+	if *maxP99 > 0 && (total.ok == 0 || p99 > *maxP99) {
+		log.Fatalf("p99 %v exceeds the %v gate (or nothing succeeded)", p99, *maxP99)
+	}
+}
+
+// mergeJSON upserts runs[label] in a BENCH-style trajectory file.
+func mergeJSON(path, label string, entry map[string]any) error {
+	doc := map[string]any{
+		"description": "adaptived service load benchmark (cmd/loadgen); steps/sec and latencies are machine-dependent, compare labels from the same machine only.",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not JSON: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs, _ := doc["runs"].(map[string]any)
+	if runs == nil {
+		runs = make(map[string]any)
+	}
+	runs[label] = entry
+	doc["runs"] = runs
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

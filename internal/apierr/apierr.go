@@ -43,6 +43,13 @@ var (
 	// sentinel, so callers can distinguish "the stream went bad mid-run"
 	// from "the run never got started".
 	ErrDriftRecalibration = errors.New("drift recalibration failed")
+
+	// ErrOverloaded marks a request the compression service refused in
+	// order to keep its queues bounded: the tenant's admission queue was
+	// full (backpressure) or the server was shutting down. The request was
+	// never started; retrying after a backoff is safe and is what the
+	// service's 429 responses advertise.
+	ErrOverloaded = errors.New("server overloaded")
 )
 
 // DriftRecalibrationError is the typed form of ErrDriftRecalibration: it
@@ -65,3 +72,22 @@ func (e *DriftRecalibrationError) Error() string {
 
 // Unwrap exposes both the sentinel and the cause to errors.Is/As.
 func (e *DriftRecalibrationError) Unwrap() []error { return []error{ErrDriftRecalibration, e.Err} }
+
+// OverloadError is the typed form of ErrOverloaded: it records which
+// tenant's queue refused the request and how deep that queue was, so
+// callers can errors.As for the details while errors.Is still matches the
+// sentinel.
+type OverloadError struct {
+	// Tenant is the admission queue that was full.
+	Tenant string
+	// QueueDepth is the tenant queue's configured capacity, all of it in
+	// use when the request was refused.
+	QueueDepth int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: tenant %q queue full (%d queued)", ErrOverloaded, e.Tenant, e.QueueDepth)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }

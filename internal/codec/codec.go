@@ -48,6 +48,17 @@ const (
 	PWREL
 )
 
+func (m Mode) String() string {
+	switch m {
+	case ABS:
+		return "abs"
+	case PWREL:
+		return "pwrel"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
 // Predictor selects the prediction scheme of prediction-based codecs.
 type Predictor uint8
 

@@ -187,6 +187,12 @@ type StreamWriter struct {
 	// closeErr makes a failed footer write sticky: every later Close
 	// reports it instead of claiming success on a truncated stream.
 	closeErr error
+	// writeErr poisons the writer after a failed WriteStep: the destination
+	// may hold a short write at an unknown offset, so sw.off no longer
+	// matches the real stream position and appending more steps (or a
+	// footer indexing them) would silently corrupt the archive. Every later
+	// WriteStep and Close reports this error instead.
+	writeErr error
 }
 
 // NewStreamWriter writes the stream header and returns a writer ready to
@@ -202,8 +208,14 @@ func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
 }
 
 // WriteStep appends one step's fields (in sorted name order, so the byte
-// stream is deterministic regardless of map iteration).
+// stream is deterministic regardless of map iteration). A failed append
+// poisons the writer: the error is sticky, and both later WriteStep and
+// Close calls keep returning it rather than appending at a stale offset
+// into a stream that already holds a partial step.
 func (sw *StreamWriter) WriteStep(fields map[string]*CompressedField) error {
+	if sw.writeErr != nil {
+		return sw.writeErr
+	}
 	if sw.closed {
 		return fmt.Errorf("core: stream writer is closed")
 	}
@@ -236,7 +248,8 @@ func (sw *StreamWriter) WriteStep(fields map[string]*CompressedField) error {
 		buf = append(buf, blob...)
 	}
 	if _, err := sw.w.Write(buf); err != nil {
-		return fmt.Errorf("core: stream step %d: %w", len(sw.index), err)
+		sw.writeErr = fmt.Errorf("core: stream step %d: %w", len(sw.index), err)
+		return sw.writeErr
 	}
 	sw.index = append(sw.index, streamIndexEntry{Offset: sw.off, Length: uint64(len(buf))})
 	sw.off += uint64(len(buf))
@@ -249,12 +262,18 @@ func (sw *StreamWriter) Steps() int { return len(sw.index) }
 // Close appends the footer index. The writer cannot be used afterwards;
 // closing an empty stream is valid and yields a zero-step archive. A
 // footer-write failure is sticky: repeated Close calls keep returning it,
-// so a deferred second Close cannot mask a truncated stream.
+// so a deferred second Close cannot mask a truncated stream. A writer
+// poisoned by a failed WriteStep refuses to finalize at all — the footer
+// would land at a stale offset — and Close reports the original failure.
 func (sw *StreamWriter) Close() error {
 	if sw.closed {
 		return sw.closeErr
 	}
 	sw.closed = true
+	if sw.writeErr != nil {
+		sw.closeErr = fmt.Errorf("core: stream not finalized after failed step write: %w", sw.writeErr)
+		return sw.closeErr
+	}
 	buf := make([]byte, 0, 16*len(sw.index)+streamTrailerBytes)
 	var scratch [8]byte
 	indexOff := sw.off
@@ -372,6 +391,7 @@ func parseStepBlock(buf []byte, step int, reg *codec.Registry) (map[string]*Comp
 	}
 	pos := 4
 	fields := make(map[string]*CompressedField, count)
+	prevName := ""
 	for j := 0; j < count; j++ {
 		if pos+2 > len(buf) {
 			return nil, fmt.Errorf("core: %w: step %d truncated at field %d name length", errCorrupt, step, j)
@@ -383,6 +403,21 @@ func parseStepBlock(buf []byte, step int, reg *codec.Registry) (map[string]*Comp
 		}
 		name := string(buf[pos : pos+nameLen])
 		pos += nameLen
+		// The writer emits strictly increasing (sorted, unique) names, so a
+		// block violating that order is hostile: a repeated name would
+		// otherwise collapse silently into the map, and an unsorted block
+		// would re-serialize differently than it parsed. Order is checked
+		// against the previous name, which also catches every duplicate —
+		// equal names are adjacent in sorted order, and a non-adjacent
+		// repeat necessarily breaks the ordering first.
+		if name <= prevName {
+			if name == prevName {
+				return nil, fmt.Errorf("core: %w: step %d has duplicate field %q", errCorrupt, step, name)
+			}
+			return nil, fmt.Errorf("core: %w: step %d field %q out of sorted order (follows %q)",
+				errCorrupt, step, name, prevName)
+		}
+		prevName = name
 		if pos+4 > len(buf) {
 			return nil, fmt.Errorf("core: %w: step %d truncated at field %q payload length", errCorrupt, step, name)
 		}
@@ -396,9 +431,6 @@ func parseStepBlock(buf []byte, step int, reg *codec.Registry) (map[string]*Comp
 			// The nested v2 parse already tagged ErrCorruptArchive; keep
 			// its chain intact and add the step/field position.
 			return nil, fmt.Errorf("core: step %d field %q: %w", step, name, err)
-		}
-		if _, dup := fields[name]; dup {
-			return nil, fmt.Errorf("core: %w: step %d has duplicate field %q", errCorrupt, step, name)
 		}
 		fields[name] = cf
 		pos += n

@@ -80,6 +80,16 @@ type Calibration struct {
 	// synthetic curves were too degenerate to fit) and the probe ladder
 	// was used for this field instead.
 	FellBack bool
+	// Downgraded is set when the *requested* calibration mode could not be
+	// honored at all and another mode was substituted before any curve was
+	// sampled — currently: ModelScan under a non-ABS error-bound mode runs
+	// the probe ladder, because the residual scan characterizes absolute
+	// prediction errors only. Distinct from FellBack, which records a
+	// data-driven guard-band fallback of an honored ModelScan request.
+	Downgraded bool
+	// DowngradeReason says why the requested mode was not honored, for
+	// surfacing to clients (the compression service reports it verbatim).
+	DowngradeReason string
 }
 
 // CalibrationOptions tunes sampling.
@@ -184,10 +194,17 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 	defer e.putScratch(scratch)
 
 	mode := o.Mode
+	var downgradeReason string
 	if mode == ModelScan && e.cfg.Mode != codec.ABS {
 		// The residual scan characterizes absolute prediction errors; PWREL
 		// compresses log-transformed values, so measure instead of model.
+		// The substitution is recorded on the Calibration (Downgraded +
+		// DowngradeReason) so callers — the service's calibrate endpoint in
+		// particular — can see why ModelScan was not honored.
 		mode = ProbeLadder
+		downgradeReason = fmt.Sprintf(
+			"%s error-bound mode: the residual scan models ABS errors only, so the probe ladder was measured instead",
+			e.cfg.Mode)
 	}
 	var fellBack bool
 	var residual float64
@@ -210,6 +227,10 @@ func (e *Engine) Calibrate(ctx context.Context, f *grid.Field3D, opts ...Calibra
 	}
 	cal.FellBack = fellBack
 	cal.Residual = residual
+	if downgradeReason != "" {
+		cal.Downgraded = true
+		cal.DowngradeReason = downgradeReason
+	}
 	return cal, nil
 }
 

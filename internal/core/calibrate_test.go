@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/nyx"
 )
@@ -149,5 +150,51 @@ func TestPlanFromFeaturesValidation(t *testing.T) {
 	// Features on a non-divisible field propagates the layout error.
 	if _, err := e.Features(context.Background(), grid.NewCube(30)); err == nil {
 		t.Error("non-divisible field accepted by Features")
+	}
+}
+
+// TestCalibratePWRELDowngradeIsRecorded: ModelScan under a non-ABS
+// error-bound mode cannot be honored (the residual scan models absolute
+// errors only), so Calibrate substitutes the probe ladder — and must say
+// so on the Calibration instead of downgrading silently.
+func TestCalibratePWRELDowngradeIsRecorded(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 16, Mode: codec.PWREL})
+	f := field(t, nyx.FieldBaryonDensity)
+	// PWREL bounds are relative and must stay below 1, so pin the grid
+	// instead of using the mean-anchored default.
+	pwrelEBs := []float64{1e-3, 3e-3, 1e-2, 3e-2, 0.1}
+	cal, err := e.Calibrate(context.Background(), f, CalibrationOptions{Mode: ModelScan, EBs: pwrelEBs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Mode != ProbeLadder {
+		t.Fatalf("PWREL ModelScan calibrated in mode %v, want probe ladder", cal.Mode)
+	}
+	if !cal.Downgraded {
+		t.Fatal("PWREL → probe-ladder downgrade not recorded")
+	}
+	if cal.DowngradeReason == "" {
+		t.Fatal("downgrade recorded without a reason")
+	}
+	if cal.FellBack {
+		t.Fatal("a mode downgrade must not masquerade as a guard-band fallback")
+	}
+
+	// The honored path stays clean: ABS ModelScan reports no downgrade,
+	// and an explicit PWREL ProbeLadder request is honored as asked.
+	abs := engine(t, Config{PartitionDim: 16})
+	cal, err = abs.Calibrate(context.Background(), f, CalibrationOptions{Mode: ModelScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Downgraded || cal.DowngradeReason != "" {
+		t.Fatalf("ABS ModelScan reports a downgrade: %+v", cal)
+	}
+	cal, err = e.Calibrate(context.Background(), f, CalibrationOptions{Mode: ProbeLadder, EBs: pwrelEBs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Downgraded {
+		t.Fatal("an honored ProbeLadder request reports a downgrade")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -60,7 +61,57 @@ func streamFuzzSeeds(tb testing.TB) [][]byte {
 		flip[off] ^= 0xFF
 		seeds = append(seeds, flip)
 	}
+	seeds = append(seeds, mutateStepNames(data)...)
 	return seeds
+}
+
+// mutateStepNames returns hostile variants of a valid stream whose first
+// step block's field names violate the writer's sorted-unique invariant —
+// an out-of-sorted-order first name, and (when the first two names have
+// equal length) a duplicated name — with the index, footer, and payloads
+// untouched, so only parseStepBlock's name validation can reject them.
+// Returns nil when the first step has fewer than two fields.
+func mutateStepNames(data []byte) [][]byte {
+	pos := streamHeaderBytes
+	if len(data) < pos+4 {
+		return nil
+	}
+	count := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+	pos += 4
+	if count < 2 {
+		return nil
+	}
+	nameAt := func() (off, n int, ok bool) {
+		if pos+2 > len(data) {
+			return 0, 0, false
+		}
+		n = int(binary.LittleEndian.Uint16(data[pos : pos+2]))
+		off = pos + 2
+		pos = off + n
+		if pos+4 > len(data) {
+			return 0, 0, false
+		}
+		payload := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		pos += 4 + payload
+		return off, n, pos <= len(data)
+	}
+	off1, n1, ok := nameAt()
+	if !ok {
+		return nil
+	}
+	off2, n2, ok := nameAt()
+	if !ok {
+		return nil
+	}
+	outOfOrder := append([]byte(nil), data...)
+	outOfOrder[off1] = 0xFE // sorts after any writer-produced name
+	out := [][]byte{outOfOrder}
+	if n1 == n2 {
+		dup := append([]byte(nil), data...)
+		copy(dup[off2:off2+n2], dup[off1:off1+n1])
+		out = append(out, dup)
+	}
+	return out
 }
 
 func FuzzParseCompressedField(f *testing.F) {

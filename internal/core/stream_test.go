@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
@@ -323,5 +324,144 @@ func TestStreamIOErrorIsNotCorruption(t *testing.T) {
 	_, err = OpenStream(flakyReaderAt{err: io.ErrUnexpectedEOF}, 1<<20)
 	if !errors.Is(err, apierr.ErrCorruptArchive) {
 		t.Fatalf("truncated read not classified as corruption: %v", err)
+	}
+}
+
+// countingWriter counts writes so tests can assert nothing reaches the
+// destination after a failure poisoned the writer.
+type countingWriter struct {
+	inner  io.Writer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.inner.Write(p)
+}
+
+// TestStreamWriteStepErrorIsSticky: a failed WriteStep must poison the
+// writer. The destination may hold a short write at an unknown offset, so
+// a later WriteStep appending at the stale sw.off — or a Close indexing
+// steps at stale offsets — would silently corrupt the stream.
+func TestStreamWriteStepErrorIsSticky(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	fail := &failAfterWriter{n: 1 << 20}
+	count := &countingWriter{inner: fail}
+	sw, err := NewStreamWriter(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := map[string]*CompressedField{"f": streamField(t, e, 1)}
+	if err := sw.WriteStep(step); err != nil {
+		t.Fatal(err)
+	}
+	fail.n = 0 // every write from here on fails
+	werr := sw.WriteStep(step)
+	if werr == nil {
+		t.Fatal("failed step write not reported")
+	}
+	if sw.Steps() != 1 {
+		t.Fatalf("failed step counted: Steps() = %d, want 1", sw.Steps())
+	}
+
+	writesAfterFailure := count.writes
+	fail.n = 1 << 20 // the destination "recovers" — the writer must not
+	if err := sw.WriteStep(step); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("WriteStep after failure = %v, want the sticky original failure", err)
+	}
+	if err := sw.Close(); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("Close after failed step write = %v, want the sticky original failure", err)
+	}
+	if err := sw.Close(); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("second Close after failed step write = %v, want the sticky original failure", err)
+	}
+	if count.writes != writesAfterFailure {
+		t.Fatalf("poisoned writer still wrote %d times to the destination",
+			count.writes-writesAfterFailure)
+	}
+}
+
+// hostileStepStream writes a valid two-field stream, then rewrites the two
+// (equal-length) field names inside the step block in place — the index,
+// footer, and payloads stay untouched, so only parseStepBlock's name
+// validation can catch the tampering.
+func hostileStepStream(t *testing.T, e *Engine, name1, name2 string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteStep(map[string]*CompressedField{
+		"aa": streamField(t, e, 1),
+		"bb": streamField(t, e, 2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Step block layout from streamHeaderBytes: u32 count, then per field
+	// u16 nameLen, name, u32 payloadLen, payload.
+	pos := streamHeaderBytes + 4
+	nameAt := func() int {
+		n := int(binary.LittleEndian.Uint16(b[pos : pos+2]))
+		if n != 2 {
+			t.Fatalf("test expects 2-byte names, got %d", n)
+		}
+		return pos + 2
+	}
+	at := nameAt()
+	copy(b[at:at+2], name1)
+	pos = at + 2
+	pos += 4 + int(binary.LittleEndian.Uint32(b[pos:pos+4]))
+	at = nameAt()
+	copy(b[at:at+2], name2)
+	return b
+}
+
+// TestStreamRejectsHostileStepNames: the writer emits sorted unique field
+// names, so a step block with a duplicated or out-of-order name is hostile
+// and must be rejected as ErrCorruptArchive instead of collapsing into the
+// map (duplicate) or re-serializing differently than it parsed (unsorted).
+func TestStreamRejectsHostileStepNames(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	cases := []struct {
+		name         string
+		name1, name2 string
+	}{
+		{"duplicate", "aa", "aa"},
+		{"out of order", "zz", "bb"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := hostileStepStream(t, e, tc.name1, tc.name2)
+			sr, err := OpenStream(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				t.Fatalf("open rejected a stream with a valid index: %v", err)
+			}
+			_, err = sr.ReadStep(0)
+			if err == nil {
+				t.Fatal("hostile step names accepted")
+			}
+			if !errors.Is(err, apierr.ErrCorruptArchive) {
+				t.Fatalf("hostile step names not classified as corruption: %v", err)
+			}
+		})
+	}
+
+	// The untampered layout (sorted, unique) must still read back.
+	b := hostileStepStream(t, e, "aa", "bb")
+	sr, err := OpenStream(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields, err := sr.ReadStep(0)
+	if err != nil {
+		t.Fatalf("sorted unique names rejected: %v", err)
+	}
+	if len(fields) != 2 {
+		t.Fatalf("got %d fields, want 2", len(fields))
 	}
 }

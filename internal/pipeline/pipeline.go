@@ -262,6 +262,45 @@ func (r *RunStats) CompressMBPerSec() float64 {
 	return float64(4*r.Cells) / r.CompressSeconds / 1e6
 }
 
+// StepOptions tunes a single step beyond the driver-wide Options.
+type StepOptions struct {
+	// BudgetScale multiplies every field's resolved error-bound budget for
+	// this step only (0 or 1 = unscaled; must not be negative). The
+	// compression service's load controller uses it to step rate targets
+	// down under pressure: a larger budget means larger error bounds,
+	// fewer bits, and a cheaper batch — and back to 1 when pressure
+	// clears. The per-field budget resolved at first calibration is stored
+	// unscaled, so scaling is stateless across steps.
+	BudgetScale float64
+}
+
+// StepResult is one compressed snapshot with per-field granularity: the
+// compression service batches unrelated tenants' fields into one step, so
+// one hostile field must fail alone instead of aborting its batch-mates.
+type StepResult struct {
+	// Stats is the step's aggregate stats over the fields that succeeded.
+	Stats *StepStats
+	// Fields holds the compressed output of every field that succeeded.
+	Fields map[string]*core.CompressedField
+	// Errs maps each failed field to its error. A field absent from both
+	// maps was never started (the step was canceled first).
+	Errs map[string]error
+}
+
+// firstErr returns the first failed field's error in name order (stable
+// regardless of completion order), or nil.
+func (r *StepResult) firstErr() error {
+	if len(r.Errs) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(r.Errs))
+	for name := range r.Errs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("pipeline: field %s: %w", names[0], r.Errs[names[0]])
+}
+
 // fieldState is the retained per-field calibration state.
 type fieldState struct {
 	cal *core.Calibration
@@ -391,10 +430,52 @@ func (d *Driver) Run(ctx context.Context, src Source) (*RunStats, error) {
 
 // Step compresses one snapshot's fields (concurrently, bounded by
 // FieldWorkers), updates the calibration state, and appends the step to
-// the archive writer when one is configured.
+// the archive writer when one is configured. Any field failing fails the
+// whole step; use StepCompressed for per-field error granularity.
 func (d *Driver) Step(ctx context.Context, snap map[string]*grid.Field3D) (*StepStats, error) {
+	res, err := d.StepCompressed(ctx, snap, StepOptions{})
+	if res != nil {
+		// A concrete field failure beats the generic cancellation error —
+		// it carries the cause (which itself satisfies errors.Is on
+		// context.Canceled when the cancel is what failed the field).
+		if ferr := res.firstErr(); ferr != nil {
+			return nil, ferr
+		}
+	}
+	if err != nil {
+		// No partial step ever reaches the archive writer: a canceled step
+		// is dropped whole, so the stream stays valid at step granularity.
+		return nil, err
+	}
+	st := res.Stats
+	if d.opt.Writer != nil {
+		t0 := time.Now()
+		if err := d.opt.Writer.WriteStep(res.Fields); err != nil {
+			return nil, err
+		}
+		st.WriteSeconds = time.Since(t0).Seconds()
+	}
+	return st, nil
+}
+
+// StepCompressed compresses one snapshot's fields like Step but returns
+// the compressed fields to the caller (nothing is written to the
+// configured archive writer) and isolates failures per field: each field
+// lands in StepResult.Fields or StepResult.Errs independently, so batches
+// that coalesce unrelated requests — the compression service's shared
+// pipeline batches — contain a failure to the request that caused it. The
+// returned error is non-nil only when the snapshot is empty or the step
+// was canceled; per-field errors never populate it.
+func (d *Driver) StepCompressed(ctx context.Context, snap map[string]*grid.Field3D, opt StepOptions) (*StepResult, error) {
 	if len(snap) == 0 {
 		return nil, fmt.Errorf("pipeline: %w: empty snapshot", apierr.ErrBadConfig)
+	}
+	scale := opt.BudgetScale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return nil, fmt.Errorf("pipeline: %w: negative budget scale %g", apierr.ErrBadConfig, scale)
 	}
 	names := make([]string, 0, len(snap))
 	for name := range snap {
@@ -411,35 +492,29 @@ func (d *Driver) Step(ctx context.Context, snap map[string]*grid.Field3D) (*Step
 	}
 
 	st := &StepStats{Fields: make([]FieldStats, len(names))}
-	compressed := make(map[string]*core.CompressedField, len(names))
-	var mu sync.Mutex // guards compressed and firstErr
-	var firstErr error
+	res := &StepResult{
+		Stats:  st,
+		Fields: make(map[string]*core.CompressedField, len(names)),
+		Errs:   make(map[string]error),
+	}
+	var mu sync.Mutex // guards res
 	// Fields fan out over the shared worker pool (bounded by FieldWorkers
 	// and, transitively, GOMAXPROCS): the partition- and block-level
 	// fan-outs below draw from the same pool, so a nested run cannot
 	// oversubscribe to FieldWorkers × engine workers goroutines.
 	parallel.ForEachCtx(ctx, len(names), workers, func(i int) {
 		name := names[i]
-		cf, fs, err := d.compressField(ctx, name, snap[name])
+		cf, fs, err := d.compressField(ctx, name, snap[name], scale)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("pipeline: field %s: %w", name, err)
-			}
+			res.Errs[name] = err
+			st.Fields[i] = FieldStats{Name: name}
 			return
 		}
 		st.Fields[i] = *fs
-		compressed[name] = cf
+		res.Fields[name] = cf
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		// No partial step ever reaches the archive writer: a canceled step
-		// is dropped whole, so the stream stays valid at step granularity.
-		return nil, fmt.Errorf("pipeline: step canceled: %w", err)
-	}
 	for i := range st.Fields {
 		fs := &st.Fields[i]
 		st.Bytes += int64(fs.Bytes)
@@ -454,14 +529,10 @@ func (d *Driver) Step(ctx context.Context, snap map[string]*grid.Field3D) (*Step
 			st.ModelCorrections++
 		}
 	}
-	if d.opt.Writer != nil {
-		t0 := time.Now()
-		if err := d.opt.Writer.WriteStep(compressed); err != nil {
-			return nil, err
-		}
-		st.WriteSeconds = time.Since(t0).Seconds()
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("pipeline: step canceled: %w", err)
 	}
-	return st, nil
+	return res, nil
 }
 
 // tagRefitFailure wraps a mid-run recalibration failure in the typed
@@ -478,8 +549,10 @@ func tagRefitFailure(name string, drift float64, err error) error {
 }
 
 // compressField runs one field through feature extraction, the drift
-// check, (re)calibration when due, planning, and compression.
-func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D) (*core.CompressedField, *FieldStats, error) {
+// check, (re)calibration when due, planning, and compression. budgetScale
+// multiplies the field's resolved budget for this step only (see
+// StepOptions.BudgetScale); the stored per-field budget stays unscaled.
+func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D, budgetScale float64) (*core.CompressedField, *FieldStats, error) {
 	fs := &FieldStats{Name: name, Cells: f.Len()}
 
 	t0 := time.Now()
@@ -551,7 +624,7 @@ func (d *Driver) compressField(ctx context.Context, name string, f *grid.Field3D
 			state.avgEB = d.opt.RelAvgEB * mean
 		}
 	}
-	fs.AvgEB = state.avgEB
+	fs.AvgEB = state.avgEB * budgetScale
 	d.mu.Unlock()
 	if fs.AvgEB <= 0 {
 		return nil, nil, fmt.Errorf("pipeline: field %s resolved a non-positive budget (mean |value| %g)", name, mean)

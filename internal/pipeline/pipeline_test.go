@@ -533,3 +533,89 @@ func TestRefitFailureTagging(t *testing.T) {
 		}
 	}
 }
+
+// TestStepCompressedIsolatesFieldFailures: the service batches unrelated
+// tenants' fields into one step, so one bad field must fail alone — the
+// per-field Errs map carries it while its batch-mates still compress.
+func TestStepCompressedIsolatesFieldFailures(t *testing.T) {
+	steps := testSteps(t, 32, 1, nyx.FieldBaryonDensity)
+	drv, err := New(core.Config{PartitionDim: 8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := grid.NewCube(12) // 12 % 8 != 0: partitioning must reject it
+	for i := range bad.Data {
+		bad.Data[i] = float32(i)
+	}
+	snap := map[string]*grid.Field3D{
+		"good": steps[0][nyx.FieldBaryonDensity],
+		"bad":  bad,
+	}
+	res, err := drv.StepCompressed(context.Background(), snap, StepOptions{})
+	if err != nil {
+		t.Fatalf("batch-level error for a single bad field: %v", err)
+	}
+	if res.Errs["bad"] == nil {
+		t.Fatal("bad field's error lost")
+	}
+	if res.Fields["bad"] != nil {
+		t.Fatal("bad field produced output")
+	}
+	cf := res.Fields["good"]
+	if cf == nil {
+		t.Fatal("good field aborted by its batch-mate")
+	}
+	if _, err := cf.Decompress(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Bytes != int64(cf.CompressedSize()) {
+		t.Fatalf("stats count failed fields: bytes %d, want %d", res.Stats.Bytes, cf.CompressedSize())
+	}
+
+	// Step over the same snapshot keeps the all-or-nothing contract.
+	if _, err := drv.Step(context.Background(), snap); err == nil {
+		t.Fatal("Step accepted a snapshot with a failing field")
+	}
+}
+
+// TestStepCompressedBudgetScale: scaling the budget up for one step must
+// cost fewer bits than the unscaled step, leave the stored budget
+// unscaled, and report the effective (scaled) budget in the stats — the
+// contract the service's load controller steps rate targets through.
+func TestStepCompressedBudgetScale(t *testing.T) {
+	steps := testSteps(t, 32, 1, nyx.FieldBaryonDensity)
+	snap := steps[0]
+
+	bitRateAt := func(scale float64) (bitRate, avgEB float64) {
+		drv, err := New(core.Config{PartitionDim: 8}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := drv.StepCompressed(context.Background(), snap, StepOptions{BudgetScale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Errs) > 0 {
+			t.Fatalf("per-field errors: %v", res.Errs)
+		}
+		return res.Stats.BitRate(), res.Stats.Fields[0].AvgEB
+	}
+
+	base, baseEB := bitRateAt(0) // 0 = unscaled
+	loose, looseEB := bitRateAt(8)
+	if loose >= base {
+		t.Fatalf("8× budget did not reduce the bit rate: %.3f → %.3f bits/value", base, loose)
+	}
+	if math.Abs(looseEB-8*baseEB) > 1e-12*looseEB {
+		t.Fatalf("effective budget %g not 8× the base %g", looseEB, baseEB)
+	}
+
+	// A negative scale is a config error.
+	drv, err := New(core.Config{PartitionDim: 8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drv.StepCompressed(context.Background(), snap, StepOptions{BudgetScale: -1}); !errors.Is(err, apierr.ErrBadConfig) {
+		t.Fatalf("negative budget scale accepted: %v", err)
+	}
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/apierr"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/pipeline"
+)
+
+// jobKind selects which engine operation a queued request runs.
+type jobKind uint8
+
+const (
+	jobCompress jobKind = iota
+	jobDecompress
+	jobCalibrate
+)
+
+// job is one admitted request waiting in (or drained from) a tenant queue.
+// The handler blocks on done; the dispatcher owns the job from admission
+// until exactly one jobResult is delivered.
+type job struct {
+	kind   jobKind
+	tenant string
+	field  string
+	data   *grid.Field3D         // compress / calibrate input
+	cf     *core.CompressedField // decompress input
+	cost   int64                 // cells, the DRR and token-bucket currency
+	ctx    context.Context
+	queued time.Time
+	done   chan jobResult // buffered 1: delivery never blocks on a gone handler
+}
+
+type jobResult struct {
+	archive []byte
+	field   *grid.Field3D
+	cal     *core.Calibration
+	stats   *pipeline.FieldStats
+	level   int
+	scale   float64
+	err     error
+}
+
+// tenantQ is one tenant's bounded FIFO admission queue plus its deficit
+// round-robin and token-bucket accounts. All fields are guarded by
+// Server.mu.
+type tenantQ struct {
+	name string
+	jobs []*job
+	// deficit is the DRR account: credited one quantum per dispatcher
+	// visit while backlogged, debited by each dispatched job's cost, so
+	// tenants with many small fields and tenants with few huge ones get
+	// the same share of cells per round.
+	deficit int64
+	// tokens is the rate-limit account in cells, refilled at
+	// Config.TokenRate and capped at the burst size.
+	tokens     float64
+	lastRefill time.Time
+}
+
+func (tq *tenantQ) refill(now time.Time, rate, burst float64) {
+	if rate <= 0 {
+		return
+	}
+	if dt := now.Sub(tq.lastRefill).Seconds(); dt > 0 {
+		tq.tokens += rate * dt
+		if tq.tokens > burst {
+			tq.tokens = burst
+		}
+	}
+	tq.lastRefill = now
+}
+
+// admit appends a job to its tenant's queue, registering the tenant on
+// first sight. Refusals — queue full, tenant table full, shutdown — wrap
+// apierr.ErrOverloaded: the request was never started and retrying after a
+// backoff is safe.
+func (s *Server) admit(j *job) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: shutting down: %w", apierr.ErrOverloaded)
+	}
+	tq := s.tenants[j.tenant]
+	if tq == nil {
+		if len(s.tenants) >= s.cfg.MaxTenants {
+			s.mu.Unlock()
+			s.m.rejected.Add(1)
+			return fmt.Errorf("server: %w: tenant table full (%d tenants)", apierr.ErrOverloaded, s.cfg.MaxTenants)
+		}
+		tq = &tenantQ{name: j.tenant, lastRefill: s.now(), tokens: s.cfg.TokenBurst}
+		s.tenants[j.tenant] = tq
+		s.order = append(s.order, tq)
+	}
+	if len(tq.jobs) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		return &apierr.OverloadError{Tenant: j.tenant, QueueDepth: s.cfg.QueueDepth}
+	}
+	tq.jobs = append(tq.jobs, j)
+	s.queued++
+	s.mu.Unlock()
+	s.m.accepted.Add(1)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// collectBatch runs one deficit-round-robin pass over the tenant queues
+// and returns the next batch (nil batch, ok=true means nothing eligible
+// right now; ok=false means the server is closed). Jobs whose context died
+// while queued are dropped here, answered immediately, and charged to
+// nobody's deficit.
+func (s *Server) collectBatch() (batch []*job, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	now := s.now()
+	var cells int64
+	n := len(s.order)
+	start := s.rrPos
+	for k := 0; k < n && len(batch) < s.cfg.MaxBatchFields && cells < s.cfg.MaxBatchCells; k++ {
+		tq := s.order[(start+k)%n]
+		if len(tq.jobs) == 0 {
+			tq.deficit = 0 // standard DRR: an idle tenant banks nothing
+			continue
+		}
+		tq.refill(now, s.cfg.TokenRate, s.cfg.TokenBurst)
+		tq.deficit += s.cfg.Quantum
+		for len(tq.jobs) > 0 && len(batch) < s.cfg.MaxBatchFields && cells < s.cfg.MaxBatchCells {
+			j := tq.jobs[0]
+			if j.ctx.Err() != nil {
+				tq.jobs = tq.jobs[1:]
+				s.queued--
+				s.m.canceled.Add(1)
+				j.done <- jobResult{err: fmt.Errorf("server: abandoned in queue: %w", j.ctx.Err())}
+				continue
+			}
+			if j.cost > tq.deficit {
+				break
+			}
+			if s.cfg.TokenRate > 0 && float64(j.cost) > tq.tokens {
+				break
+			}
+			tq.jobs = tq.jobs[1:]
+			s.queued--
+			tq.deficit -= j.cost
+			if s.cfg.TokenRate > 0 {
+				tq.tokens -= float64(j.cost)
+			}
+			batch = append(batch, j)
+			cells += j.cost
+		}
+		if len(tq.jobs) == 0 {
+			tq.deficit = 0
+		} else if lim := s.cfg.Quantum + tq.jobs[0].cost; tq.deficit > lim {
+			// A blocked tenant (token-starved, or its head job is huge) may
+			// bank enough deficit to pass its head job — but no more, or a
+			// long stall would convert into an unfair burst later.
+			tq.deficit = lim
+		}
+	}
+	if n > 0 {
+		s.rrPos = (start + 1) % n
+	}
+	return batch, true
+}
+
+// dispatch is the single scheduler goroutine: it turns the tenant queues
+// into batches and hands each batch to an executor goroutine, itself
+// bounded by the inflight semaphore — the backpressure chain that keeps
+// thousands of connections from becoming thousands of concurrent
+// compressions.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		batch, ok := s.collectBatch()
+		if !ok {
+			s.drainPending()
+			return
+		}
+		if len(batch) == 0 {
+			s.mu.Lock()
+			starved := s.queued > 0
+			s.mu.Unlock()
+			if starved {
+				// Jobs exist but none are eligible (token-starved or
+				// deficit-building): poll until refill makes progress.
+				select {
+				case <-s.baseCtx.Done():
+				case <-s.wake:
+				case <-time.After(2 * time.Millisecond):
+				}
+			} else {
+				select {
+				case <-s.baseCtx.Done():
+				case <-s.wake:
+				}
+			}
+			if s.baseCtx.Err() != nil {
+				s.markClosed()
+				s.drainPending()
+				return
+			}
+			continue
+		}
+		s.lc.adjust(s.depth())
+		select {
+		case s.inflight <- struct{}{}:
+		case <-s.baseCtx.Done():
+			s.failBatch(batch)
+			s.markClosed()
+			s.drainPending()
+			return
+		}
+		s.m.batches.Add(1)
+		s.wg.Add(1)
+		go func(b []*job) {
+			defer s.wg.Done()
+			defer func() { <-s.inflight }()
+			s.execute(b)
+		}(batch)
+	}
+}
+
+// execute runs one batch at the load controller's current operating point.
+// Compress jobs coalesce into shared pipeline steps; decompress and
+// calibrate jobs run individually (each already fans out over the shared
+// worker pool internally).
+func (s *Server) execute(batch []*job) {
+	level, scale := s.lc.levelScale()
+	var compress []*job
+	for _, j := range batch {
+		switch j.kind {
+		case jobCompress:
+			compress = append(compress, j)
+		case jobDecompress:
+			f, err := j.cf.Decompress(j.ctx)
+			s.finish(j, jobResult{field: f, level: level, scale: scale, err: err})
+		case jobCalibrate:
+			cal, err := s.drv.Engine().Calibrate(j.ctx, j.data, s.calOpts)
+			s.finish(j, jobResult{cal: cal, level: level, scale: scale, err: err})
+		}
+	}
+	if len(compress) > 0 {
+		s.executeCompress(compress, level, scale)
+	}
+}
+
+// stepKey namespaces a field per tenant inside shared pipeline batches, so
+// tenants get independent calibration state (and cannot collide on field
+// names). The separator is rejected in tenant and field names at the HTTP
+// boundary.
+func stepKey(tenant, field string) string { return tenant + "\x1f" + field }
+
+// executeCompress coalesces compress jobs into as few pipeline steps as
+// possible. Per-field failures inside a step stay with the request that
+// caused them (StepCompressed isolates them); only a same-tenant-same-field
+// collision forces a job into a follow-up step, since one snapshot can
+// hold each key once.
+func (s *Server) executeCompress(jobs []*job, level int, scale float64) {
+	rest := jobs
+	for len(rest) > 0 {
+		snap := make(map[string]*grid.Field3D, len(rest))
+		byKey := make(map[string]*job, len(rest))
+		var next []*job
+		for _, j := range rest {
+			key := stepKey(j.tenant, j.field)
+			if _, dup := byKey[key]; dup {
+				next = append(next, j)
+				continue
+			}
+			byKey[key] = j
+			snap[key] = j.data
+		}
+		// The batch runs under the server's own context, not any one job's:
+		// a client abandoning its request must not cancel batch-mates
+		// mid-step. Its cancellation was honored while the job was queued.
+		res, err := s.drv.StepCompressed(s.baseCtx, snap, pipeline.StepOptions{BudgetScale: scale})
+		for key, j := range byKey {
+			r := jobResult{level: level, scale: scale}
+			switch {
+			case res != nil && res.Fields[key] != nil:
+				r.archive = res.Fields[key].Bytes()
+				for i := range res.Stats.Fields {
+					if res.Stats.Fields[i].Name == key {
+						fs := res.Stats.Fields[i]
+						r.stats = &fs
+					}
+				}
+			case res != nil && res.Errs[key] != nil:
+				r.err = res.Errs[key]
+			case err != nil:
+				r.err = err
+			default:
+				r.err = fmt.Errorf("server: internal: field %q missing from step result", j.field)
+			}
+			s.finish(j, r)
+		}
+		rest = next
+	}
+}
+
+// finish delivers a result, records its latency with the load controller,
+// and updates the served/failed accounting.
+func (s *Server) finish(j *job, r jobResult) {
+	s.lc.observe(s.now().Sub(j.queued))
+	if r.err != nil {
+		s.m.failed.Add(1)
+	} else {
+		s.m.served.Add(1)
+		s.m.cells.Add(uint64(j.cost))
+		s.m.bytesOut.Add(uint64(len(r.archive)))
+	}
+	j.done <- r
+}
+
+// failBatch answers a collected-but-never-executed batch (shutdown won the
+// race for an inflight slot).
+func (s *Server) failBatch(batch []*job) {
+	for _, j := range batch {
+		s.m.failed.Add(1)
+		j.done <- jobResult{err: fmt.Errorf("server: shutting down: %w", apierr.ErrOverloaded)}
+	}
+}
+
+// drainPending answers every still-queued job after shutdown.
+func (s *Server) drainPending() {
+	s.mu.Lock()
+	var pending []*job
+	for _, tq := range s.order {
+		pending = append(pending, tq.jobs...)
+		tq.jobs = nil
+	}
+	s.queued = 0
+	s.mu.Unlock()
+	for _, j := range pending {
+		s.m.failed.Add(1)
+		j.done <- jobResult{err: fmt.Errorf("server: shutting down: %w", apierr.ErrOverloaded)}
+	}
+}

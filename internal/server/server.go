@@ -1,0 +1,590 @@
+// Package server is the networked compression service: the paper's
+// adaptive in situ compressor behind an HTTP API, shared by many
+// simulation clients ("tenants") at once.
+//
+// The design goal is bounded everything. Requests land in per-tenant
+// bounded FIFO queues (full queue → typed 429, the backpressure signal); a
+// single dispatcher turns the queues into shared pipeline batches by
+// deficit round-robin, so a tenant streaming thousands of small fields
+// cannot starve one submitting a few large ones; per-tenant token buckets
+// meter cells per second; an inflight-batch semaphore bounds concurrent
+// engine work, which itself fans out over the shared worker pool
+// (internal/parallel) rather than spawning per-request goroutines. On top
+// of the pipeline's data-drift adaptation, a load controller steps
+// error-bound budgets up under pressure (queue depth, p99 latency vs SLO)
+// and back down when it clears — trading rate for throughput exactly when
+// the service would otherwise fall behind, the same move JetStream-style
+// adaptive transports make.
+//
+// Transport is HTTP/1.1 and cleartext HTTP/2 (h2c) from the stdlib; h2c is
+// what lets thousands of concurrent in situ ranks multiplex onto a few
+// connections. Failures map the apierr taxonomy onto typed JSON error
+// responses, so errors.Is-style dispatch survives the network hop as
+// machine-readable codes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apierr"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Config tunes the service. The zero value of every knob selects a sane
+// default; Validate rejects negatives wrapping apierr.ErrBadConfig.
+type Config struct {
+	// QueueDepth bounds each tenant's admission queue (default 64). A full
+	// queue refuses with a typed 429 — backpressure, not buffering.
+	QueueDepth int
+	// MaxTenants bounds the tenant table (default 1024): tenant state must
+	// not grow without bound under hostile tenant-name churn.
+	MaxTenants int
+	// Quantum is the deficit-round-robin credit in cells per dispatcher
+	// visit (default 2^20). Tenants with queued work receive equal quanta,
+	// so throughput shares are equal in cells, not in requests.
+	Quantum int64
+	// TokenRate meters each tenant to this many cells per second
+	// (0 = unmetered). TokenBurst is the bucket size (default 4×Quantum).
+	TokenRate  float64
+	TokenBurst float64
+	// MaxBatchFields and MaxBatchCells bound one shared pipeline batch
+	// (defaults 16 fields, 2^24 cells). Small fields from many tenants
+	// coalesce up to these limits into one step.
+	MaxBatchFields int
+	MaxBatchCells  int64
+	// MaxInflightBatches bounds concurrently executing batches (default 2:
+	// one computing, one staged — each batch already saturates the worker
+	// pool, so more only adds memory pressure).
+	MaxInflightBatches int
+	// MaxBodyBytes caps a request body (default 2^28) and MaxFieldCells a
+	// decoded field (default 2^24 cells = 64 MiB of fp32).
+	MaxBodyBytes  int64
+	MaxFieldCells int64
+	// Adapt tunes the load-driven rate controller.
+	Adapt AdaptConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 1024
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 1 << 20
+	}
+	if c.TokenBurst == 0 {
+		c.TokenBurst = 4 * float64(c.Quantum)
+	}
+	if c.MaxBatchFields == 0 {
+		c.MaxBatchFields = 16
+	}
+	if c.MaxBatchCells == 0 {
+		c.MaxBatchCells = 1 << 24
+	}
+	if c.MaxInflightBatches == 0 {
+		c.MaxInflightBatches = 2
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 28
+	}
+	if c.MaxFieldCells == 0 {
+		c.MaxFieldCells = 1 << 24
+	}
+	if c.Adapt.HighQueue == 0 {
+		c.Adapt.HighQueue = c.QueueDepth
+	}
+	c.Adapt = c.Adapt.withDefaults()
+	return c
+}
+
+// Validate rejects nonsensical knobs wrapping apierr.ErrBadConfig.
+func (c Config) Validate() error {
+	bad := func(what string, v any) error {
+		return fmt.Errorf("server: %w: %s must not be negative (got %v)", apierr.ErrBadConfig, what, v)
+	}
+	switch {
+	case c.QueueDepth < 0:
+		return bad("QueueDepth", c.QueueDepth)
+	case c.MaxTenants < 0:
+		return bad("MaxTenants", c.MaxTenants)
+	case c.Quantum < 0:
+		return bad("Quantum", c.Quantum)
+	case c.TokenRate < 0:
+		return bad("TokenRate", c.TokenRate)
+	case c.TokenBurst < 0:
+		return bad("TokenBurst", c.TokenBurst)
+	case c.MaxBatchFields < 0:
+		return bad("MaxBatchFields", c.MaxBatchFields)
+	case c.MaxBatchCells < 0:
+		return bad("MaxBatchCells", c.MaxBatchCells)
+	case c.MaxInflightBatches < 0:
+		return bad("MaxInflightBatches", c.MaxInflightBatches)
+	case c.MaxBodyBytes < 0:
+		return bad("MaxBodyBytes", c.MaxBodyBytes)
+	case c.MaxFieldCells < 0:
+		return bad("MaxFieldCells", c.MaxFieldCells)
+	}
+	return nil
+}
+
+// metrics are the service counters, all atomics so the stats endpoint
+// never contends with the hot path.
+type metrics struct {
+	accepted, served, failed, rejected, canceled atomic.Uint64
+	batches, cells, bytesOut                     atomic.Uint64
+}
+
+// Server multiplexes compression requests onto one pipeline driver. Build
+// with New, expose with Handler (typically via NewHTTPServer for h2c),
+// stop with Close.
+type Server struct {
+	cfg     Config
+	drv     *pipeline.Driver
+	calOpts core.CalibrationOptions
+	lc      *loadController
+	now     func() time.Time
+	start   time.Time
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	inflight chan struct{}
+	wake     chan struct{}
+
+	mu      sync.Mutex
+	tenants map[string]*tenantQ
+	order   []*tenantQ
+	rrPos   int
+	queued  int
+	closed  bool
+
+	m metrics
+}
+
+// New builds a server over an existing pipeline driver (whose engine,
+// worker pool, and per-tenant-field calibration state it shares) and
+// starts its dispatcher. cal tunes the /v1/calibrate endpoint's sampling.
+func New(drv *pipeline.Driver, cal core.CalibrationOptions, cfg Config) (*Server, error) {
+	s, err := newServer(drv, cal, cfg, time.Now)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	return s, nil
+}
+
+// newServer builds without starting the dispatcher — tests drive
+// collectBatch by hand against an injected clock.
+func newServer(drv *pipeline.Driver, cal core.CalibrationOptions, cfg Config, now func() time.Time) (*Server, error) {
+	if drv == nil {
+		return nil, fmt.Errorf("server: %w: nil pipeline driver", apierr.ErrBadConfig)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		drv:      drv,
+		calOpts:  cal,
+		lc:       newLoadController(cfg.Adapt, now),
+		now:      now,
+		start:    now(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		inflight: make(chan struct{}, cfg.MaxInflightBatches),
+		wake:     make(chan struct{}, 1),
+		tenants:  make(map[string]*tenantQ),
+	}, nil
+}
+
+// Start launches the dispatcher. New calls it; only tests built on
+// newServer call it directly.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.dispatch()
+}
+
+// depth returns the total queued-job count.
+func (s *Server) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+func (s *Server) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Close stops admission, fails every queued request with the overload
+// error, waits for in-flight batches, and returns. Idempotent.
+func (s *Server) Close() error {
+	s.markClosed()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats is the service snapshot the /v1/stats endpoint serves.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Accepted      uint64  `json:"accepted"`
+	Served        uint64  `json:"served"`
+	Failed        uint64  `json:"failed"`
+	Rejected      uint64  `json:"rejected"`
+	Canceled      uint64  `json:"canceled"`
+	Queued        int     `json:"queued"`
+	Tenants       int     `json:"tenants"`
+	Batches       uint64  `json:"batches"`
+	Level         int     `json:"level"`
+	BudgetScale   float64 `json:"budget_scale"`
+	StepUps       uint64  `json:"step_ups"`
+	StepDowns     uint64  `json:"step_downs"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	Cells         uint64  `json:"cells"`
+	BytesOut      uint64  `json:"bytes_out"`
+}
+
+// Stats snapshots the service counters and controller state.
+func (s *Server) Stats() Stats {
+	level, scale, p50, p99, ups, downs := s.lc.snapshot()
+	s.mu.Lock()
+	queued, tenants := s.queued, len(s.tenants)
+	s.mu.Unlock()
+	return Stats{
+		UptimeSeconds: s.now().Sub(s.start).Seconds(),
+		Accepted:      s.m.accepted.Load(),
+		Served:        s.m.served.Load(),
+		Failed:        s.m.failed.Load(),
+		Rejected:      s.m.rejected.Load(),
+		Canceled:      s.m.canceled.Load(),
+		Queued:        queued,
+		Tenants:       tenants,
+		Batches:       s.m.batches.Load(),
+		Level:         level,
+		BudgetScale:   scale,
+		StepUps:       ups,
+		StepDowns:     downs,
+		LatencyP50Ms:  float64(p50) / float64(time.Millisecond),
+		LatencyP99Ms:  float64(p99) / float64(time.Millisecond),
+		Cells:         s.m.cells.Load(),
+		BytesOut:      s.m.bytesOut.Load(),
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/compress/{field}   raw field in  → archive v2 out
+//	POST /v1/decompress         archive v2 in → raw field out
+//	POST /v1/calibrate/{field}  raw field in  → calibration JSON out
+//	GET  /v1/stats              service counters and controller state
+//	GET  /healthz               liveness
+//
+// Tenancy comes from the X-Tenant header (default "default"). A `timeout`
+// query parameter (Go duration) bounds the request server-side on top of
+// the client's own disconnect/cancellation.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compress/{field}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleField(w, r, jobCompress)
+	})
+	mux.HandleFunc("POST /v1/calibrate/{field}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleField(w, r, jobCalibrate)
+	})
+	mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// NewHTTPServer wraps a handler in an http.Server speaking HTTP/1.1 and
+// cleartext HTTP/2 (h2c) on addr — stdlib-only, no TLS, which is what an
+// on-cluster sidecar service wants: h2c gives each simulation rank stream
+// multiplexing over one TCP connection.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	return &http.Server{Addr: addr, Handler: h, Protocols: p}
+}
+
+// NewH2CTransport returns an http.Transport that speaks h2c to
+// NewHTTPServer instances — the client half used by the load generator and
+// tests.
+func NewH2CTransport() *http.Transport {
+	p := new(http.Protocols)
+	p.SetUnencryptedHTTP2(true)
+	return &http.Transport{Protocols: p}
+}
+
+// nameOK validates tenant and field names: short, printable, and free of
+// the stepKey separator.
+func nameOK(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// requestSetup pulls the common request plumbing: tenant, body, and the
+// effective context. The returned cancel must be called by the handler.
+func (s *Server) requestSetup(w http.ResponseWriter, r *http.Request) (tenant string, body []byte, ctx context.Context, cancel context.CancelFunc, err error) {
+	tenant = r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if !nameOK(tenant) {
+		return "", nil, nil, nil, fmt.Errorf("server: %w: invalid tenant name %q", apierr.ErrBadConfig, tenant)
+	}
+	body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return "", nil, nil, nil, fmt.Errorf("server: reading request body: %w", err)
+	}
+	ctx, cancel = r.Context(), func() {}
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, perr := time.ParseDuration(t)
+		if perr != nil || d <= 0 {
+			return "", nil, nil, nil, fmt.Errorf("server: %w: bad timeout %q", apierr.ErrBadConfig, t)
+		}
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	return tenant, body, ctx, cancel, nil
+}
+
+// handleField serves compress and calibrate: both take a raw field in.
+func (s *Server) handleField(w http.ResponseWriter, r *http.Request, kind jobKind) {
+	field := r.PathValue("field")
+	if !nameOK(field) {
+		writeError(w, fmt.Errorf("server: %w: invalid field name %q", apierr.ErrBadConfig, field))
+		return
+	}
+	tenant, body, ctx, cancel, err := s.requestSetup(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	f, err := DecodeField(body, s.cfg.MaxFieldCells)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	j := &job{
+		kind: kind, tenant: tenant, field: field, data: f,
+		cost: int64(f.Len()), ctx: ctx, queued: s.now(),
+		done: make(chan jobResult, 1),
+	}
+	res, err := s.await(j)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch kind {
+	case jobCompress:
+		s.writeRateHeaders(w, res)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(res.archive)
+	case jobCalibrate:
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(calibrationJSON(res.cal))
+	}
+}
+
+// handleDecompress serves archive v2 → raw field.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	tenant, body, ctx, cancel, err := s.requestSetup(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	// Parse at admission: it validates headers without decompressing, the
+	// cell count is the job's queueing cost, and a corrupt archive never
+	// occupies a queue slot.
+	cf, err := core.ParseCompressedField(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if n := int64(cf.N()); n > s.cfg.MaxFieldCells {
+		writeError(w, fmt.Errorf("server: %w: archive holds %d cells, limit %d", apierr.ErrBadConfig, n, s.cfg.MaxFieldCells))
+		return
+	}
+	j := &job{
+		kind: jobDecompress, tenant: tenant, field: "(decompress)", cf: cf,
+		cost: int64(cf.N()), ctx: ctx, queued: s.now(),
+		done: make(chan jobResult, 1),
+	}
+	res, err := s.await(j)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(EncodeField(res.field))
+}
+
+// await admits a job and blocks until its result or its context's death —
+// whichever first. An abandoned job is dropped by the dispatcher when it
+// reaches the queue head (or executed harmlessly if already batched; the
+// buffered done channel absorbs the unread result).
+func (s *Server) await(j *job) (jobResult, error) {
+	if err := s.admit(j); err != nil {
+		return jobResult{}, err
+	}
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			return jobResult{}, res.err
+		}
+		return res, nil
+	case <-j.ctx.Done():
+		return jobResult{}, fmt.Errorf("server: request %w", j.ctx.Err())
+	}
+}
+
+// writeRateHeaders reports the operating point a compression ran at — how
+// clients observe load-driven rate stepping.
+func (s *Server) writeRateHeaders(w http.ResponseWriter, res jobResult) {
+	h := w.Header()
+	h.Set("X-Rate-Level", strconv.Itoa(res.level))
+	h.Set("X-Budget-Scale", strconv.FormatFloat(res.scale, 'g', -1, 64))
+	if res.stats != nil {
+		h.Set("X-Bit-Rate", strconv.FormatFloat(res.stats.BitRate, 'g', 6, 64))
+		h.Set("X-Ratio", strconv.FormatFloat(res.stats.Ratio, 'g', 6, 64))
+		if res.stats.Recalibrated {
+			h.Set("X-Recalibrated", "1")
+		}
+	}
+}
+
+// calibrationView is the /v1/calibrate response: the parts of a
+// core.Calibration a remote client can use, including the downgrade
+// disclosure (satellite of the PWREL→probe-ladder fix: a client asking for
+// the cheap scan under PWREL must see it was given the ladder, and why).
+type calibrationView struct {
+	Mode            string    `json:"mode"`
+	Downgraded      bool      `json:"downgraded"`
+	DowngradeReason string    `json:"downgrade_reason,omitempty"`
+	FellBack        bool      `json:"fell_back"`
+	Residual        float64   `json:"residual"`
+	Samples         int       `json:"samples"`
+	EBs             []float64 `json:"ebs"`
+}
+
+func calibrationJSON(cal *core.Calibration) calibrationView {
+	return calibrationView{
+		Mode:            cal.Mode.String(),
+		Downgraded:      cal.Downgraded,
+		DowngradeReason: cal.DowngradeReason,
+		FellBack:        cal.FellBack,
+		Residual:        cal.Residual,
+		Samples:         len(cal.PartitionIDs),
+		EBs:             cal.EBs,
+	}
+}
+
+// errorBody is the typed error envelope every non-2xx response carries.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// statusCanceled is nginx's non-standard 499 "client closed request" —
+// the response is usually unobservable (the client left), but the code
+// keeps access logs honest about who ended the exchange.
+const statusCanceled = 499
+
+// statusOf maps the error taxonomy to HTTP statuses and stable
+// machine-readable codes — the network form of errors.Is.
+func statusOf(err error) (int, string) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case errors.Is(err, apierr.ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, apierr.ErrCorruptArchive):
+		return http.StatusUnprocessableEntity, "corrupt_archive"
+	case errors.Is(err, apierr.ErrCodecUnknown):
+		return http.StatusBadRequest, "codec_unknown"
+	case errors.Is(err, apierr.ErrDriftRecalibration):
+		return http.StatusInternalServerError, "drift_recalibration"
+	case errors.Is(err, apierr.ErrBadConfig):
+		return http.StatusBadRequest, "bad_config"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return statusCanceled, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusOf(err)
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// ErrorFromResponse reconstructs the taxonomy sentinel from a typed error
+// response, so facade-level clients keep errors.Is across the network.
+// Returns nil when the response is not an error envelope the service
+// produced.
+func ErrorFromResponse(status int, body []byte) error {
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code == "" {
+		return nil
+	}
+	sentinel := map[string]error{
+		"overloaded":          apierr.ErrOverloaded,
+		"corrupt_archive":     apierr.ErrCorruptArchive,
+		"codec_unknown":       apierr.ErrCodecUnknown,
+		"bad_config":          apierr.ErrBadConfig,
+		"drift_recalibration": apierr.ErrDriftRecalibration,
+		"deadline_exceeded":   context.DeadlineExceeded,
+		"canceled":            context.Canceled,
+	}[eb.Error.Code]
+	msg := strings.TrimSpace(eb.Error.Message)
+	if sentinel == nil {
+		return fmt.Errorf("server: HTTP %d: %s", status, msg)
+	}
+	return fmt.Errorf("server: HTTP %d: %w (%s)", status, sentinel, msg)
+}
