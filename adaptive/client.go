@@ -1,0 +1,83 @@
+package adaptive
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/client"
+)
+
+// Client is the resilient client for a compression service: capped
+// exponential backoff with full jitter that honors the server's
+// Retry-After, a per-endpoint closed/open/half-open circuit breaker (typed
+// ErrCircuitOpen), and per-attempt deadlines carved from the caller's
+// context. Refusals the service guarantees were never started (429
+// overloaded, 503 draining) are retried for every operation; transport
+// errors and 5xx only for idempotent reads. Safe for concurrent use.
+type Client = client.Client
+
+// ClientCounters is a snapshot of a Client's resilience accounting.
+type ClientCounters = client.Counters
+
+// CompressResult is one successful Client.Compress: the archive plus the
+// operating point the service ran it at.
+type CompressResult = client.CompressResult
+
+// CalibrationInfo mirrors the service's /v1/calibrate response.
+type CalibrationInfo = client.CalibrationInfo
+
+// ClientBreakerConfig tunes the Client's per-endpoint circuit breaker.
+type ClientBreakerConfig = client.BreakerConfig
+
+// ClientOption configures NewClient. Rejections wrap ErrBadConfig.
+type ClientOption func(*client.Config)
+
+// WithTenant sets the X-Tenant header on every request ("" = the server's
+// default tenant).
+func WithTenant(tenant string) ClientOption {
+	return func(c *client.Config) { c.Tenant = tenant }
+}
+
+// WithRetries bounds total tries per call (first attempt included,
+// default 4; 1 disables retries) and shapes the backoff between them:
+// retry n sleeps rand·min(maxBackoff, baseBackoff·2ⁿ) — full jitter —
+// plus the server's Retry-After when one was given. Zero durations keep
+// the defaults (50ms base, 2s max).
+func WithRetries(maxAttempts int, baseBackoff, maxBackoff time.Duration) ClientOption {
+	return func(c *client.Config) {
+		c.MaxAttempts = maxAttempts
+		c.BaseBackoff = baseBackoff
+		c.MaxBackoff = maxBackoff
+	}
+}
+
+// WithAttemptTimeout bounds each individual attempt on top of the
+// caller's context (0 = attempts run under the caller's deadline alone).
+func WithAttemptTimeout(d time.Duration) ClientOption {
+	return func(c *client.Config) { c.AttemptTimeout = d }
+}
+
+// WithBreaker tunes the per-endpoint circuit breaker: threshold
+// consecutive server-class failures trip it open, and after cooldown it
+// admits one half-open probe. A negative threshold disables the breaker.
+func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return func(c *client.Config) {
+		c.Breaker = client.BreakerConfig{Threshold: threshold, Cooldown: cooldown}
+	}
+}
+
+// WithHTTPClient overrides the transport (default: a fresh h2c transport
+// matching NewH2CServer).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *client.Config) { c.HTTPClient = hc }
+}
+
+// NewClient builds a resilient service client for the service rooted at
+// baseURL (e.g. "http://127.0.0.1:8323"). Rejections wrap ErrBadConfig.
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	cfg := client.Config{BaseURL: baseURL}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return client.New(cfg)
+}

@@ -36,6 +36,20 @@ var (
 	// never started; retrying after a backoff is safe, which is what the
 	// service's 429 responses advertise.
 	ErrOverloaded = apierr.ErrOverloaded
+
+	// ErrDraining marks a request refused because the service is in
+	// lame-duck mode (Server.BeginDrain, typically on SIGTERM): it is
+	// finishing in-flight work but admitting nothing new. Like
+	// ErrOverloaded the request was never started, so retrying is safe —
+	// and, unlike overload, retrying against a replacement instance can
+	// succeed immediately.
+	ErrDraining = apierr.ErrDraining
+
+	// ErrCircuitOpen marks a call the resilient Client failed fast
+	// locally: its per-endpoint circuit breaker was open after a run of
+	// consecutive server-class failures, so no request was sent. Purely
+	// client-side — the service never emits it.
+	ErrCircuitOpen = apierr.ErrCircuitOpen
 )
 
 // DriftRecalibrationError is the typed form of ErrDriftRecalibration:

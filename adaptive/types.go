@@ -156,3 +156,32 @@ type StreamReader = core.StreamReader
 func OpenStream(r io.ReaderAt, size int64) (*StreamReader, error) {
 	return core.OpenStream(r, size)
 }
+
+// CheckpointOptions tunes NewCheckpointedStreamWriter.
+type CheckpointOptions = core.CheckpointOptions
+
+// NewCheckpointedStreamWriter is NewStreamWriter plus crash durability: on
+// a writer that also supports io.WriterAt (an *os.File), it snapshots a
+// valid footer every Interval steps without advancing the write cursor, so
+// a process killed mid-run leaves a stream OpenStream accepts up to the
+// last checkpoint — and RecoverStream salvages the steps written after it.
+// With the zero options (or a plain io.Writer) it is byte-for-byte
+// identical to NewStreamWriter.
+func NewCheckpointedStreamWriter(w io.Writer, opt CheckpointOptions) (*StreamWriter, error) {
+	return core.NewCheckpointedStreamWriter(w, opt)
+}
+
+// RecoveryReport says what RecoverStream salvaged and what it discarded.
+type RecoveryReport = core.RecoveryReport
+
+// RecoverStream salvages a torn archive v3 stream — one whose writer
+// crashed before Close could write the footer index. It validates the
+// header, walks step blocks forward as far as they parse, and returns a
+// reader over every intact step plus a report of what was dropped. A
+// stream whose footer is intact takes the OpenStream fast path and is
+// reported Clean. Use StreamReader.WriteTo to re-serialize the salvage as
+// a footer-valid stream. Unrecoverable streams (bad header, no intact
+// steps) wrap ErrCorruptArchive.
+func RecoverStream(r io.ReaderAt, size int64) (*StreamReader, *RecoveryReport, error) {
+	return core.RecoverStream(r, size)
+}

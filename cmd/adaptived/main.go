@@ -10,7 +10,20 @@
 //
 //	adaptived -addr :8323 [-codec sz] [-partition 16] [-rel-eb 0.1] \
 //	          [-queue 64] [-token-rate 0] [-batch-fields 16] [-inflight 2] \
-//	          [-adapt] [-slo 250ms] [-max-level 4] [-eb-step 2]
+//	          [-adapt] [-slo 250ms] [-max-level 4] [-eb-step 2] \
+//	          [-archive stream.acs] [-checkpoint 4] [-fsync] \
+//	          [-floor tenant-03=1 -floor tenant-04=2]
+//
+// With -archive, every compressed batch is appended to the named file as
+// one step of a crash-recoverable v3 stream: -checkpoint N snapshots the
+// footer every N steps (so a kill -9 loses at most N steps; streamrecover
+// salvages the rest), and -fsync bounds that loss against power failure
+// too. -floor caps a tenant's budget scale so load-driven stepping never
+// degrades that tenant past its contract.
+//
+// On SIGTERM/SIGINT the server enters lame-duck mode: new requests get a
+// typed 503 ("draining", safe to retry against a replacement) while queued
+// and in-flight work runs to completion, then the process exits 0.
 //
 // API (tenancy via the X-Tenant header; bodies are the raw-field wire
 // format, 12-byte little-endian dim header + fp32 cells):
@@ -19,26 +32,54 @@
 //	POST /v1/decompress         archive v2 in → raw field out
 //	POST /v1/calibrate/{field}  raw field in  → calibration JSON out
 //	GET  /v1/stats              counters and controller state
-//	GET  /healthz               liveness
+//	GET  /healthz               liveness (503 while draining)
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/adaptive"
 )
 
+// floorsFlag accumulates repeated -floor tenant=scale pairs.
+type floorsFlag map[string]float64
+
+func (f floorsFlag) String() string {
+	var parts []string
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f floorsFlag) Set(s string) error {
+	tenant, val, ok := strings.Cut(s, "=")
+	if !ok || tenant == "" {
+		return fmt.Errorf("want tenant=scale, got %q", s)
+	}
+	scale, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("scale in %q: %w", s, err)
+	}
+	f[tenant] = scale
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaptived: ")
+	floors := make(floorsFlag)
 	var (
 		addr      = flag.String("addr", ":8323", "listen address")
 		codecName = flag.String("codec", "sz", "compression backend")
@@ -52,7 +93,12 @@ func main() {
 		slo       = flag.Duration("slo", 250*time.Millisecond, "p99 latency SLO for the load controller")
 		maxLevel  = flag.Int("max-level", 4, "load controller's max step level")
 		ebStep    = flag.Float64("eb-step", 2, "per-level budget multiplier")
+		archive   = flag.String("archive", "", "append compressed batches to this crash-recoverable v3 stream file")
+		chkpt     = flag.Int("checkpoint", 4, "steps between archive footer checkpoints (with -archive)")
+		fsync     = flag.Bool("fsync", false, "fsync the archive after each checkpoint (with -archive)")
+		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "max time to finish in-flight work on shutdown")
 	)
+	flag.Var(floors, "floor", "cap a tenant's budget scale, tenant=scale (repeatable)")
 	flag.Parse()
 
 	sys, err := adaptive.New(
@@ -68,6 +114,7 @@ func main() {
 		TokenRate:          *tokenRate,
 		MaxBatchFields:     *batchF,
 		MaxInflightBatches: *inflight,
+		QualityFloors:      floors,
 		Adapt: adaptive.ServerAdaptConfig{
 			Enabled:    *adapt,
 			LatencySLO: *slo,
@@ -77,6 +124,24 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var archFile *os.File
+	var archWriter *adaptive.StreamWriter
+	if *archive != "" {
+		archFile, err = os.Create(*archive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		archWriter, err = adaptive.NewCheckpointedStreamWriter(archFile, adaptive.CheckpointOptions{
+			Interval: *chkpt,
+			Sync:     *fsync,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.AttachArchive(archWriter)
+		log.Printf("archiving batches to %s (checkpoint every %d steps, fsync %v)", *archive, *chkpt, *fsync)
 	}
 
 	hs := adaptive.NewH2CServer(*addr, srv.Handler())
@@ -90,14 +155,25 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Print("draining: refusing new work, finishing in-flight requests")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("service close: %v", err)
+	}
+	if archWriter != nil {
+		if err := archWriter.Close(); err != nil {
+			log.Printf("archive close: %v", err)
+		}
+		if err := archFile.Close(); err != nil {
+			log.Printf("archive file close: %v", err)
+		}
 	}
 	st := srv.Stats()
 	log.Printf("served %d requests (%d rejected, %d failed) in %d batches", st.Served, st.Rejected, st.Failed, st.Batches)

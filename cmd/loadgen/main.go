@@ -5,10 +5,17 @@
 // both the benchmark harness behind BENCH_PR7.json and the CI smoke test
 // for the service.
 //
+// Each worker drives an adaptive.Client, so refused requests back off the
+// way a real client would — capped exponential backoff with full jitter,
+// honoring the server's Retry-After — instead of hammering a full queue.
+// Success latencies therefore include any backoff spent getting the
+// request accepted: they measure what a caller experiences, not one wire
+// round-trip.
+//
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8323 -clients 1000 -duration 10s \
-//	        [-dim 32] [-fields 4] [-tenants 8] [-label adapt-on] \
+//	        [-dim 32] [-fields 4] [-tenants 8] [-retries 4] [-label adapt-on] \
 //	        [-json BENCH_PR7.json] [-max-p99 2s]
 //
 // With -json the results merge into the named file under -label (same
@@ -18,28 +25,28 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/adaptive"
 )
 
 type result struct {
-	ok, rejected, failed uint64
-	bytesOut, bytesIn    uint64
-	lats                 []time.Duration
-	maxLevel             int
+	ok, rejected, circuit, failed uint64
+	bytesOut, bytesIn             uint64
+	lats                          []time.Duration
+	maxLevel                      int
+	counters                      adaptive.ClientCounters
 }
 
 func main() {
@@ -54,10 +61,11 @@ func main() {
 		tenants  = flag.Int("tenants", 8, "distinct tenants")
 		seed     = flag.Uint64("seed", 7, "synthetic universe seed")
 		conns    = flag.Int("conns", 16, "h2c connections to spread clients over (each multiplexes ~250 streams)")
+		retries  = flag.Int("retries", 4, "max attempts per request (1 = no retries)")
 		label    = flag.String("label", "", "label for the JSON report entry")
 		jsonPath = flag.String("json", "", "merge results into this BENCH-style JSON file")
 		maxP99   = flag.Duration("max-p99", 0, "exit non-zero when the success p99 exceeds this (0 = no gate)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-attempt timeout")
 	)
 	flag.Parse()
 
@@ -70,13 +78,15 @@ func main() {
 		log.Fatalf("-fields must be 1..%d", len(names))
 	}
 	names = names[:*nFields]
-	payloads := make(map[string][]byte, len(names))
+	fields := make(map[string]*adaptive.Field, len(names))
+	payloadBytes := make(map[string]uint64, len(names))
 	for _, name := range names {
 		f, err := snap.Field(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		payloads[name] = adaptive.MarshalFieldPayload(f)
+		fields[name] = f
+		payloadBytes[name] = uint64(len(adaptive.MarshalFieldPayload(f)))
 	}
 
 	// One h2c connection caps out around 250 concurrent streams, and Go's
@@ -89,58 +99,54 @@ func main() {
 	}
 	pool := make([]*http.Client, *conns)
 	for i := range pool {
-		pool[i] = &http.Client{Transport: adaptive.NewH2CTransport(), Timeout: *timeout}
+		pool[i] = &http.Client{Transport: adaptive.NewH2CTransport()}
 	}
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	results := make([]result, *clients)
-	var launched atomic.Uint64
+	var logOnce sync.Once
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			r := &results[c]
-			client := pool[c%len(pool)]
 			tenant := fmt.Sprintf("tenant-%02d", c%*tenants)
+			cl, err := adaptive.NewClient(*url,
+				adaptive.WithTenant(tenant),
+				adaptive.WithHTTPClient(pool[c%len(pool)]),
+				adaptive.WithRetries(*retries, 0, 0),
+				adaptive.WithAttemptTimeout(*timeout),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctx := context.Background()
 			for i := 0; time.Now().Before(deadline); i++ {
 				name := names[(c+i)%len(names)]
-				body := payloads[name]
-				launched.Add(1)
 				t0 := time.Now()
-				req, err := http.NewRequest(http.MethodPost, *url+"/v1/compress/"+name, bytes.NewReader(body))
-				if err != nil {
-					log.Fatal(err)
-				}
-				req.Header.Set("X-Tenant", tenant)
-				resp, err := client.Do(req)
-				if err != nil {
-					r.failed++
-					continue
-				}
-				out, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
+				res, err := cl.Compress(ctx, name, fields[name])
 				lat := time.Since(t0)
-				switch resp.StatusCode {
-				case http.StatusOK:
+				switch {
+				case err == nil:
 					r.ok++
-					r.bytesOut += uint64(len(body))
-					r.bytesIn += uint64(len(out))
+					r.bytesOut += payloadBytes[name]
+					r.bytesIn += uint64(len(res.Archive))
 					r.lats = append(r.lats, lat)
-					var level int
-					fmt.Sscanf(resp.Header.Get("X-Rate-Level"), "%d", &level)
-					if level > r.maxLevel {
-						r.maxLevel = level
+					if res.RateLevel > r.maxLevel {
+						r.maxLevel = res.RateLevel
 					}
-				case http.StatusTooManyRequests:
+				case errors.Is(err, adaptive.ErrOverloaded) || errors.Is(err, adaptive.ErrDraining):
+					// Refused and still refused after every backoff the
+					// client was allowed: genuine sustained backpressure.
 					r.rejected++
-					time.Sleep(time.Millisecond) // honor the backoff cheaply
+				case errors.Is(err, adaptive.ErrCircuitOpen):
+					r.circuit++
 				default:
 					r.failed++
-					if r.failed <= 3 {
-						log.Printf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(out))
-					}
+					logOnce.Do(func() { log.Printf("request failed: %v", err) })
 				}
 			}
+			r.counters = cl.Counters()
 		}(c)
 	}
 	start := time.Now()
@@ -148,10 +154,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	var total result
+	var ctr adaptive.ClientCounters
 	var lats []time.Duration
 	for i := range results {
 		total.ok += results[i].ok
 		total.rejected += results[i].rejected
+		total.circuit += results[i].circuit
 		total.failed += results[i].failed
 		total.bytesOut += results[i].bytesOut
 		total.bytesIn += results[i].bytesIn
@@ -159,6 +167,10 @@ func main() {
 		if results[i].maxLevel > total.maxLevel {
 			total.maxLevel = results[i].maxLevel
 		}
+		ctr.Attempts += results[i].counters.Attempts
+		ctr.Retries += results[i].counters.Retries
+		ctr.Rejected += results[i].counters.Rejected
+		ctr.CircuitOpen += results[i].counters.CircuitOpen
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(q float64) time.Duration {
@@ -174,8 +186,10 @@ func main() {
 		ratio = float64(total.bytesOut) / float64(total.bytesIn)
 	}
 
-	log.Printf("%d clients for %v: %d ok (%.1f steps/sec), %d rejected (429), %d failed",
-		*clients, elapsed.Round(time.Millisecond), total.ok, stepsPerSec, total.rejected, total.failed)
+	log.Printf("%d clients for %v: %d ok (%.1f steps/sec), %d gave up overloaded, %d circuit-open, %d failed",
+		*clients, elapsed.Round(time.Millisecond), total.ok, stepsPerSec, total.rejected, total.circuit, total.failed)
+	log.Printf("resilience: %d attempts, %d retries, %d refusals seen (429/503), %d breaker fail-fasts",
+		ctr.Attempts, ctr.Retries, ctr.Rejected, ctr.CircuitOpen)
 	log.Printf("latency p50 %v p99 %v; aggregate ratio %.2fx; max rate level seen %d",
 		p50.Round(time.Microsecond), p99.Round(time.Microsecond), ratio, total.maxLevel)
 
@@ -184,21 +198,25 @@ func main() {
 			log.Fatal("-json requires -label")
 		}
 		entry := map[string]any{
-			"recorded_at":    time.Now().UTC().Format(time.RFC3339),
-			"goos":           runtime.GOOS,
-			"goarch":         runtime.GOARCH,
-			"clients":        *clients,
-			"tenants":        *tenants,
-			"field_dim":      *dim,
-			"duration_sec":   elapsed.Seconds(),
-			"ok":             total.ok,
-			"rejected":       total.rejected,
-			"failed":         total.failed,
-			"steps_per_sec":  stepsPerSec,
-			"latency_p50_ms": float64(p50) / float64(time.Millisecond),
-			"latency_p99_ms": float64(p99) / float64(time.Millisecond),
-			"compress_ratio": ratio,
-			"max_rate_level": total.maxLevel,
+			"recorded_at":     time.Now().UTC().Format(time.RFC3339),
+			"goos":            runtime.GOOS,
+			"goarch":          runtime.GOARCH,
+			"clients":         *clients,
+			"tenants":         *tenants,
+			"field_dim":       *dim,
+			"duration_sec":    elapsed.Seconds(),
+			"ok":              total.ok,
+			"rejected":        total.rejected,
+			"circuit_open":    total.circuit,
+			"failed":          total.failed,
+			"attempts":        ctr.Attempts,
+			"retries":         ctr.Retries,
+			"rejections_seen": ctr.Rejected,
+			"steps_per_sec":   stepsPerSec,
+			"latency_p50_ms":  float64(p50) / float64(time.Millisecond),
+			"latency_p99_ms":  float64(p99) / float64(time.Millisecond),
+			"compress_ratio":  ratio,
+			"max_rate_level":  total.maxLevel,
 		}
 		if err := mergeJSON(*jsonPath, *label, entry); err != nil {
 			log.Fatal(err)

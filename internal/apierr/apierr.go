@@ -50,6 +50,20 @@ var (
 	// never started; retrying after a backoff is safe and is what the
 	// service's 429 responses advertise.
 	ErrOverloaded = errors.New("server overloaded")
+
+	// ErrDraining marks a request refused because the service is in
+	// lame-duck drain (SIGTERM received): admission is closed while
+	// in-flight work finishes. Like ErrOverloaded the request was never
+	// started, so retrying is safe — but against a replacement instance,
+	// which is why the service answers 503 rather than 429.
+	ErrDraining = errors.New("server draining")
+
+	// ErrCircuitOpen marks a request the resilient client refused locally:
+	// its per-endpoint circuit breaker is open after consecutive failures,
+	// and sending more traffic at a struggling endpoint would deepen the
+	// overload. The request never left the client; retry after the
+	// breaker's cooldown.
+	ErrCircuitOpen = errors.New("circuit open")
 )
 
 // DriftRecalibrationError is the typed form of ErrDriftRecalibration: it
@@ -83,6 +97,11 @@ type OverloadError struct {
 	// QueueDepth is the tenant queue's configured capacity, all of it in
 	// use when the request was refused.
 	QueueDepth int
+	// RetryAfterSeconds is the server's estimate of when retrying might
+	// succeed, derived from the refused tenant's backlog and drain rate and
+	// clamped to [1, 30]. Zero when the refusing layer made no estimate
+	// (callers should fall back to their own backoff).
+	RetryAfterSeconds int
 }
 
 func (e *OverloadError) Error() string {

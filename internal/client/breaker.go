@@ -1,0 +1,121 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apierr"
+)
+
+// BreakerConfig tunes the per-endpoint circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive server-class failures
+	// (transport errors, 5xx, 429/503 refusals) that trips the breaker
+	// open (default 5). Negative disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long an open breaker rejects locally before letting
+	// one half-open probe through (default 2s).
+	Cooldown time.Duration
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.Threshold == 0 {
+		b.Threshold = 5
+	}
+	if b.Cooldown == 0 {
+		b.Cooldown = 2 * time.Second
+	}
+	return b
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a closed/open/half-open circuit breaker guarding one
+// endpoint. Closed counts consecutive failures; at the threshold it opens
+// and rejects every request locally (typed apierr.ErrCircuitOpen) for the
+// cooldown; then it half-opens and admits exactly one probe — a probe
+// success closes it, a probe failure re-opens it for another cooldown.
+type breaker struct {
+	cfg      BreakerConfig
+	endpoint string
+	now      func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(endpoint string, cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), endpoint: endpoint, now: now}
+}
+
+// allow decides whether a request may be sent right now. A nil return
+// admits it (and, in half-open, reserves the single probe slot — the
+// caller must follow up with record). Non-nil wraps ErrCircuitOpen.
+func (b *breaker) allow() error {
+	if b.cfg.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return nil
+		}
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	return fmt.Errorf("client: %s: %w after %d consecutive failures (cooldown %v)",
+		b.endpoint, apierr.ErrCircuitOpen, b.failures, b.cfg.Cooldown)
+}
+
+// record reports the outcome of an admitted request. ok means the
+// endpoint is healthy (any response that is not a server-class failure);
+// !ok counts toward tripping — or, from half-open, re-opens immediately.
+func (b *breaker) record(ok bool) {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.failures = 0
+			return
+		}
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	case breakerOpen:
+		// A late result from before the trip; the cooldown stands.
+	}
+}

@@ -175,6 +175,28 @@ type streamIndexEntry struct {
 	Offset, Length uint64
 }
 
+// appendStreamFooter appends the v3 footer (index entries, step count,
+// index offset, trailer magic) for steps ending at indexOff. Shared by
+// Close, checkpoint snapshots, and StreamReader.WriteTo so all three emit
+// bit-identical footers.
+func appendStreamFooter(buf []byte, index []streamIndexEntry, indexOff uint64) []byte {
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 16*len(index)+streamTrailerBytes)
+	}
+	var scratch [8]byte
+	for _, e := range index {
+		binary.LittleEndian.PutUint64(scratch[:], e.Offset)
+		buf = append(buf, scratch[:]...)
+		binary.LittleEndian.PutUint64(scratch[:], e.Length)
+		buf = append(buf, scratch[:]...)
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(index)))
+	buf = append(buf, scratch[:4]...)
+	binary.LittleEndian.PutUint64(scratch[:], indexOff)
+	buf = append(buf, scratch[:]...)
+	return append(buf, streamTrailerMagic...)
+}
+
 // StreamWriter appends compressed steps to an archive v3 stream. It only
 // needs an io.Writer: offsets are tracked by counting, so the destination
 // can be a pipe or an append-only log as well as a file. Not safe for
@@ -193,6 +215,89 @@ type StreamWriter struct {
 	// footer indexing them) would silently corrupt the archive. Every later
 	// WriteStep and Close reports this error instead.
 	writeErr error
+
+	// Checkpoint state (nil wAt = checkpointing off; the plain-writer code
+	// path is untouched and its output byte-identical).
+	ckpt      CheckpointOptions
+	wAt       io.WriterAt
+	trunc     interface{ Truncate(int64) error }
+	sinceCkpt int
+	// extent is the farthest byte ever written, including checkpoint
+	// footers beyond off; Close truncates back to the true stream end.
+	extent uint64
+}
+
+// CheckpointOptions tunes the stream writer's crash-recovery checkpoints.
+type CheckpointOptions struct {
+	// Interval is the number of steps between footer snapshots (default 1:
+	// snapshot after every step).
+	Interval int
+	// Sync fsyncs the destination after each snapshot when it implements
+	// Sync() error (an *os.File does). With Sync on, a crash loses at most
+	// Interval steps — the bounded-loss contract; without it the loss
+	// bound is whatever the OS page cache had not flushed.
+	Sync bool
+}
+
+// NewCheckpointedStreamWriter is NewStreamWriter with crash-recovery
+// checkpoints: after every Interval steps the current footer index is
+// written at the stream's tail via WriteAt — without advancing the append
+// cursor — so the artifact on disk is a complete, OpenStream-valid v3
+// stream at every checkpoint. The next WriteStep simply overwrites the
+// snapshot with real step bytes. A crash therefore leaves either a
+// directly openable stream (crash between steps) or a torn one whose
+// checkpointed prefix RecoverStream salvages in full.
+//
+// The destination must implement io.WriterAt and Truncate(int64) error —
+// an *os.File does — because snapshots may extend the file past the final
+// footer, which Close truncates away. The emitted byte stream is
+// indistinguishable from NewStreamWriter's once Close returns.
+func NewCheckpointedStreamWriter(w io.Writer, opt CheckpointOptions) (*StreamWriter, error) {
+	wAt, ok := w.(io.WriterAt)
+	if !ok {
+		return nil, fmt.Errorf("core: checkpointed stream writer needs io.WriterAt, %T does not implement it", w)
+	}
+	trunc, ok := w.(interface{ Truncate(int64) error })
+	if !ok {
+		return nil, fmt.Errorf("core: checkpointed stream writer needs Truncate(int64), %T does not implement it", w)
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 1
+	}
+	sw, err := NewStreamWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	sw.ckpt, sw.wAt, sw.trunc = opt, wAt, trunc
+	sw.extent = sw.off
+	return sw, nil
+}
+
+// checkpoint snapshots the footer at the current tail. sw.off is not
+// advanced: the snapshot lives past the logical stream end and is
+// overwritten by the next step (or superseded by Close's real footer).
+func (sw *StreamWriter) checkpoint() error {
+	buf := appendStreamFooter(nil, sw.index, sw.off)
+	if _, err := sw.wAt.WriteAt(buf, int64(sw.off)); err != nil {
+		return fmt.Errorf("core: stream checkpoint after step %d: %w", len(sw.index), err)
+	}
+	if end := sw.off + uint64(len(buf)); end > sw.extent {
+		sw.extent = end
+	}
+	if sw.ckpt.Sync {
+		if err := sw.sync(); err != nil {
+			return fmt.Errorf("core: stream checkpoint sync after step %d: %w", len(sw.index), err)
+		}
+	}
+	sw.sinceCkpt = 0
+	return nil
+}
+
+func (sw *StreamWriter) sync() error {
+	if s, ok := sw.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
 }
 
 // NewStreamWriter writes the stream header and returns a writer ready to
@@ -253,6 +358,18 @@ func (sw *StreamWriter) WriteStep(fields map[string]*CompressedField) error {
 	}
 	sw.index = append(sw.index, streamIndexEntry{Offset: sw.off, Length: uint64(len(buf))})
 	sw.off += uint64(len(buf))
+	if sw.off > sw.extent {
+		sw.extent = sw.off
+	}
+	if sw.wAt != nil {
+		// A checkpoint failure does not poison the writer — the step above
+		// landed and sw.off is accurate — but it is surfaced: the caller's
+		// durability contract (bounded loss) just broke, and on a dying disk
+		// aborting the run beats discovering the loss after the crash.
+		if sw.sinceCkpt++; sw.sinceCkpt >= sw.ckpt.Interval {
+			return sw.checkpoint()
+		}
+	}
 	return nil
 }
 
@@ -274,22 +391,26 @@ func (sw *StreamWriter) Close() error {
 		sw.closeErr = fmt.Errorf("core: stream not finalized after failed step write: %w", sw.writeErr)
 		return sw.closeErr
 	}
-	buf := make([]byte, 0, 16*len(sw.index)+streamTrailerBytes)
-	var scratch [8]byte
-	indexOff := sw.off
-	for _, e := range sw.index {
-		binary.LittleEndian.PutUint64(scratch[:], e.Offset)
-		buf = append(buf, scratch[:]...)
-		binary.LittleEndian.PutUint64(scratch[:], e.Length)
-		buf = append(buf, scratch[:]...)
-	}
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(sw.index)))
-	buf = append(buf, scratch[:4]...)
-	binary.LittleEndian.PutUint64(scratch[:], indexOff)
-	buf = append(buf, scratch[:]...)
-	buf = append(buf, streamTrailerMagic...)
+	buf := appendStreamFooter(nil, sw.index, sw.off)
 	if _, err := sw.w.Write(buf); err != nil {
 		sw.closeErr = fmt.Errorf("core: stream footer: %w", err)
+		return sw.closeErr
+	}
+	if sw.wAt != nil {
+		// Checkpoint snapshots may have pushed the file past the real
+		// stream end (a snapshot footer is longer than the steps written
+		// after it); truncate so the artifact's size is exactly the stream.
+		if end := sw.off + uint64(len(buf)); sw.extent > end {
+			if err := sw.trunc.Truncate(int64(end)); err != nil {
+				sw.closeErr = fmt.Errorf("core: truncating checkpoint residue: %w", err)
+				return sw.closeErr
+			}
+		}
+		if sw.ckpt.Sync {
+			if err := sw.sync(); err != nil {
+				sw.closeErr = fmt.Errorf("core: stream close sync: %w", err)
+			}
+		}
 	}
 	return sw.closeErr
 }

@@ -138,6 +138,86 @@ func FuzzParseCompressedField(f *testing.F) {
 	})
 }
 
+// recoverFuzzSeeds seeds the recovery fuzzer: everything the strict-open
+// fuzzer sees, plus torn-tail artifacts only RecoverStream accepts —
+// notably a hostile HALF-WRITTEN FOOTER (a crash mid-Close or
+// mid-checkpoint): complete steps followed by a prefix of a valid footer,
+// and variants whose surviving footer bytes are bit-flipped.
+func recoverFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := streamFuzzSeeds(tb)
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_stream.acs"))
+	if err != nil {
+		return seeds
+	}
+	sr, err := OpenStream(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return seeds
+	}
+	last := sr.index[len(sr.index)-1]
+	stepsEnd := int(last.Offset + last.Length)
+	// Half-written footers of several lengths, including one byte short of
+	// complete (the nastiest: everything validates except the trailer).
+	for _, keep := range []int{1, 7, (len(data) - stepsEnd) / 2, len(data) - stepsEnd - 1} {
+		if keep > 0 && stepsEnd+keep < len(data) {
+			seeds = append(seeds, data[:stepsEnd+keep])
+		}
+	}
+	// A half footer whose surviving bytes are corrupted — recovery must
+	// treat it as tail garbage, not index truth.
+	hostile := append([]byte(nil), data[:stepsEnd+10]...)
+	for i := stepsEnd; i < len(hostile); i++ {
+		hostile[i] ^= 0xA5
+	}
+	seeds = append(seeds, hostile)
+	// A torn stream whose tail starts like a plausible next step (field
+	// count 1, huge name length) — the delimiter must bounds-check it.
+	tease := append([]byte(nil), data[:stepsEnd]...)
+	tease = append(tease, 1, 0, 0, 0, 0xFF, 0xFF, 'x')
+	seeds = append(seeds, tease)
+	return seeds
+}
+
+// FuzzRecoverStream holds the recovery invariants under hostile input:
+// never panic, never salvage a step the strict parser would reject, and
+// always produce a salvage that re-serializes into a stream the strict
+// OpenStream accepts with the same step count.
+func FuzzRecoverStream(f *testing.F) {
+	for _, s := range recoverFuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, rep, err := RecoverStream(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		if rep.Steps != sr.Steps() {
+			t.Fatalf("report says %d steps, reader has %d", rep.Steps, sr.Steps())
+		}
+		for i := 0; i < sr.Steps(); i++ {
+			_, err := sr.ReadStep(i)
+			// A scan-salvaged step was validated block by block and must
+			// re-read. The Clean path trusts an intact footer (the crash
+			// model: torn tails, not bit rot mid-stream), so its steps may
+			// still fail content validation — but never panic.
+			if err != nil && !rep.Clean {
+				t.Fatalf("scan-salvaged step %d does not re-read: %v", i, err)
+			}
+		}
+		var repaired bytes.Buffer
+		if _, err := sr.WriteTo(&repaired); err != nil {
+			t.Fatalf("salvage does not re-serialize: %v", err)
+		}
+		re, err := OpenStream(bytes.NewReader(repaired.Bytes()), int64(repaired.Len()))
+		if err != nil {
+			t.Fatalf("repaired stream rejected by strict open: %v", err)
+		}
+		if re.Steps() != rep.Steps {
+			t.Fatalf("repaired stream has %d steps, salvage had %d", re.Steps(), rep.Steps)
+		}
+	})
+}
+
 func FuzzOpenStream(f *testing.F) {
 	for _, s := range streamFuzzSeeds(f) {
 		f.Add(s)
@@ -182,4 +262,5 @@ func TestWriteArchiveFuzzCorpus(t *testing.T) {
 	}
 	write("FuzzParseCompressedField", archiveFuzzSeeds(t))
 	write("FuzzOpenStream", streamFuzzSeeds(t))
+	write("FuzzRecoverStream", recoverFuzzSeeds(t))
 }

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apierr"
+	"repro/internal/faultinject"
+)
+
+// memFile is an in-memory stand-in for *os.File with file-cursor Write
+// semantics: Write appends at the cursor (overwriting any bytes a previous
+// WriteAt left beyond it), WriteAt writes without moving the cursor, and
+// Truncate cuts the backing store — exactly the behaviors the checkpointed
+// stream writer depends on.
+type memFile struct {
+	data  []byte
+	pos   int64
+	syncs int
+}
+
+func (m *memFile) grow(end int64) {
+	if int64(len(m.data)) < end {
+		m.data = append(m.data, make([]byte, end-int64(len(m.data)))...)
+	}
+}
+
+func (m *memFile) Write(b []byte) (int, error) {
+	m.grow(m.pos + int64(len(b)))
+	copy(m.data[m.pos:], b)
+	m.pos += int64(len(b))
+	return len(b), nil
+}
+
+func (m *memFile) WriteAt(b []byte, off int64) (int, error) {
+	m.grow(off + int64(len(b)))
+	copy(m.data[off:], b)
+	return len(b), nil
+}
+
+func (m *memFile) Truncate(n int64) error {
+	m.grow(n)
+	m.data = m.data[:n]
+	return nil
+}
+
+func (m *memFile) Sync() error { m.syncs++; return nil }
+
+// snapshot is "what a kill -9 right now would leave on disk".
+func (m *memFile) snapshot() []byte { return append([]byte(nil), m.data...) }
+
+// recoverStreamSteps builds a small deterministic multi-step stream and
+// returns its bytes plus each step's [offset, end) boundary.
+func recoverFixture(t *testing.T, steps int) (data []byte, bounds []int64) {
+	t.Helper()
+	e := engine(t, Config{PartitionDim: 8})
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		cf, err := e.CompressStatic(context.Background(), goldenStep(s), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteStep(map[string]*CompressedField{"density": cf}); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, int64(buf.Len()))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), bounds
+}
+
+// completeSteps counts the steps fully contained in a length-l prefix.
+func completeSteps(bounds []int64, l int64) int {
+	n := 0
+	for _, b := range bounds {
+		if b <= l {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRecoverStreamGoldenTruncationLadder is the satellite contract: the
+// golden v3 fixture truncated at EVERY byte boundary must recover exactly
+// the complete-step prefix — never more, never fewer, never a panic.
+func TestRecoverStreamGoldenTruncationLadder(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_stream.acs"))
+	if err != nil {
+		t.Skipf("golden fixture missing: %v", err)
+	}
+	full, err := OpenStream(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int64
+	for i := range full.index {
+		bounds = append(bounds, int64(full.index[i].Offset+full.index[i].Length))
+	}
+	for l := int64(0); l <= int64(len(data)); l++ {
+		trunc := data[:l]
+		sr, rep, err := RecoverStream(bytes.NewReader(trunc), l)
+		if l < streamHeaderBytes {
+			if err == nil || !errors.Is(err, apierr.ErrCorruptArchive) {
+				t.Fatalf("len %d: err = %v, want ErrCorruptArchive", l, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("len %d: unexpected recovery failure: %v", l, err)
+		}
+		want := completeSteps(bounds, l)
+		if rep.Steps != want || sr.Steps() != want {
+			t.Fatalf("len %d: salvaged %d steps (reader %d), want %d", l, rep.Steps, sr.Steps(), want)
+		}
+		if l == int64(len(data)) {
+			if !rep.Clean || rep.TornBytes != 0 {
+				t.Fatalf("full stream: Clean=%v TornBytes=%d, want clean recovery", rep.Clean, rep.TornBytes)
+			}
+		}
+	}
+	// Spot-check that salvaged steps decode identically to the intact
+	// stream's (the ladder above asserts counts; this asserts content).
+	cut := bounds[1] + 5 // one full step past step 1's end, torn inside step 2
+	if cut >= int64(len(data)) {
+		t.Fatal("fixture too small for spot check")
+	}
+	sr, rep, err := RecoverStream(bytes.NewReader(data[:cut]), cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean || rep.TornBytes != 5 {
+		t.Fatalf("Clean=%v TornBytes=%d, want scan recovery with 5 torn bytes", rep.Clean, rep.TornBytes)
+	}
+	for i := 0; i < sr.Steps(); i++ {
+		wantFields, err := full.ReadStep(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFields, err := sr.ReadStep(i)
+		if err != nil {
+			t.Fatalf("salvaged step %d: %v", i, err)
+		}
+		for name, want := range wantFields {
+			got := gotFields[name]
+			if got == nil {
+				t.Fatalf("salvaged step %d missing %q", i, name)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("salvaged step %d field %q differs from intact stream", i, name)
+			}
+		}
+	}
+}
+
+// TestRecoverStreamTornWriter drives the stream writer through a
+// deterministic injected tear and salvages the result — the unit-test form
+// of the kill -9 scenario.
+func TestRecoverStreamTornWriter(t *testing.T) {
+	intact, bounds := recoverFixture(t, 4)
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		var buf bytes.Buffer
+		tw := faultinject.NewPlan(seed).TornWriterWithin(&buf, streamHeaderBytes, int64(len(intact)))
+		sw, err := NewStreamWriter(tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine(t, Config{PartitionDim: 8})
+		var wrote int
+		for s := 0; s < 4; s++ {
+			cf, err := e.CompressStatic(context.Background(), goldenStep(s), 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.WriteStep(map[string]*CompressedField{"density": cf}); err != nil {
+				if !errors.Is(err, faultinject.ErrInjected) {
+					t.Fatalf("seed %d: unexpected write error: %v", seed, err)
+				}
+				break
+			}
+			wrote++
+		}
+		// The poisoned writer must refuse to finalize a torn stream.
+		if tw.Torn() {
+			if err := sw.Close(); err == nil {
+				t.Fatalf("seed %d: Close on a torn stream succeeded", seed)
+			}
+		} else {
+			t.Fatalf("seed %d: tear inside the stream never fired", seed)
+		}
+		torn := buf.Bytes()
+		sr, rep, err := RecoverStream(bytes.NewReader(torn), int64(len(torn)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := completeSteps(bounds, tw.Written())
+		if rep.Steps != want {
+			t.Fatalf("seed %d: tore at byte %d, salvaged %d steps, want %d",
+				seed, tw.Written(), rep.Steps, want)
+		}
+		for i := 0; i < sr.Steps(); i++ {
+			if _, err := sr.ReadStep(i); err != nil {
+				t.Fatalf("seed %d: salvaged step %d unreadable: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestRecoverStreamRewrite pins the repair path: a torn stream salvaged by
+// RecoverStream and re-serialized with WriteTo must be a complete stream
+// the strict OpenStream accepts, with identical step payloads.
+func TestRecoverStreamRewrite(t *testing.T) {
+	intact, bounds := recoverFixture(t, 3)
+	cut := bounds[1] + 9
+	sr, _, err := RecoverStream(bytes.NewReader(intact[:cut]), cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repaired bytes.Buffer
+	if _, err := sr.WriteTo(&repaired); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStream(bytes.NewReader(repaired.Bytes()), int64(repaired.Len()))
+	if err != nil {
+		t.Fatalf("repaired stream does not open strictly: %v", err)
+	}
+	if re.Steps() != 2 {
+		t.Fatalf("repaired stream has %d steps, want 2", re.Steps())
+	}
+	full, err := OpenStream(bytes.NewReader(intact), int64(len(intact)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		want, _ := full.ReadStep(i)
+		got, err := re.ReadStep(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range want {
+			if !bytes.Equal(got[name].Bytes(), want[name].Bytes()) {
+				t.Fatalf("repaired step %d field %q differs", i, name)
+			}
+		}
+	}
+}
+
+// TestCheckpointedWriterByteIdentity: with checkpointing ON, the artifact
+// after Close is byte-identical to the plain writer's — snapshots leave no
+// residue. (Checkpointing OFF trivially preserves the format: the code
+// path is untouched, which the golden fixtures already pin.)
+func TestCheckpointedWriterByteIdentity(t *testing.T) {
+	plain, _ := recoverFixture(t, 3)
+	mf := &memFile{}
+	sw, err := NewCheckpointedStreamWriter(mf, CheckpointOptions{Interval: 1, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine(t, Config{PartitionDim: 8})
+	for s := 0; s < 3; s++ {
+		cf, err := e.CompressStatic(context.Background(), goldenStep(s), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteStep(map[string]*CompressedField{"density": cf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mf.data, plain) {
+		t.Fatalf("checkpointed artifact differs from plain writer's (%d vs %d bytes)", len(mf.data), len(plain))
+	}
+	if mf.syncs == 0 {
+		t.Fatal("Sync cadence never fsynced")
+	}
+}
+
+// TestCheckpointedWriterCrashPoints kills the writer (by snapshotting the
+// backing store) at every interesting moment and asserts the recovery
+// contract: crash at a checkpoint → the artifact opens directly with every
+// checkpointed step; crash mid-append → RecoverStream salvages all fully
+// written steps, losing at most the in-flight one.
+func TestCheckpointedWriterCrashPoints(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	mf := &memFile{}
+	sw, err := NewCheckpointedStreamWriter(mf, CheckpointOptions{Interval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 5
+	for s := 0; s < steps; s++ {
+		cf, err := e.CompressStatic(context.Background(), goldenStep(s), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteStep(map[string]*CompressedField{"density": cf}); err != nil {
+			t.Fatal(err)
+		}
+		crash := mf.snapshot()
+		atCheckpoint := (s+1)%2 == 0
+		if atCheckpoint {
+			// The tail is a valid footer snapshot: zero-cost recovery.
+			sr, err := OpenStream(bytes.NewReader(crash), int64(len(crash)))
+			if err != nil {
+				t.Fatalf("after step %d (checkpoint): artifact not directly openable: %v", s, err)
+			}
+			if sr.Steps() != s+1 {
+				t.Fatalf("after step %d: checkpoint holds %d steps, want %d", s, sr.Steps(), s+1)
+			}
+		}
+		// Either way, RecoverStream gets everything written so far.
+		sr, rep, err := RecoverStream(bytes.NewReader(crash), int64(len(crash)))
+		if err != nil {
+			t.Fatalf("after step %d: %v", s, err)
+		}
+		if rep.Steps != s+1 {
+			t.Fatalf("after step %d: recovered %d steps, want %d", s, rep.Steps, s+1)
+		}
+		if atCheckpoint != rep.Clean {
+			t.Fatalf("after step %d: Clean=%v, want %v", s, rep.Clean, atCheckpoint)
+		}
+		if _, err := sr.ReadStep(s); err != nil {
+			t.Fatalf("after step %d: newest step unreadable: %v", s, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the artifact is exact: strict open, no residue.
+	if _, err := OpenStream(bytes.NewReader(mf.data), int64(len(mf.data))); err != nil {
+		t.Fatalf("closed checkpointed stream does not open: %v", err)
+	}
+}
+
+// TestCheckpointedWriterRequiresFileSemantics: destinations that cannot
+// seek or truncate are rejected up front, not at the first checkpoint.
+func TestCheckpointedWriterRequiresFileSemantics(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewCheckpointedStreamWriter(&buf, CheckpointOptions{}); err == nil {
+		t.Fatal("bytes.Buffer accepted as a checkpoint destination")
+	}
+}
+
+// TestCheckpointedWriterOnRealFile exercises the one true consumer of the
+// WriterAt/Truncate contract — *os.File — end to end.
+func TestCheckpointedWriterOnRealFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.acs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := NewCheckpointedStreamWriter(f, CheckpointOptions{Interval: 1, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine(t, Config{PartitionDim: 8})
+	for s := 0; s < 2; s++ {
+		cf, err := e.CompressStatic(context.Background(), goldenStep(s), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteStep(map[string]*CompressedField{"density": cf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash before Close: the file must open at the last checkpoint.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	sr, err := OpenStream(ro, st.Size())
+	if err != nil {
+		t.Fatalf("unclosed checkpointed file not openable: %v", err)
+	}
+	if sr.Steps() != 2 {
+		t.Fatalf("checkpoint holds %d steps, want 2", sr.Steps())
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the chaos test suite: every failure mode the fault-tolerance layer claims
+// to survive — torn archive writes, connection resets, latency spikes,
+// mid-batch panics — is reproduced here as a scripted, seed-driven fault,
+// so "the service survives a crash" is a repeatable unit test instead of
+// an anecdote.
+//
+// Everything is deterministic on purpose. A Plan is seeded; the faults it
+// derives (which byte a write tears at, which accept a listener resets)
+// come from its own PRNG, never from wall-clock time or scheduler races.
+// Re-running a failed chaos test with the same seed replays the identical
+// fault sequence.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error this package fabricates; tests
+// assert errors.Is(err, ErrInjected) to distinguish an injected fault from
+// a real one leaking through.
+var ErrInjected = errors.New("injected fault")
+
+// Plan is a seeded source of deterministic fault decisions. One Plan
+// typically scripts one chaos scenario; its methods hand out wrapped
+// writers, conns, and panic schedules that all draw from the same PRNG
+// stream, so the whole scenario replays from one seed.
+type Plan struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPlan seeds a plan. Equal seeds produce equal fault sequences.
+func NewPlan(seed int64) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Intn draws a deterministic integer in [0, n) from the plan's stream.
+func (p *Plan) Intn(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(n)
+}
+
+// Float64 draws a deterministic float in [0, 1) from the plan's stream.
+func (p *Plan) Float64() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+// --- Torn writes ----------------------------------------------------------
+
+// TornWriter wraps an io.Writer and tears the stream at a scripted byte
+// offset: bytes up to the offset pass through, the write that crosses it
+// reports a short-write error, and every later write fails. That is what a
+// kill -9 (or a full disk, or a dying node) leaves behind: a prefix of the
+// intended bytes with no footer — exactly the artifact core.RecoverStream
+// exists to salvage.
+type TornWriter struct {
+	w       io.Writer
+	remain  int64 // bytes still allowed through
+	torn    bool
+	written int64
+}
+
+// NewTornWriter tears w after exactly n bytes have passed through.
+func NewTornWriter(w io.Writer, n int64) *TornWriter {
+	return &TornWriter{w: w, remain: n}
+}
+
+// TornWriterWithin tears w at a plan-chosen offset in [min, max).
+func (p *Plan) TornWriterWithin(w io.Writer, min, max int64) *TornWriter {
+	if max <= min {
+		max = min + 1
+	}
+	return NewTornWriter(w, min+int64(p.Intn(int(max-min))))
+}
+
+// Write forwards the allowed prefix and then fails, mimicking a crash
+// mid-write: the destination keeps what was written before the tear.
+func (tw *TornWriter) Write(b []byte) (int, error) {
+	if tw.torn {
+		return 0, fmt.Errorf("faultinject: write after tear: %w", ErrInjected)
+	}
+	if int64(len(b)) <= tw.remain {
+		n, err := tw.w.Write(b)
+		tw.written += int64(n)
+		tw.remain -= int64(n)
+		return n, err
+	}
+	tw.torn = true
+	n := 0
+	if tw.remain > 0 {
+		n, _ = tw.w.Write(b[:tw.remain])
+		tw.written += int64(n)
+		tw.remain = 0
+	}
+	return n, fmt.Errorf("faultinject: torn write after %d bytes: %w", tw.written, ErrInjected)
+}
+
+// Written reports how many bytes reached the destination.
+func (tw *TornWriter) Written() int64 { return tw.written }
+
+// Torn reports whether the tear has happened yet.
+func (tw *TornWriter) Torn() bool { return tw.torn }
+
+// --- Connection faults ----------------------------------------------------
+
+// ConnFaults scripts the failure behavior of one wrapped connection.
+type ConnFaults struct {
+	// ResetAfterBytes closes the connection (RST-style: reads and writes
+	// fail) once this many bytes have moved in either direction combined.
+	// Zero means never.
+	ResetAfterBytes int64
+	// ReadLatency and WriteLatency delay every read/write — the latency
+	// spike injection. Zero means no delay.
+	ReadLatency, WriteLatency time.Duration
+}
+
+// Conn wraps a net.Conn with scripted faults. It is what a chaos test
+// hands to an HTTP transport to see resets and latency spikes without a
+// hostile network.
+type Conn struct {
+	net.Conn
+	faults ConnFaults
+
+	mu    sync.Mutex
+	moved int64
+	reset bool
+}
+
+// WrapConn applies scripted faults to a live connection.
+func WrapConn(c net.Conn, f ConnFaults) *Conn {
+	return &Conn{Conn: c, faults: f}
+}
+
+func (c *Conn) charge(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.moved += int64(n)
+	if c.faults.ResetAfterBytes > 0 && c.moved >= c.faults.ResetAfterBytes && !c.reset {
+		c.reset = true
+		c.Conn.Close()
+		return fmt.Errorf("faultinject: connection reset after %d bytes: %w", c.moved, ErrInjected)
+	}
+	if c.reset {
+		return fmt.Errorf("faultinject: connection already reset: %w", ErrInjected)
+	}
+	return nil
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if d := c.faults.ReadLatency; d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: read on reset connection: %w", ErrInjected)
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(b)
+	if cerr := c.charge(n); cerr != nil && err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if d := c.faults.WriteLatency; d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: write on reset connection: %w", ErrInjected)
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Write(b)
+	if cerr := c.charge(n); cerr != nil && err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Listener wraps a net.Listener, applying per-accept fault scripts: the
+// decide callback is invoked with each accept's ordinal and returns the
+// faults for that connection (zero ConnFaults = a healthy conn).
+type Listener struct {
+	net.Listener
+	decide func(accept int) ConnFaults
+
+	mu sync.Mutex
+	n  int
+}
+
+// WrapListener scripts faults per accepted connection.
+func WrapListener(l net.Listener, decide func(accept int) ConnFaults) *Listener {
+	return &Listener{Listener: l, decide: decide}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	f := l.decide(i)
+	if f == (ConnFaults{}) {
+		return c, nil
+	}
+	return WrapConn(c, f), nil
+}
+
+// --- Deterministic clock --------------------------------------------------
+
+// Clock is a manually advanced clock for testing time-dependent logic
+// (backoff, circuit-breaker cooldowns, Retry-After estimation) without
+// sleeping. The zero time starts at a fixed epoch so failures print
+// readable offsets.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+	// sleeps records every Sleep duration, in order — the assertion
+	// surface for backoff tests.
+	sleeps []time.Duration
+}
+
+// NewClock starts a clock at a fixed deterministic epoch.
+func NewClock() *Clock {
+	return &Clock{now: time.Date(2021, 6, 21, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current fake time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Sleep records the request and advances the clock instantly — no real
+// time passes, so a thousand-retry backoff test runs in microseconds.
+func (c *Clock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+}
+
+// Sleeps returns a copy of every recorded Sleep duration.
+func (c *Clock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.sleeps))
+	copy(out, c.sleeps)
+	return out
+}
+
+// --- Scheduled panics -----------------------------------------------------
+
+// PanicSchedule fires a panic on scripted call ordinals: the chaos suite's
+// way to detonate inside a specific batch or field without racing the
+// scheduler. Call Check at the instrumented site; it panics on the n-th
+// call (1-based) for each scheduled n.
+type PanicSchedule struct {
+	mu    sync.Mutex
+	calls int
+	at    map[int]bool
+}
+
+// PanicAt schedules panics at the given 1-based call ordinals.
+func PanicAt(ordinals ...int) *PanicSchedule {
+	at := make(map[int]bool, len(ordinals))
+	for _, n := range ordinals {
+		at[n] = true
+	}
+	return &PanicSchedule{at: at}
+}
+
+// Check counts one call and panics if this ordinal is scheduled. The panic
+// value wraps ErrInjected so recovery sites can classify it.
+func (ps *PanicSchedule) Check() {
+	ps.mu.Lock()
+	ps.calls++
+	n := ps.calls
+	fire := ps.at[n]
+	ps.mu.Unlock()
+	if fire {
+		panic(fmt.Errorf("faultinject: scheduled panic at call %d: %w", n, ErrInjected))
+	}
+}
+
+// Calls reports how many times Check has run.
+func (ps *PanicSchedule) Calls() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.calls
+}

@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTornWriterTearsAtExactOffset(t *testing.T) {
+	var dst bytes.Buffer
+	tw := NewTornWriter(&dst, 10)
+	if n, err := tw.Write(make([]byte, 7)); n != 7 || err != nil {
+		t.Fatalf("write below tear: n=%d err=%v", n, err)
+	}
+	n, err := tw.Write(make([]byte, 7))
+	if n != 3 {
+		t.Fatalf("tearing write passed %d bytes, want 3", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("tear error = %v, want ErrInjected", err)
+	}
+	if dst.Len() != 10 {
+		t.Fatalf("destination holds %d bytes, want 10", dst.Len())
+	}
+	if _, err := tw.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-tear write error = %v, want ErrInjected", err)
+	}
+	if !tw.Torn() || tw.Written() != 10 {
+		t.Fatalf("Torn=%v Written=%d, want true/10", tw.Torn(), tw.Written())
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	a, b := NewPlan(42), NewPlan(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Intn(1000), b.Intn(1000); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+	var d1, d2 bytes.Buffer
+	t1 := NewPlan(7).TornWriterWithin(&d1, 16, 256)
+	t2 := NewPlan(7).TornWriterWithin(&d2, 16, 256)
+	t1.Write(make([]byte, 512))
+	t2.Write(make([]byte, 512))
+	if t1.Written() != t2.Written() {
+		t.Fatalf("same seed tore at %d vs %d bytes", t1.Written(), t2.Written())
+	}
+	if t1.Written() < 16 || t1.Written() >= 256 {
+		t.Fatalf("tear offset %d outside [16,256)", t1.Written())
+	}
+}
+
+func TestConnResetAfterBytes(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := WrapConn(client, ConnFaults{ResetAfterBytes: 8})
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := fc.Write(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write crossing reset budget: err=%v, want ErrInjected", err)
+	}
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after reset: err=%v, want ErrInjected", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after reset: err=%v, want ErrInjected", err)
+	}
+}
+
+func TestClockSleepAdvancesWithoutWaiting(t *testing.T) {
+	c := NewClock()
+	t0 := c.Now()
+	start := time.Now()
+	c.Sleep(time.Hour)
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("fake Sleep took %v of real time", real)
+	}
+	if got := c.Now().Sub(t0); got != time.Hour {
+		t.Fatalf("clock advanced %v, want 1h", got)
+	}
+	c.Advance(time.Minute)
+	if got := c.Now().Sub(t0); got != time.Hour+time.Minute {
+		t.Fatalf("clock at +%v, want 1h1m", got)
+	}
+	if s := c.Sleeps(); len(s) != 1 || s[0] != time.Hour {
+		t.Fatalf("recorded sleeps = %v", s)
+	}
+}
+
+func TestPanicScheduleFiresOnScheduledCall(t *testing.T) {
+	ps := PanicAt(3)
+	mustNotPanic := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("unscheduled call panicked: %v", r)
+			}
+		}()
+		ps.Check()
+	}
+	mustNotPanic()
+	mustNotPanic()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("scheduled call did not panic")
+			}
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, ErrInjected) {
+				t.Fatalf("panic value %v does not wrap ErrInjected", r)
+			}
+		}()
+		ps.Check()
+	}()
+	if ps.Calls() != 3 {
+		t.Fatalf("Calls = %d, want 3", ps.Calls())
+	}
+}

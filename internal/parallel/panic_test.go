@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+var errDetonate = errors.New("detonate")
+
+// recoverFrom runs fn and returns whatever it panicked with (nil = none).
+func recoverFrom(fn func()) (r any) {
+	defer func() { r = recover() }()
+	fn()
+	return nil
+}
+
+func TestWorkersCtxFunnelsWorkerPanic(t *testing.T) {
+	// With helpers the panicking index may land on a pool goroutine; with
+	// none it lands on the caller. Both paths must surface the same way:
+	// a *PanicError re-raised on the calling goroutine after full drain.
+	for _, helpers := range []int{0, 4} {
+		restore := SetLimit(helpers)
+		var ran atomic.Int64
+		got := recoverFrom(func() {
+			ForEach(64, 0, func(i int) {
+				ran.Add(1)
+				if i == 7 {
+					panic(errDetonate)
+				}
+			})
+		})
+		pe, ok := got.(*PanicError)
+		if !ok {
+			restore()
+			t.Fatalf("limit %d: recovered %T (%v), want *PanicError", helpers, got, got)
+		}
+		if !errors.Is(pe, errDetonate) {
+			t.Errorf("limit %d: errors.Is through the funnel failed: %v", helpers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("limit %d: panic stack not captured", helpers)
+		}
+		// The pool must be whole afterwards: every token released, a fresh
+		// fan-out covers every index.
+		var n atomic.Int64
+		ForEach(128, 0, func(i int) { n.Add(1) })
+		if n.Load() != 128 {
+			t.Errorf("limit %d: fan-out after panic covered %d/128 indices", helpers, n.Load())
+		}
+		restore()
+	}
+}
+
+func TestNestedFanOutKeepsInnermostPanic(t *testing.T) {
+	// A panic funneled by an inner fan-out re-panics as *PanicError on its
+	// caller — a worker of the outer fan-out. The outer funnel must pass
+	// it through, not wrap it again, so the recovered value still carries
+	// the innermost worker's stack and the original value.
+	restore := SetLimit(4)
+	defer restore()
+	got := recoverFrom(func() {
+		ForEach(8, 0, func(i int) {
+			if i == 3 {
+				ForEach(8, 0, func(j int) {
+					if j == 5 {
+						panic(errDetonate)
+					}
+				})
+			}
+		})
+	})
+	pe, ok := got.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *PanicError", got, got)
+	}
+	if _, double := pe.Value.(*PanicError); double {
+		t.Fatal("inner PanicError was re-wrapped by the outer fan-out")
+	}
+	if pe.Value != errDetonate {
+		t.Errorf("Value = %v, want the original panic value", pe.Value)
+	}
+}
+
+func TestFirstPanicWins(t *testing.T) {
+	// Multiple workers panicking concurrently must still produce exactly
+	// one funneled panic (the first captured), with the rest discarded
+	// after the drain — not a crash, not a double panic.
+	restore := SetLimit(4)
+	defer restore()
+	got := recoverFrom(func() {
+		ForEach(16, 0, func(i int) { panic(errDetonate) })
+	})
+	if pe, ok := got.(*PanicError); !ok || pe.Value != errDetonate {
+		t.Fatalf("recovered %v, want a single *PanicError carrying the value", got)
+	}
+}

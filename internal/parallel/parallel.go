@@ -20,10 +20,38 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError carries a panic that happened inside a pool worker across
+// goroutines: the fan-out recovers it, waits for the other workers to
+// drain, and re-panics it on the calling goroutine. Without this funnel a
+// panic in a helper goroutine would kill the whole process no matter how
+// carefully the caller deferred a recover — with it, recovery barriers at
+// the fan-out call sites (the pipeline's per-field isolation, the
+// compression service's batch backstop) actually contain worker panics.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As through the wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 var (
 	// tokens is the helper budget: one buffered slot per allowed helper
@@ -128,6 +156,24 @@ func WorkersCtx(ctx context.Context, n, max int, body func(next func() (int, boo
 		helpers = max - 1
 	}
 	var wg sync.WaitGroup
+	// The first panic from any participant (helper or caller) is captured
+	// here and re-raised on the calling goroutine after the fan-out has
+	// fully drained — every helper token released, no worker abandoned
+	// mid-unwind. An already-funneled PanicError passes through nested
+	// fan-outs unwrapped so the innermost stack survives.
+	var panicOnce sync.Once
+	var funneled *PanicError
+	capture := func() {
+		if r := recover(); r != nil {
+			panicOnce.Do(func() {
+				if pe, ok := r.(*PanicError); ok {
+					funneled = pe
+					return
+				}
+				funneled = &PanicError{Value: r, Stack: debug.Stack()}
+			})
+		}
+	}
 	pool := tokens // helpers must release to the pool they were drawn from
 recruit:
 	for h := 0; h < helpers; h++ {
@@ -137,6 +183,7 @@ recruit:
 			go func() {
 				defer wg.Done()
 				defer func() { <-pool }()
+				defer capture()
 				enter()
 				defer exit()
 				body(next)
@@ -146,9 +193,15 @@ recruit:
 		}
 	}
 	enter()
-	body(next)
+	func() {
+		defer capture()
+		body(next)
+	}()
 	exit()
 	wg.Wait()
+	if funneled != nil {
+		panic(funneled)
+	}
 }
 
 // ForEach runs fn(i) for every i in [0, n), using the caller plus at most

@@ -272,6 +272,12 @@ type StepOptions struct {
 	// clears. The per-field budget resolved at first calibration is stored
 	// unscaled, so scaling is stateless across steps.
 	BudgetScale float64
+	// BudgetScales overrides BudgetScale for specific fields (keys are the
+	// snapshot's field names). The compression service uses it to hold a
+	// contract-floored tenant at its quality cap while the rest of the
+	// batch runs at the controller's stepped-up scale. Entries must be
+	// positive; a field absent from the map follows BudgetScale.
+	BudgetScales map[string]float64
 }
 
 // StepResult is one compressed snapshot with per-field granularity: the
@@ -477,6 +483,17 @@ func (d *Driver) StepCompressed(ctx context.Context, snap map[string]*grid.Field
 	if scale < 0 {
 		return nil, fmt.Errorf("pipeline: %w: negative budget scale %g", apierr.ErrBadConfig, scale)
 	}
+	for name, sc := range opt.BudgetScales {
+		if sc <= 0 {
+			return nil, fmt.Errorf("pipeline: %w: non-positive budget scale %g for field %q", apierr.ErrBadConfig, sc, name)
+		}
+	}
+	scaleFor := func(name string) float64 {
+		if sc, ok := opt.BudgetScales[name]; ok {
+			return sc
+		}
+		return scale
+	}
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
@@ -504,7 +521,7 @@ func (d *Driver) StepCompressed(ctx context.Context, snap map[string]*grid.Field
 	// oversubscribe to FieldWorkers × engine workers goroutines.
 	parallel.ForEachCtx(ctx, len(names), workers, func(i int) {
 		name := names[i]
-		cf, fs, err := d.compressField(ctx, name, snap[name], scale)
+		cf, fs, err := d.compressFieldIsolated(ctx, name, snap[name], scaleFor(name))
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -546,6 +563,34 @@ func tagRefitFailure(name string, drift float64, err error) error {
 		return err
 	}
 	return &apierr.DriftRecalibrationError{Field: name, Drift: drift, Err: err}
+}
+
+// compressFieldIsolated is compressField behind a panic barrier: one
+// field's panic (a codec bug detonating on one tenant's data) becomes that
+// field's error, exactly like any other per-field failure — its
+// batch-mates in the same step never notice. The barrier sits here, at the
+// worker-pool boundary, because an unrecovered panic in a pool worker
+// would kill the whole process, not just the step. compressField's mutex
+// sections are short arithmetic and map updates that cannot themselves
+// panic; the compute stages (Features, Calibrate, CompressAdaptive) run
+// without the lock, so recovery never strands d.mu.
+func (d *Driver) compressFieldIsolated(ctx context.Context, name string, f *grid.Field3D, budgetScale float64) (cf *core.CompressedField, fs *FieldStats, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		cf, fs = nil, nil
+		// An error panic value (parallel.PanicError funneling a worker
+		// panic, faultinject's scheduled panics) stays in the unwrap chain
+		// so chaos tests can classify what detonated.
+		if perr, ok := r.(error); ok {
+			err = fmt.Errorf("pipeline: field %s: panic during compression: %w", name, perr)
+		} else {
+			err = fmt.Errorf("pipeline: field %s: panic during compression: %v", name, r)
+		}
+	}()
+	return d.compressField(ctx, name, f, budgetScale)
 }
 
 // compressField runs one field through feature extraction, the drift

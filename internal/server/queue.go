@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/apierr"
@@ -33,6 +34,11 @@ type job struct {
 	ctx    context.Context
 	queued time.Time
 	done   chan jobResult // buffered 1: delivery never blocks on a gone handler
+	// answered marks that a result was delivered. Only the goroutine that
+	// owns the job at that stage writes it; the panic backstop in execute
+	// reads it to fail exactly the jobs still unanswered (done is buffered
+	// 1, so a second send to an answered job would block forever).
+	answered bool
 }
 
 type jobResult struct {
@@ -80,6 +86,10 @@ func (tq *tenantQ) refill(now time.Time, rate, burst float64) {
 // apierr.ErrOverloaded: the request was never started and retrying after a
 // backoff is safe.
 func (s *Server) admit(j *job) error {
+	if s.draining.Load() {
+		s.m.rejected.Add(1)
+		return fmt.Errorf("server: lame-duck: %w", apierr.ErrDraining)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -97,9 +107,10 @@ func (s *Server) admit(j *job) error {
 		s.order = append(s.order, tq)
 	}
 	if len(tq.jobs) >= s.cfg.QueueDepth {
+		retryAfter := s.retryAfterLocked(tq)
 		s.mu.Unlock()
 		s.m.rejected.Add(1)
-		return &apierr.OverloadError{Tenant: j.tenant, QueueDepth: s.cfg.QueueDepth}
+		return &apierr.OverloadError{Tenant: j.tenant, QueueDepth: s.cfg.QueueDepth, RetryAfterSeconds: retryAfter}
 	}
 	tq.jobs = append(tq.jobs, j)
 	s.queued++
@@ -110,6 +121,42 @@ func (s *Server) admit(j *job) error {
 	default:
 	}
 	return nil
+}
+
+// retryAfterLocked estimates, for a refused tenant, how many seconds until
+// its full queue has plausibly drained — the Retry-After a 429 carries.
+// The estimate divides the tenant's queued cells (less the tokens already
+// banked) by its sustainable drain rate: the token-bucket refill when the
+// tenant is metered, else its fair share of the observed service
+// throughput. Clamped to [1, 30]: never "now" (the queue IS full), never a
+// forever that parks clients. Caller holds s.mu.
+func (s *Server) retryAfterLocked(tq *tenantQ) int {
+	now := s.now()
+	tq.refill(now, s.cfg.TokenRate, s.cfg.TokenBurst)
+	var backlog float64
+	for _, j := range tq.jobs {
+		backlog += float64(j.cost)
+	}
+	if s.cfg.TokenRate > 0 {
+		backlog -= tq.tokens // cells the bucket will admit immediately
+	}
+	rate := s.cfg.TokenRate
+	if up := now.Sub(s.start).Seconds(); up > 0 {
+		if obs := float64(s.m.cells.Load()) / up / float64(max(len(s.tenants), 1)); obs > 0 && (rate <= 0 || obs < rate) {
+			rate = obs
+		}
+	}
+	if rate <= 0 || backlog <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(backlog / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // collectBatch runs one deficit-round-robin pass over the tenant queues
@@ -141,6 +188,7 @@ func (s *Server) collectBatch() (batch []*job, ok bool) {
 				tq.jobs = tq.jobs[1:]
 				s.queued--
 				s.m.canceled.Add(1)
+				j.answered = true
 				j.done <- jobResult{err: fmt.Errorf("server: abandoned in queue: %w", j.ctx.Err())}
 				continue
 			}
@@ -235,7 +283,32 @@ func (s *Server) dispatch() {
 // Compress jobs coalesce into shared pipeline steps; decompress and
 // calibrate jobs run individually (each already fans out over the shared
 // worker pool internally).
+//
+// The deferred recover is the batch-level panic backstop: execute runs in
+// its own goroutine, so an unrecovered panic anywhere below (a codec bug, a
+// hostile archive tripping an unchecked path) would kill the whole process.
+// Instead the panic is converted into a typed 500 for every job still
+// unanswered; already-answered batch-mates keep their results and the
+// dispatcher never notices. (Per-field panics inside shared compression
+// steps are caught a layer deeper, in pipeline.StepCompressed, so one
+// tenant's panic does not even fail its batch-mates.)
 func (s *Server) execute(batch []*job) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.m.panics.Add(1)
+		err := fmt.Errorf("server: internal: batch execution panicked: %v", r)
+		if perr, ok := r.(error); ok {
+			err = fmt.Errorf("server: internal: batch execution panicked: %w", perr)
+		}
+		for _, j := range batch {
+			if !j.answered {
+				s.finish(j, jobResult{err: err})
+			}
+		}
+	}()
 	level, scale := s.lc.levelScale()
 	var compress []*job
 	for _, j := range batch {
@@ -281,12 +354,30 @@ func (s *Server) executeCompress(jobs []*job, level int, scale float64) {
 			byKey[key] = j
 			snap[key] = j.data
 		}
+		// Contract floors: a floored tenant's effective scale is
+		// min(controller scale, its cap), applied per field key so the rest
+		// of the batch still runs at the controller's operating point.
+		var floors map[string]float64
+		for key, j := range byKey {
+			if cap, ok := s.cfg.QualityFloors[j.tenant]; ok && scale > cap {
+				if floors == nil {
+					floors = make(map[string]float64)
+				}
+				floors[key] = cap
+			}
+		}
 		// The batch runs under the server's own context, not any one job's:
 		// a client abandoning its request must not cancel batch-mates
 		// mid-step. Its cancellation was honored while the job was queued.
-		res, err := s.drv.StepCompressed(s.baseCtx, snap, pipeline.StepOptions{BudgetScale: scale})
+		res, err := s.drv.StepCompressed(s.baseCtx, snap, pipeline.StepOptions{BudgetScale: scale, BudgetScales: floors})
+		if res != nil && err == nil {
+			s.archiveStep(res.Fields)
+		}
 		for key, j := range byKey {
 			r := jobResult{level: level, scale: scale}
+			if cap, ok := floors[key]; ok {
+				r.scale = cap // what this job actually compressed at
+			}
 			switch {
 			case res != nil && res.Fields[key] != nil:
 				r.archive = res.Fields[key].Bytes()
@@ -320,6 +411,7 @@ func (s *Server) finish(j *job, r jobResult) {
 		s.m.cells.Add(uint64(j.cost))
 		s.m.bytesOut.Add(uint64(len(r.archive)))
 	}
+	j.answered = true
 	j.done <- r
 }
 
@@ -328,6 +420,7 @@ func (s *Server) finish(j *job, r jobResult) {
 func (s *Server) failBatch(batch []*job) {
 	for _, j := range batch {
 		s.m.failed.Add(1)
+		j.answered = true
 		j.done <- jobResult{err: fmt.Errorf("server: shutting down: %w", apierr.ErrOverloaded)}
 	}
 }
@@ -344,6 +437,7 @@ func (s *Server) drainPending() {
 	s.mu.Unlock()
 	for _, j := range pending {
 		s.m.failed.Add(1)
+		j.answered = true
 		j.done <- jobResult{err: fmt.Errorf("server: shutting down: %w", apierr.ErrOverloaded)}
 	}
 }

@@ -71,6 +71,13 @@ type Config struct {
 	// decoded field (default 2^24 cells = 64 MiB of fp32).
 	MaxBodyBytes  int64
 	MaxFieldCells int64
+	// QualityFloors caps the load controller's budget scale per tenant —
+	// the contract floor: a tenant mapped here never compresses with an
+	// effective BudgetScale above its cap, no matter how far the controller
+	// steps the rest of the fleet up under load. Values must be ≥ 1 (1 =
+	// the tenant always runs at the unscaled budget). Tenants absent from
+	// the map follow the controller freely.
+	QualityFloors map[string]float64
 	// Adapt tunes the load-driven rate controller.
 	Adapt AdaptConfig
 }
@@ -137,6 +144,11 @@ func (c Config) Validate() error {
 	case c.MaxFieldCells < 0:
 		return bad("MaxFieldCells", c.MaxFieldCells)
 	}
+	for tenant, cap := range c.QualityFloors {
+		if cap < 1 {
+			return fmt.Errorf("server: %w: quality floor for tenant %q must be ≥ 1 (got %g): 1 is the unscaled budget, the floor caps how far above it load stepping may go", apierr.ErrBadConfig, tenant, cap)
+		}
+	}
 	return nil
 }
 
@@ -145,6 +157,7 @@ func (c Config) Validate() error {
 type metrics struct {
 	accepted, served, failed, rejected, canceled atomic.Uint64
 	batches, cells, bytesOut                     atomic.Uint64
+	panics, archiveErrs                          atomic.Uint64
 }
 
 // Server multiplexes compression requests onto one pipeline driver. Build
@@ -163,6 +176,10 @@ type Server struct {
 	wg       sync.WaitGroup
 	inflight chan struct{}
 	wake     chan struct{}
+	draining atomic.Bool
+
+	archMu sync.Mutex
+	arch   *core.StreamWriter
 
 	mu      sync.Mutex
 	tenants map[string]*tenantQ
@@ -241,6 +258,69 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// BeginDrain puts the server in lame-duck mode: every new request is
+// refused with a typed 503 (apierr.ErrDraining, never started, safe to
+// retry elsewhere) while queued and in-flight work keeps executing to
+// completion. Idempotent; Close still performs the final stop.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is in lame-duck mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain enters lame-duck mode and blocks until every admitted request has
+// been answered (served, failed, or canceled) or ctx expires — the SIGTERM
+// half of graceful shutdown: Drain, then Close, then exit 0.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.outstanding() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain interrupted with %d requests outstanding: %w", s.outstanding(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// outstanding counts admitted-but-unanswered requests. Every admission
+// increments accepted; every answer lands in exactly one of served,
+// failed, or canceled.
+func (s *Server) outstanding() uint64 {
+	return s.m.accepted.Load() - s.m.served.Load() - s.m.failed.Load() - s.m.canceled.Load()
+}
+
+// AttachArchive directs every successfully compressed batch into a v3
+// stream writer as one step (field names are the tenant-qualified step
+// keys). The caller owns the writer's lifecycle: attach before serving
+// traffic, Close the server, then Close the writer for the footer — or
+// crash and let core.RecoverStream salvage the checkpointed prefix, which
+// is the chaos suite's whole scenario. Pass nil to detach.
+func (s *Server) AttachArchive(sw *core.StreamWriter) {
+	s.archMu.Lock()
+	s.arch = sw
+	s.archMu.Unlock()
+}
+
+// archiveStep appends one batch's compressed fields to the attached
+// archive, if any. Serialized by archMu: steps from concurrent batches
+// interleave whole, never torn. Write failures are counted but do not fail
+// the requests — the archive is an observer of the batch, not a stage in
+// it.
+func (s *Server) archiveStep(fields map[string]*core.CompressedField) {
+	s.archMu.Lock()
+	defer s.archMu.Unlock()
+	if s.arch == nil || len(fields) == 0 {
+		return
+	}
+	if err := s.arch.WriteStep(fields); err != nil {
+		s.m.archiveErrs.Add(1)
+	}
+}
+
 // Stats is the service snapshot the /v1/stats endpoint serves.
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -260,6 +340,13 @@ type Stats struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 	Cells         uint64  `json:"cells"`
 	BytesOut      uint64  `json:"bytes_out"`
+	// Draining is set while the server is in lame-duck mode.
+	Draining bool `json:"draining"`
+	// Panics counts batch executions that recovered from a panic; the
+	// panicking requests failed with typed 500s, their batch-mates did not.
+	Panics uint64 `json:"panics"`
+	// ArchiveErrs counts attached-archive step writes that failed.
+	ArchiveErrs uint64 `json:"archive_errs"`
 }
 
 // Stats snapshots the service counters and controller state.
@@ -286,6 +373,9 @@ func (s *Server) Stats() Stats {
 		LatencyP99Ms:  float64(p99) / float64(time.Millisecond),
 		Cells:         s.m.cells.Load(),
 		BytesOut:      s.m.bytesOut.Load(),
+		Draining:      s.draining.Load(),
+		Panics:        s.m.panics.Load(),
+		ArchiveErrs:   s.m.archiveErrs.Load(),
 	}
 }
 
@@ -315,6 +405,14 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// A draining server reports unhealthy so load balancers stop
+		// routing to it while in-flight work finishes.
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
@@ -532,6 +630,8 @@ func statusOf(err error) (int, string) {
 	switch {
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case errors.Is(err, apierr.ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, apierr.ErrOverloaded):
 		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, apierr.ErrCorruptArchive):
@@ -557,8 +657,17 @@ func writeError(w http.ResponseWriter, err error) {
 	body.Error.Code = code
 	body.Error.Message = err.Error()
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+	// Never-started refusals advertise when retrying is worthwhile. A 429
+	// carries the refusing queue's own backlog estimate when it made one
+	// (OverloadError.RetryAfterSeconds); a draining 503 says "now, but
+	// elsewhere" — the shortest honest hint.
+	if status == http.StatusTooManyRequests || code == "draining" {
+		secs := 1
+		var oe *apierr.OverloadError
+		if errors.As(err, &oe) && oe.RetryAfterSeconds > 0 {
+			secs = oe.RetryAfterSeconds
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
@@ -575,6 +684,7 @@ func ErrorFromResponse(status int, body []byte) error {
 	}
 	sentinel := map[string]error{
 		"overloaded":          apierr.ErrOverloaded,
+		"draining":            apierr.ErrDraining,
 		"corrupt_archive":     apierr.ErrCorruptArchive,
 		"codec_unknown":       apierr.ErrCodecUnknown,
 		"bad_config":          apierr.ErrBadConfig,
