@@ -1,0 +1,174 @@
+package adaptive_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/adaptive"
+)
+
+// distSource builds a fresh deterministic 2-step source; each rank must
+// consume its own copy of the identical stream.
+func distSource(t *testing.T) adaptive.Source {
+	t.Helper()
+	src, err := adaptive.NewSynthStream(adaptive.SynthStreamParams{
+		Base:   adaptive.SynthParams{N: 16, Seed: 11},
+		Steps:  2,
+		Fields: []string{"baryon_density"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+var distRankCfg = adaptive.RankConfig{
+	Engine: adaptive.EngineConfig{PartitionDim: 8},
+	AvgEB:  0.5,
+}
+
+const distParts = 8 // 16³ grid tiled by 8³ partitions
+
+// runDistWorld runs one RunRank per transport and merges the shards.
+func runDistWorld(t *testing.T, ts []adaptive.Transport) []byte {
+	t.Helper()
+	shards := make([]bytes.Buffer, len(ts))
+	errs := make([]error, len(ts))
+	var wg sync.WaitGroup
+	for r := range ts {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, errs[r] = adaptive.RunRank(context.Background(), ts[r], distSource(t), &shards[r], distRankCfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	in := make([]adaptive.ShardInput, len(shards))
+	for r := range shards {
+		b := shards[r].Bytes()
+		in[r] = adaptive.ShardInput{R: bytes.NewReader(b), Size: int64(len(b))}
+	}
+	var merged bytes.Buffer
+	rep, err := adaptive.MergeShards(&merged, in, distParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 2 || rep.SalvagedShards != 0 || rep.DuplicateParts != 0 {
+		t.Fatalf("healthy merge report = %+v", rep)
+	}
+	return merged.Bytes()
+}
+
+// TestDistributedFacadeTCPMatchesInProcess drives the whole distributed
+// facade surface: an in-process RunWorld produces the golden archive, a
+// 2-rank world joined over real TCP must reproduce it byte for byte.
+func TestDistributedFacadeTCPMatchesInProcess(t *testing.T) {
+	var golden []byte
+	err := adaptive.RunWorld(1, func(tr adaptive.Transport) error {
+		golden = runDistWorld(t, []adaptive.Transport{tr})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) == 0 {
+		t.Fatal("empty golden archive")
+	}
+
+	cfg := adaptive.NetConfig{
+		HeartbeatInterval: -1,
+		HeartbeatTimeout:  -1,
+		MessageTimeout:    30 * time.Second,
+	}
+	coord, err := adaptive.ListenCoordinator("127.0.0.1:0", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ts := make([]adaptive.Transport, 2)
+	for r := 0; r < 2; r++ {
+		nt, err := adaptive.JoinWorld(coord.Addr(), r, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nt.Close()
+		ts[r] = nt
+	}
+	if got := runDistWorld(t, ts); !bytes.Equal(got, golden) {
+		t.Error("2-rank TCP archive differs from the in-process golden")
+	}
+}
+
+// TestCheckpointedWriterAndRecoverFacade: the zero-option checkpointed
+// writer is byte-identical to the plain one, and RecoverStream takes the
+// clean fast path on a footer-valid stream.
+func TestCheckpointedWriterAndRecoverFacade(t *testing.T) {
+	golden := validStream(t)
+
+	ctx := context.Background()
+	fh, err := os.Create(filepath.Join(t.TempDir(), "ckpt.acs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	sw, err := adaptive.NewCheckpointedStreamWriter(fh, adaptive.CheckpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t, adaptive.WithPartitionDim(8), adaptive.WithStreamWriter(sw))
+	f := testField(16)
+	for i := 0; i < 2; i++ {
+		if _, err := sys.Step(ctx, map[string]*adaptive.Field{"rho": f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(fh.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Error("checkpointed stream differs from plain stream after Close")
+	}
+
+	sr, rep, err := adaptive.RecoverStream(bytes.NewReader(golden), int64(len(golden)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Errorf("footer-valid stream reported torn: %+v", rep)
+	}
+	if sr.Steps() != 2 {
+		t.Errorf("recovered steps = %d, want 2", sr.Steps())
+	}
+}
+
+func TestAssignPartitionsCoversEveryPartitionOnce(t *testing.T) {
+	owned := adaptive.AssignPartitions(distParts, []int{2, 0, 1})
+	seen := make(map[int]int)
+	for _, parts := range owned {
+		for _, p := range parts {
+			seen[p]++
+		}
+	}
+	for p := 0; p < distParts; p++ {
+		if seen[p] != 1 {
+			t.Errorf("partition %d owned %d times", p, seen[p])
+		}
+	}
+	if len(seen) != distParts {
+		t.Errorf("assigned %d partitions, want %d", len(seen), distParts)
+	}
+}

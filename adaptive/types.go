@@ -165,8 +165,9 @@ type CheckpointOptions = core.CheckpointOptions
 // valid footer every Interval steps without advancing the write cursor, so
 // a process killed mid-run leaves a stream OpenStream accepts up to the
 // last checkpoint — and RecoverStream salvages the steps written after it.
-// With the zero options (or a plain io.Writer) it is byte-for-byte
-// identical to NewStreamWriter.
+// The destination must implement io.WriterAt and Truncate(int64) (an
+// *os.File does); once Close returns, the emitted bytes are identical to
+// NewStreamWriter's.
 func NewCheckpointedStreamWriter(w io.Writer, opt CheckpointOptions) (*StreamWriter, error) {
 	return core.NewCheckpointedStreamWriter(w, opt)
 }

@@ -1,0 +1,189 @@
+// Command adaptivemd is one rank of a failure-tolerant distributed
+// compression run. N processes join a coordinator (hosted by rank 0) over
+// TCP, stream the same deterministic synthetic simulation, and each
+// compresses the partitions it owns into its own shard file. A step commits
+// only when every alive rank has written it; when a rank dies mid-run
+// (crash, kill -9, network cut), the survivors detect it within the
+// heartbeat timeout, roll back the uncommitted step, rebalance the dead
+// rank's partitions deterministically, and finish without it. Rank 0 then
+// merges every shard — the dead rank's torn one included — into a single
+// archive that is byte-identical to what a single-process run would have
+// written.
+//
+// Usage (three local ranks, shards and the merged archive under -dir):
+//
+//	adaptivemd -rank 0 -size 3 -dir /tmp/run &
+//	adaptivemd -rank 1 -size 3 -dir /tmp/run &
+//	adaptivemd -rank 2 -size 3 -dir /tmp/run &
+//	wait
+//
+// -die-after-step N makes the rank SIGKILL itself right after committing
+// step N — the deterministic stand-in for an external kill -9, used by the
+// CI chaos job.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/adaptive"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr     = flag.String("addr", "127.0.0.1:29400", "coordinator address (rank 0 listens on it, everyone joins it)")
+		rank     = flag.Int("rank", -1, "this process's rank in [0, size)")
+		size     = flag.Int("size", 3, "world size")
+		dir      = flag.String("dir", ".", "directory for shard files and the merged archive")
+		out      = flag.String("o", "merged.acs", "merged archive filename under -dir (rank 0 writes it)")
+		steps    = flag.Int("steps", 4, "number of timesteps to stream")
+		n        = flag.Int("n", 16, "cubic grid dimension")
+		dim      = flag.Int("dim", 8, "partition (brick) dimension")
+		seed     = flag.Uint64("seed", 7, "synthetic simulation seed (identical on every rank)")
+		eb       = flag.Float64("eb", 0.5, "absolute average error-bound budget per field")
+		hbEvery  = flag.Duration("hb-interval", 250*time.Millisecond, "heartbeat interval")
+		hbAfter  = flag.Duration("hb-timeout", time.Second, "declare a silent rank dead after this long")
+		dieAfter = flag.Int("die-after-step", -1, "SIGKILL this process after committing this step (chaos testing)")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("adaptivemd[%d]: ", *rank))
+	if *rank < 0 || *rank >= *size {
+		log.Fatalf("-rank %d outside [0, %d)", *rank, *size)
+	}
+
+	netCfg := adaptive.NetConfig{HeartbeatInterval: *hbEvery, HeartbeatTimeout: *hbAfter}
+	if *rank == 0 {
+		coord, err := adaptive.ListenCoordinator(*addr, *size, netCfg)
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
+		}
+		defer coord.Close()
+		log.Printf("coordinating world of %d on %s", *size, coord.Addr())
+	}
+	transport := join(*addr, *rank, *size, netCfg)
+	defer transport.Close()
+
+	src, err := adaptive.NewSynthStream(adaptive.SynthStreamParams{
+		Base:   adaptive.SynthParams{N: *n, Seed: *seed},
+		Steps:  *steps,
+		Fields: []string{"baryon_density", "temperature"},
+	})
+	if err != nil {
+		log.Fatalf("synthetic stream: %v", err)
+	}
+
+	shardPath := filepath.Join(*dir, fmt.Sprintf("shard-%d.acs", *rank))
+	shard, err := os.Create(shardPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shard.Close()
+
+	stats, err := adaptive.RunRank(context.Background(), transport, src, shard, adaptive.RankConfig{
+		Engine: adaptive.EngineConfig{PartitionDim: *dim},
+		AvgEB:  *eb,
+		OnCommit: func(step, epoch int) {
+			log.Printf("committed step %d (epoch %d)", step, epoch)
+			if step == *dieAfter {
+				log.Printf("chaos: SIGKILL after step %d", step)
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		},
+		OnFailure: func(failedRank, epoch int) {
+			log.Printf("rank %d failed, rebalancing under epoch %d", failedRank, epoch)
+		},
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	log.Printf("done: %d steps, %d retries, final epoch %d, alive %v, %d collectives",
+		stats.Steps, stats.Retries, stats.FinalEpoch, stats.Alive, stats.Collectives)
+
+	if *rank == 0 {
+		merge(*dir, *out, *size, *n, *dim, stats.Steps)
+	}
+}
+
+// join connects to the coordinator, retrying briefly so non-zero ranks
+// tolerate starting before rank 0 has bound the listen socket.
+func join(addr string, rank, size int, cfg adaptive.NetConfig) *adaptive.NetTransport {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		t, err := adaptive.JoinWorld(addr, rank, size, cfg)
+		if err == nil {
+			return t
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("join %s: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// merge reassembles every rank's shard — including a dead rank's torn one —
+// into the single-process-identical archive and proves it reopens cleanly.
+func merge(dir, out string, size, n, dim, wantSteps int) {
+	var shards []adaptive.ShardInput
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for r := 0; r < size; r++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.acs", r))
+		f, err := os.Open(path)
+		if err != nil {
+			// A rank killed before it created its shard contributed no
+			// committed steps, so there is nothing of it to merge.
+			log.Printf("merge: skipping %s: %v", path, err)
+			continue
+		}
+		files = append(files, f)
+		st, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		shards = append(shards, adaptive.ShardInput{R: f, Size: st.Size()})
+	}
+	nParts := (n / dim) * (n / dim) * (n / dim)
+	outPath := filepath.Join(dir, out)
+	dst, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := adaptive.MergeShards(dst, shards, nParts)
+	if err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+	if err := dst.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Steps != wantSteps {
+		log.Fatalf("merge: assembled %d steps, committed %d", rep.Steps, wantSteps)
+	}
+
+	// Prove the merged archive opens on the fast (footer) path.
+	mf, err := os.Open(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mf.Close()
+	st, err := mf.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := adaptive.OpenStream(mf, st.Size())
+	if err != nil {
+		log.Fatalf("merged archive does not reopen: %v", err)
+	}
+	log.Printf("merged %s: %d steps from %d shards (%d salvaged, %d duplicate parts deduplicated)",
+		outPath, sr.Steps(), len(shards), rep.SalvagedShards, rep.DuplicateParts)
+}

@@ -64,6 +64,14 @@ var (
 	// overload. The request never left the client; retry after the
 	// breaker's cooldown.
 	ErrCircuitOpen = errors.New("circuit open")
+
+	// ErrRankFailed marks a distributed collective that lost a peer rank:
+	// the rank panicked (in-process world) or stopped heartbeating /
+	// dropped its connection (TCP transport). The collective's result was
+	// discarded on every surviving rank, so the step that issued it can be
+	// retried after rebalancing the dead rank's partitions onto the
+	// survivors. Surviving ranks always get this error instead of hanging.
+	ErrRankFailed = errors.New("rank failed")
 )
 
 // DriftRecalibrationError is the typed form of ErrDriftRecalibration: it
@@ -110,3 +118,36 @@ func (e *OverloadError) Error() string {
 
 // Unwrap exposes the sentinel to errors.Is.
 func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// RankFailedError is the typed form of ErrRankFailed: it records which
+// rank was lost and the membership epoch opened by the failure, so a
+// distributed step driver can errors.As for the details (refresh its view
+// of the surviving ranks, rebalance, retry) while errors.Is still matches
+// the sentinel.
+type RankFailedError struct {
+	// Rank is the rank that was declared failed.
+	Rank int
+	// Epoch is the membership epoch in force after the failure was
+	// detected (the in-process world, which cannot recover, always
+	// reports 0).
+	Epoch int
+	// Err is the underlying cause — the recovered panic value, a
+	// heartbeat timeout, a connection reset. May be nil when the detector
+	// has only the fact of the failure.
+	Err error
+}
+
+func (e *RankFailedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%v: rank %d (epoch %d): %v", ErrRankFailed, e.Rank, e.Epoch, e.Err)
+	}
+	return fmt.Sprintf("%v: rank %d (epoch %d)", ErrRankFailed, e.Rank, e.Epoch)
+}
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
+func (e *RankFailedError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrRankFailed}
+	}
+	return []error{ErrRankFailed, e.Err}
+}

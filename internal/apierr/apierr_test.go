@@ -45,3 +45,42 @@ func TestSentinelsAreDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestOverloadError(t *testing.T) {
+	err := fmt.Errorf("server: %w", &OverloadError{Tenant: "astro", QueueDepth: 32, RetryAfterSeconds: 5})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("sentinel not in chain")
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Tenant != "astro" || oe.QueueDepth != 32 {
+		t.Fatalf("typed details lost: %+v", oe)
+	}
+	for _, want := range []string{"astro", "32"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("message %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+func TestRankFailedError(t *testing.T) {
+	cause := errors.New("heartbeat timeout")
+	err := fmt.Errorf("collective: %w", &RankFailedError{Rank: 3, Epoch: 2, Err: cause})
+	if !errors.Is(err, ErrRankFailed) || !errors.Is(err, cause) {
+		t.Fatal("sentinel or cause not in chain")
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 3 || rf.Epoch != 2 {
+		t.Fatalf("typed details lost: %+v", rf)
+	}
+	for _, want := range []string{"rank 3", "epoch 2", "heartbeat timeout"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("message %q missing %q", err.Error(), want)
+		}
+	}
+	// Without a cause, only the sentinel unwraps and the message still
+	// names the rank.
+	bare := &RankFailedError{Rank: 1}
+	if !errors.Is(bare, ErrRankFailed) || !strings.Contains(bare.Error(), "rank 1") {
+		t.Fatalf("bare error broken: %v", bare)
+	}
+}

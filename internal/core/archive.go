@@ -376,6 +376,57 @@ func (sw *StreamWriter) WriteStep(fields map[string]*CompressedField) error {
 // Steps returns the number of steps written so far.
 func (sw *StreamWriter) Steps() int { return len(sw.index) }
 
+// TruncateSteps rewinds the stream to its state after step n (keeping
+// steps [0, n)): the distributed step-retry primitive. When a rank dies
+// mid-step, every survivor may already have appended its shard block for
+// the failed step; the retry — with rebalanced ownership — rewrites that
+// step from scratch, so the half-committed block must be cut off first.
+//
+// The destination must implement Truncate(int64) error and io.Seeker (an
+// *os.File does): Truncate alone does not move the file's write cursor,
+// so the append position is explicitly re-seeked to the new end. A
+// truncation failure poisons the writer like a failed step write — the
+// real stream position is unknowable afterwards.
+func (sw *StreamWriter) TruncateSteps(n int) error {
+	if sw.writeErr != nil {
+		return sw.writeErr
+	}
+	if sw.closed {
+		return fmt.Errorf("core: stream writer is closed")
+	}
+	if n < 0 || n > len(sw.index) {
+		return fmt.Errorf("core: truncate to %d steps outside [0,%d]", n, len(sw.index))
+	}
+	if n == len(sw.index) {
+		return nil
+	}
+	trunc, ok := sw.w.(interface{ Truncate(int64) error })
+	if !ok {
+		return fmt.Errorf("core: stream truncation needs Truncate(int64), %T does not implement it", sw.w)
+	}
+	seeker, ok := sw.w.(io.Seeker)
+	if !ok {
+		return fmt.Errorf("core: stream truncation needs io.Seeker, %T does not implement it", sw.w)
+	}
+	end := uint64(streamHeaderBytes)
+	if n > 0 {
+		end = sw.index[n-1].Offset + sw.index[n-1].Length
+	}
+	if err := trunc.Truncate(int64(end)); err != nil {
+		sw.writeErr = fmt.Errorf("core: truncating stream to step %d: %w", n, err)
+		return sw.writeErr
+	}
+	if _, err := seeker.Seek(int64(end), io.SeekStart); err != nil {
+		sw.writeErr = fmt.Errorf("core: seeking stream to step %d: %w", n, err)
+		return sw.writeErr
+	}
+	sw.index = sw.index[:n]
+	sw.off = end
+	sw.extent = end
+	sw.sinceCkpt = 0
+	return nil
+}
+
 // Close appends the footer index. The writer cannot be used afterwards;
 // closing an empty stream is valid and yields a zero-step archive. A
 // footer-write failure is sticky: repeated Close calls keep returning it,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/apierr"
@@ -18,14 +19,22 @@ import (
 //
 //  1. every rank extracts its partitions' features (mean |value|, and for
 //     density fields the boundary-cell count);
-//  2. one Allreduce produces the global mean feature → the anchor C_a;
+//  2. one collective produces the global mean feature → the anchor C_a;
 //  3. every rank computes its partitions' error bounds locally
 //     (eb_m = ebAvg·(C_m/C_a)^γ, clamped to [ebAvg/4, 4·ebAvg] — the in
 //     situ path uses the paper's static clamp without the global
 //     mean-preserving rescale, which would need a second collective);
-//  4. for density fields one more Allreduce sums the predicted mass fault
+//  4. for density fields one more collective sums the predicted mass fault
 //     and a shared downscale enforces the halo budget (Eq. 11);
 //  5. every rank compresses its partitions.
+//
+// Reductions are evaluated in ascending *partition* order, not rank order:
+// each rank gathers (partitionID, value) pairs and every rank folds the
+// same ID-ordered sequence. That makes the global sums — and therefore
+// every error bound and every compressed byte — invariant not only to
+// scheduling but to the rank count and to which rank owns which partition,
+// which is what lets a post-failure rebalanced run reproduce the healthy
+// run's archive bit-for-bit.
 //
 // The per-phase wall times are recorded so the Sec. 4.3 overhead experiment
 // can report feature-extraction and optimization cost relative to
@@ -73,6 +82,235 @@ func (s *InSituStats) FeatureOverhead() float64 {
 	return (s.FeatureSeconds + s.OptimizeSeconds) / s.CompressSeconds
 }
 
+// NumPartitions reports how many partitions the engine's configured brick
+// dimension tiles the field into — the unit of distribution for the
+// sharded in situ path.
+func (e *Engine) NumPartitions(f *grid.Field3D) (int, error) {
+	p, err := e.partitioner(f)
+	if err != nil {
+		return 0, err
+	}
+	return p.Count(), nil
+}
+
+// AssignPartitions deterministically shards nParts partitions across the
+// alive ranks: partition i goes to alive[i mod len(alive)] (alive sorted
+// ascending first). With all ranks alive this is the familiar round-robin
+// by rank; after a failure the survivors' shares are recomputed from the
+// same rule, so every rank derives the identical assignment with no
+// negotiation. Returns the owned partition IDs (ascending) per rank.
+func AssignPartitions(nParts int, alive []int) map[int][]int {
+	ranks := append([]int(nil), alive...)
+	sort.Ints(ranks)
+	owned := make(map[int][]int, len(ranks))
+	for _, r := range ranks {
+		owned[r] = nil
+	}
+	if len(ranks) == 0 {
+		return owned
+	}
+	for i := 0; i < nParts; i++ {
+		r := ranks[i%len(ranks)]
+		owned[r] = append(owned[r], i)
+	}
+	return owned
+}
+
+// RankShard is one rank's share of an in situ compression: the partitions
+// it owned, the error bounds it assigned them, and the frames it produced,
+// all parallel to Owned (ascending partition IDs).
+type RankShard struct {
+	Owned  []int
+	EBs    []float64
+	Frames []codec.Frame
+	// HaloScale is the shared downscale applied by the halo budget
+	// (1 = none); identical on every rank.
+	HaloScale float64
+	// Per-phase wall times on this rank.
+	FeatureSeconds  float64
+	OptimizeSeconds float64
+	CompressSeconds float64
+}
+
+// CompressInSituRank runs one rank's side of the in situ protocol over an
+// explicit communicator: feature extraction for the owned partitions, the
+// ID-ordered global-mean collective, local error-bound optimization, the
+// optional halo-budget collective, and compression of the owned
+// partitions. The same function serves the in-process world (mpi.Run) and
+// the TCP transport (internal/mpinet) — the communicator is the only
+// difference.
+//
+// Collective failures (a dead peer rank) surface as the transport's typed
+// *apierr.RankFailedError; the caller owns retry/rebalance policy.
+func (e *Engine) CompressInSituRank(ctx context.Context, c *mpi.Comm, f *grid.Field3D, cal *Calibration, opt InSituOptions, owned []int) (*RankShard, error) {
+	if cal == nil || cal.Model == nil {
+		return nil, fmt.Errorf("core: %w: nil calibration", apierr.ErrBadConfig)
+	}
+	if opt.AvgEB <= 0 {
+		return nil, fmt.Errorf("core: %w: AvgEB must be positive", apierr.ErrBadConfig)
+	}
+	p, err := e.partitioner(f)
+	if err != nil {
+		return nil, err
+	}
+	parts := p.Partitions()
+	nParts := len(parts)
+	for _, pi := range owned {
+		if pi < 0 || pi >= nParts {
+			return nil, fmt.Errorf("core: %w: owned partition %d outside [0,%d)", apierr.ErrBadConfig, pi, nParts)
+		}
+	}
+
+	rm := cal.Model
+	gamma := optimizer.AllocationExponent(rm.Exponent, e.cfg.Strategy)
+	lo := opt.AvgEB / e.cfg.ClampFactor
+	hi := opt.AvgEB * e.cfg.ClampFactor
+
+	sh := &RankShard{Owned: owned, HaloScale: 1}
+
+	// Phase 1: feature extraction. The rank scans its own sub-volume in
+	// place (no brick copy — the simulation already owns the data) and
+	// accumulates mean |value| and the threshold-band count in a single
+	// fused pass, which is exactly the paper's in situ cost.
+	if err := c.Barrier(); err != nil { // align phase starts so timers measure work, not skew
+		return nil, err
+	}
+	t0 := time.Now()
+	feats := make([]float64, len(owned))
+	bcells := make([]float64, len(owned))
+	scratch := e.getScratch()
+	defer e.putScratch(scratch)
+	for j, pi := range owned {
+		part := parts[pi]
+		var s float64
+		n := 0
+		var bandLo, bandHi float32
+		if opt.Halo != nil {
+			bandLo = float32(opt.Halo.TBoundary - opt.Halo.RefEB)
+			bandHi = float32(opt.Halo.TBoundary + opt.Halo.RefEB)
+		}
+		for z := part.Z0; z < part.Z1; z++ {
+			for y := part.Y0; y < part.Y1; y++ {
+				base := f.Index(part.X0, y, z)
+				row := f.Data[base : base+part.X1-part.X0]
+				for _, v := range row {
+					if v < 0 {
+						s -= float64(v)
+					} else {
+						s += float64(v)
+					}
+					if opt.Halo != nil && v >= bandLo && v < bandHi {
+						n++
+					}
+				}
+			}
+		}
+		feats[j] = s / float64(part.Len())
+		bcells[j] = float64(n)
+	}
+	sh.FeatureSeconds = time.Since(t0).Seconds()
+
+	// Phase 2: the global mean feature via one ID-ordered collective,
+	// local error-bound computation, optional halo collective.
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	globalSum, err := reduceByPartition(c, nParts, owned, feats)
+	if err != nil {
+		return nil, err
+	}
+	globalMean := globalSum / float64(nParts)
+	ca := rm.Cm(globalMean)
+	myEBs := make([]float64, len(owned))
+	for j := range owned {
+		eb := opt.AvgEB * math.Pow(rm.Cm(feats[j])/ca, gamma)
+		if eb < lo {
+			eb = lo
+		}
+		if eb > hi {
+			eb = hi
+		}
+		myEBs[j] = eb
+	}
+	if opt.Halo != nil {
+		faults := make([]float64, len(owned))
+		for j := range owned {
+			nbc := bcells[j] * myEBs[j] / opt.Halo.RefEB
+			faults[j] = nbc / 4
+		}
+		faultSum, err := reduceByPartition(c, nParts, owned, faults)
+		if err != nil {
+			return nil, err
+		}
+		est := opt.Halo.TBoundary * faultSum
+		if est > opt.Halo.MassBudget && est > 0 {
+			sh.HaloScale = opt.Halo.MassBudget / est
+			for j := range myEBs {
+				myEBs[j] *= sh.HaloScale
+			}
+		}
+	}
+	sh.EBs = myEBs
+	sh.OptimizeSeconds = time.Since(t1).Seconds()
+
+	// Phase 3: compression of owned partitions.
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	sh.Frames = make([]codec.Frame, len(owned))
+	for j, pi := range owned {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: in situ compression: %w", err)
+		}
+		part := parts[pi]
+		data := e.brick(scratch, f, part)
+		nx, ny, nz := part.Dims()
+		cc, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(myEBs[j]), scratch)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d partition %d: %w", c.Rank(), pi, err)
+		}
+		sh.Frames[j] = cc
+	}
+	sh.CompressSeconds = time.Since(t2).Seconds()
+	return sh, nil
+}
+
+// reduceByPartition sums one contribution per owned partition across all
+// ranks, folding in ascending partition-ID order so the float64 result is
+// identical for every rank layout. Implemented as an allgather of
+// (partitionID, value) pairs followed by the same deterministic local
+// fold on every rank.
+func reduceByPartition(c *mpi.Comm, nParts int, owned []int, vals []float64) (float64, error) {
+	pairs := make([]float64, 0, 2*len(owned))
+	for j, pi := range owned {
+		pairs = append(pairs, float64(pi), vals[j])
+	}
+	all, err := c.AllgatherSlice(pairs)
+	if err != nil {
+		return 0, err
+	}
+	if len(all)%2 != 0 || len(all)/2 != nParts {
+		return 0, fmt.Errorf("core: partition reduce gathered %d pairs, want %d", len(all)/2, nParts)
+	}
+	byID := make([]float64, nParts)
+	seen := make([]bool, nParts)
+	for i := 0; i < len(all); i += 2 {
+		id := int(all[i])
+		if id < 0 || id >= nParts || seen[id] {
+			return 0, fmt.Errorf("core: partition reduce: bad or duplicate partition id %v", all[i])
+		}
+		seen[id] = true
+		byID[id] = all[i+1]
+	}
+	var sum float64
+	for _, v := range byID {
+		sum += v
+	}
+	return sum, nil
+}
+
 // CompressInSitu runs the full in situ protocol over the simulated MPI
 // runtime and returns the adaptively compressed field. Cancellation is
 // checked between partitions inside each rank's compression loop.
@@ -87,8 +325,7 @@ func (e *Engine) CompressInSitu(ctx context.Context, f *grid.Field3D, cal *Calib
 	if err != nil {
 		return nil, nil, err
 	}
-	parts := p.Partitions()
-	nParts := len(parts)
+	nParts := p.Count()
 	ranks := opt.Ranks
 	if ranks <= 0 {
 		ranks = nParts
@@ -100,130 +337,28 @@ func (e *Engine) CompressInSitu(ctx context.Context, f *grid.Field3D, cal *Calib
 		ranks = nParts
 	}
 
-	rm := cal.Model
-	gamma := optimizer.AllocationExponent(rm.Exponent, e.cfg.Strategy)
-	lo := opt.AvgEB / e.cfg.ClampFactor
-	hi := opt.AvgEB * e.cfg.ClampFactor
+	alive := make([]int, ranks)
+	for r := range alive {
+		alive[r] = r
+	}
+	assign := AssignPartitions(nParts, alive)
 
 	ebs := make([]float64, nParts)
 	compressed := make([]codec.Frame, nParts)
-	featT := make([]float64, ranks)
-	optT := make([]float64, ranks)
-	compT := make([]float64, ranks)
-	haloScale := 1.0
+	shards := make([]*RankShard, ranks)
 	var collectives int64
 
 	runErr := mpi.Run(ranks, func(c *mpi.Comm) error {
 		rank := c.Rank()
-		// Partition ownership: round-robin by ID, as a static Nyx
-		// decomposition would assign blocks to ranks.
-		var mine []int
-		for i := rank; i < nParts; i += ranks {
-			mine = append(mine, i)
+		sh, err := e.CompressInSituRank(ctx, c, f, cal, opt, assign[rank])
+		if err != nil {
+			return err
 		}
-
-		// Phase 1: feature extraction. The rank scans its own sub-volume
-		// in place (no brick copy — the simulation already owns the data)
-		// and accumulates mean |value| and the threshold-band count in a
-		// single fused pass, which is exactly the paper's in situ cost.
-		c.Barrier() // align phase starts so timers measure work, not skew
-		t0 := time.Now()
-		feats := make([]float64, len(mine))
-		bcells := make([]float64, len(mine))
-		scratch := e.getScratch()
-		defer e.putScratch(scratch)
-		for j, pi := range mine {
-			part := parts[pi]
-			var s float64
-			n := 0
-			var bandLo, bandHi float32
-			if opt.Halo != nil {
-				bandLo = float32(opt.Halo.TBoundary - opt.Halo.RefEB)
-				bandHi = float32(opt.Halo.TBoundary + opt.Halo.RefEB)
-			}
-			for z := part.Z0; z < part.Z1; z++ {
-				for y := part.Y0; y < part.Y1; y++ {
-					base := f.Index(part.X0, y, z)
-					row := f.Data[base : base+part.X1-part.X0]
-					for _, v := range row {
-						if v < 0 {
-							s -= float64(v)
-						} else {
-							s += float64(v)
-						}
-						if opt.Halo != nil && v >= bandLo && v < bandHi {
-							n++
-						}
-					}
-				}
-			}
-			feats[j] = s / float64(part.Len())
-			bcells[j] = float64(n)
+		shards[rank] = sh
+		for j, pi := range sh.Owned {
+			ebs[pi] = sh.EBs[j]
+			compressed[pi] = sh.Frames[j]
 		}
-		featT[rank] = time.Since(t0).Seconds()
-
-		// Phase 2: one Allreduce for the global mean feature, local
-		// error-bound computation, optional halo Allreduce.
-		c.Barrier()
-		t1 := time.Now()
-		var localSum float64
-		for _, ft := range feats {
-			localSum += ft
-		}
-		globalSum := c.Allreduce(localSum, mpi.OpSum)
-		globalMean := globalSum / float64(nParts)
-		ca := rm.Cm(globalMean)
-		myEBs := make([]float64, len(mine))
-		for j := range mine {
-			eb := opt.AvgEB * math.Pow(rm.Cm(feats[j])/ca, gamma)
-			if eb < lo {
-				eb = lo
-			}
-			if eb > hi {
-				eb = hi
-			}
-			myEBs[j] = eb
-		}
-		scale := 1.0
-		if opt.Halo != nil {
-			var localFault float64
-			for j := range mine {
-				nbc := bcells[j] * myEBs[j] / opt.Halo.RefEB
-				localFault += nbc / 4
-			}
-			est := opt.Halo.TBoundary * c.Allreduce(localFault, mpi.OpSum)
-			if est > opt.Halo.MassBudget && est > 0 {
-				scale = opt.Halo.MassBudget / est
-				for j := range myEBs {
-					myEBs[j] *= scale
-				}
-			}
-		}
-		if rank == 0 {
-			haloScale = scale
-		}
-		for j, pi := range mine {
-			ebs[pi] = myEBs[j]
-		}
-		optT[rank] = time.Since(t1).Seconds()
-
-		// Phase 3: compression of owned partitions.
-		c.Barrier()
-		t2 := time.Now()
-		for j, pi := range mine {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("core: in situ compression: %w", err)
-			}
-			part := parts[pi]
-			data := e.brick(scratch, f, part)
-			nx, ny, nz := part.Dims()
-			cc, err := e.cdc.Compress(data, nx, ny, nz, e.codecOptions(myEBs[j]), scratch)
-			if err != nil {
-				return fmt.Errorf("core: rank %d partition %d: %w", rank, pi, err)
-			}
-			compressed[pi] = cc
-		}
-		compT[rank] = time.Since(t2).Seconds()
 		if rank == 0 {
 			collectives, _ = c.Stats()
 		}
@@ -241,23 +376,15 @@ func (e *Engine) CompressInSitu(ctx context.Context, f *grid.Field3D, cal *Calib
 		partitioner:  p,
 	}
 	st := &InSituStats{
-		Ranks:           ranks,
-		FeatureSeconds:  maxOf(featT),
-		OptimizeSeconds: maxOf(optT),
-		CompressSeconds: maxOf(compT),
-		Collectives:     collectives,
-		EBs:             ebs,
-		HaloScale:       haloScale,
+		Ranks:       ranks,
+		Collectives: collectives,
+		EBs:         ebs,
+		HaloScale:   shards[0].HaloScale,
+	}
+	for _, sh := range shards {
+		st.FeatureSeconds = math.Max(st.FeatureSeconds, sh.FeatureSeconds)
+		st.OptimizeSeconds = math.Max(st.OptimizeSeconds, sh.OptimizeSeconds)
+		st.CompressSeconds = math.Max(st.CompressSeconds, sh.CompressSeconds)
 	}
 	return cf, st, nil
-}
-
-func maxOf(xs []float64) float64 {
-	var m float64
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }

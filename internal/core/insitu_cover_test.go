@@ -1,0 +1,30 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apierr"
+	"repro/internal/grid"
+)
+
+func TestNumPartitions(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	n, err := e.NumPartitions(grid.NewCube(16))
+	if err != nil || n != 8 {
+		t.Fatalf("NumPartitions(16^3 @ 8) = %d, %v; want 8", n, err)
+	}
+	if _, err := e.NumPartitions(grid.NewCube(12)); !errors.Is(err, apierr.ErrBadConfig) {
+		t.Fatalf("indivisible field: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestFeatureOverhead(t *testing.T) {
+	st := &InSituStats{FeatureSeconds: 1, OptimizeSeconds: 1, CompressSeconds: 4}
+	if got := st.FeatureOverhead(); got != 0.5 {
+		t.Errorf("FeatureOverhead = %v, want 0.5", got)
+	}
+	if got := (&InSituStats{}).FeatureOverhead(); got != 0 {
+		t.Errorf("zero-compress FeatureOverhead = %v, want 0", got)
+	}
+}

@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+)
+
+func TestTornWriterWithin(t *testing.T) {
+	p := NewPlan(3)
+	var buf bytes.Buffer
+	tw := p.TornWriterWithin(&buf, 4, 8)
+	if _, err := tw.Write(make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("oversized write: err = %v, want ErrInjected", err)
+	}
+	if n := buf.Len(); n < 4 || n >= 8 {
+		t.Errorf("tear offset %d outside [4, 8)", n)
+	}
+	// Degenerate range collapses to a single-offset window.
+	buf.Reset()
+	tw = p.TornWriterWithin(&buf, 5, 5)
+	if _, err := tw.Write(make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("degenerate-range write: err = %v, want ErrInjected", err)
+	}
+	if buf.Len() != 5 {
+		t.Errorf("degenerate range tore at %d, want 5", buf.Len())
+	}
+}
+
+func TestPlanStreamsAreSeedDeterministic(t *testing.T) {
+	a, b := NewPlan(11), NewPlan(11)
+	for i := 0; i < 8; i++ {
+		if x, y := a.Intn(1000), b.Intn(1000); x != y {
+			t.Fatalf("draw %d: Intn diverged (%d vs %d)", i, x, y)
+		}
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d: Float64 diverged (%v vs %v)", i, x, y)
+		}
+	}
+	other := NewPlan(12)
+	same := true
+	for i := 0; i < 8 && same; i++ {
+		same = a.Intn(1000) == other.Intn(1000)
+	}
+	if same {
+		t.Error("different seeds produced the same Intn stream")
+	}
+}
+
+func TestWrapListenerScriptsPerAccept(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accept 0 is healthy (zero faults → the bare conn passes through);
+	// accept 1 resets after 4 bytes.
+	wl := WrapListener(ln, func(accept int) ConnFaults {
+		if accept == 0 {
+			return ConnFaults{}
+		}
+		return ConnFaults{ResetAfterBytes: 4}
+	})
+
+	serve := func() (net.Conn, error) { return wl.Accept() }
+
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	s1, err := serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if _, ok := s1.(*Conn); ok {
+		t.Error("healthy accept returned a fault-wrapped conn")
+	}
+	if _, err := s1.Write(make([]byte, 64)); err != nil {
+		t.Fatalf("healthy conn write: %v", err)
+	}
+
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	s2, err := serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.(*Conn); !ok {
+		t.Fatal("faulted accept did not wrap the conn")
+	}
+	if _, err := s2.Write(make([]byte, 3)); err != nil {
+		t.Fatalf("pre-reset write: %v", err)
+	}
+	if _, err := s2.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset write: err = %v, want ErrInjected", err)
+	}
+}

@@ -119,9 +119,42 @@ type ConnFaults struct {
 	// fail) once this many bytes have moved in either direction combined.
 	// Zero means never.
 	ResetAfterBytes int64
+	// DropAfterWrites closes the connection (RST-style) once this many
+	// Write calls have completed — "the link died after the N-th message",
+	// the scripted form of a peer crashing between frames. Zero means
+	// never.
+	DropAfterWrites int
+	// BlackholeWrites simulates a one-way partition: writes report success
+	// without a byte reaching the peer, while reads still flow. This is
+	// the asymmetric failure a heartbeat detector must catch (the sick
+	// rank still hears the world but the world stops hearing it).
+	BlackholeWrites bool
 	// ReadLatency and WriteLatency delay every read/write — the latency
 	// spike injection. Zero means no delay.
 	ReadLatency, WriteLatency time.Duration
+	// Sleep, when set, replaces time.Sleep for latency injection — wire a
+	// Clock's Sleep here and latency tests advance a fake clock instead of
+	// stalling the test binary. Nil means real time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// healthy reports whether the script injects nothing, so WrapListener can
+// hand back the bare conn.
+func (f ConnFaults) healthy() bool {
+	return f.ResetAfterBytes == 0 && f.DropAfterWrites == 0 && !f.BlackholeWrites &&
+		f.ReadLatency == 0 && f.WriteLatency == 0
+}
+
+// sleep applies an injected delay through the configured seam.
+func (f *ConnFaults) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if f.Sleep != nil {
+		f.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // Conn wraps a net.Conn with scripted faults. It is what a chaos test
@@ -131,9 +164,10 @@ type Conn struct {
 	net.Conn
 	faults ConnFaults
 
-	mu    sync.Mutex
-	moved int64
-	reset bool
+	mu     sync.Mutex
+	moved  int64
+	writes int
+	reset  bool
 }
 
 // WrapConn applies scripted faults to a live connection.
@@ -157,9 +191,7 @@ func (c *Conn) charge(n int) error {
 }
 
 func (c *Conn) Read(b []byte) (int, error) {
-	if d := c.faults.ReadLatency; d > 0 {
-		time.Sleep(d)
-	}
+	c.faults.sleep(c.faults.ReadLatency)
 	c.mu.Lock()
 	if c.reset {
 		c.mu.Unlock()
@@ -174,19 +206,32 @@ func (c *Conn) Read(b []byte) (int, error) {
 }
 
 func (c *Conn) Write(b []byte) (int, error) {
-	if d := c.faults.WriteLatency; d > 0 {
-		time.Sleep(d)
-	}
+	c.faults.sleep(c.faults.WriteLatency)
 	c.mu.Lock()
 	if c.reset {
 		c.mu.Unlock()
 		return 0, fmt.Errorf("faultinject: write on reset connection: %w", ErrInjected)
+	}
+	if c.faults.BlackholeWrites {
+		// One-way partition: the caller sees success, the peer sees
+		// silence. Bytes are not charged — nothing moved.
+		c.mu.Unlock()
+		return len(b), nil
 	}
 	c.mu.Unlock()
 	n, err := c.Conn.Write(b)
 	if cerr := c.charge(n); cerr != nil && err == nil {
 		err = cerr
 	}
+	c.mu.Lock()
+	// The N-th message is delivered, then the link dies: the writer only
+	// notices on its next call, like a real RST racing a send.
+	c.writes++
+	if c.faults.DropAfterWrites > 0 && c.writes >= c.faults.DropAfterWrites && !c.reset {
+		c.reset = true
+		c.Conn.Close()
+	}
+	c.mu.Unlock()
 	return n, err
 }
 
@@ -216,7 +261,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 	l.n++
 	l.mu.Unlock()
 	f := l.decide(i)
-	if f == (ConnFaults{}) {
+	if f.healthy() {
 		return c, nil
 	}
 	return WrapConn(c, f), nil

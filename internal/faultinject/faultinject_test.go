@@ -75,6 +75,90 @@ func TestConnResetAfterBytes(t *testing.T) {
 	}
 }
 
+func TestConnDropAfterWrites(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := WrapConn(client, ConnFaults{DropAfterWrites: 2})
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := server.Read(buf)
+			total += n
+			if err != nil {
+				got <- total
+				return
+			}
+		}
+	}()
+	// The first two messages are delivered...
+	if _, err := fc.Write([]byte{1, 2}); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := fc.Write([]byte{3}); err != nil {
+		t.Fatalf("write 2 (the last delivered): %v", err)
+	}
+	// ...then the link is dead.
+	if _, err := fc.Write([]byte{4}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after drop: err=%v, want ErrInjected", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after drop: err=%v, want ErrInjected", err)
+	}
+	if n := <-got; n != 3 {
+		t.Fatalf("peer received %d bytes before the drop, want 3", n)
+	}
+}
+
+func TestConnBlackholeWrites(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	fc := WrapConn(client, ConnFaults{BlackholeWrites: true})
+	// Writes report success without a byte arriving (a one-way partition):
+	// net.Pipe is unbuffered, so if these writes really reached the peer
+	// they would block forever with no reader.
+	if n, err := fc.Write(make([]byte, 1024)); n != 1024 || err != nil {
+		t.Fatalf("blackholed write: n=%d err=%v", n, err)
+	}
+	// The healthy direction still flows.
+	go server.Write([]byte{9})
+	buf := make([]byte, 1)
+	if n, err := fc.Read(buf); n != 1 || err != nil || buf[0] != 9 {
+		t.Fatalf("read through partition: n=%d err=%v buf=%v", n, err, buf)
+	}
+}
+
+func TestConnLatencyThroughSleepSeam(t *testing.T) {
+	clk := NewClock()
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := WrapConn(client, ConnFaults{
+		ReadLatency:  250 * time.Millisecond,
+		WriteLatency: 50 * time.Millisecond,
+		Sleep:        clk.Sleep,
+	})
+	go func() {
+		buf := make([]byte, 8)
+		server.Read(buf)
+		server.Write([]byte{1})
+	}()
+	start := time.Now()
+	if _, err := fc.Write([]byte{1, 2}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if real := time.Since(start); real > 5*time.Second {
+		t.Fatalf("injected latency consumed %v of real time", real)
+	}
+	if s := clk.Sleeps(); len(s) != 2 || s[0] != 50*time.Millisecond || s[1] != 250*time.Millisecond {
+		t.Fatalf("latency sleeps = %v, want [50ms 250ms]", s)
+	}
+}
+
 func TestClockSleepAdvancesWithoutWaiting(t *testing.T) {
 	c := NewClock()
 	t0 := c.Now()

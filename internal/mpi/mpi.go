@@ -1,9 +1,21 @@
-// Package mpi provides a small in-process message-passing runtime that
-// stands in for MPI in the paper's in situ protocol. Each "rank" is a
-// goroutine owning one compute partition; the collectives mirror the MPI
-// operations the paper uses (notably MPI_Allreduce for the global mean,
-// Sec. 3.6/4.3) with deterministic, rank-ordered reductions so runs are
-// bit-reproducible regardless of scheduling.
+// Package mpi provides a small message-passing runtime that stands in for
+// MPI in the paper's in situ protocol. Each "rank" owns one set of compute
+// partitions; the collectives mirror the MPI operations the paper uses
+// (notably MPI_Allreduce for the global mean, Sec. 3.6/4.3) with
+// deterministic, rank-ordered reductions so runs are bit-reproducible
+// regardless of scheduling.
+//
+// The collectives are defined on Comm, which delegates to a Transport: the
+// default in-process world (goroutine ranks sharing memory, mpi.Run) and
+// the TCP transport in internal/mpinet implement the same interface, so
+// the protocol code above is identical on one machine and on a cluster.
+//
+// Failure semantics: a rank that panics or returns an error poisons the
+// in-process world — every subsequent or in-flight collective on any peer
+// fails fast with a typed *apierr.RankFailedError instead of deadlocking
+// on a barrier the dead rank will never enter. The in-process world cannot
+// recover (the ranks share one address space, so a dead rank means suspect
+// state); the TCP transport recovers by opening a new membership epoch.
 package mpi
 
 import (
@@ -11,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/apierr"
 )
 
 // Op is a reduction operator.
@@ -38,7 +52,9 @@ func (o Op) String() string {
 	}
 }
 
-func (o Op) apply(a, b float64) float64 {
+// Apply folds b into a. Exported so transports outside this package
+// (internal/mpinet's coordinator) reduce with the exact same operator.
+func (o Op) Apply(a, b float64) float64 {
 	switch o {
 	case OpSum:
 		return a + b
@@ -57,7 +73,111 @@ func (o Op) apply(a, b float64) float64 {
 	}
 }
 
-// world is the shared state of one communicator.
+// Transport is the engine underneath a communicator: it executes the
+// collectives and point-to-point sends for one rank. Implementations must
+// reduce in ascending rank order (the bit-reproducibility contract) and
+// must fail pending and future calls with a typed *apierr.RankFailedError
+// — never hang — when a peer is lost.
+type Transport interface {
+	// Rank is this rank's index in [0, Size).
+	Rank() int
+	// Size is the number of ranks the world started with. It does not
+	// shrink on failure; Alive reports current membership.
+	Size() int
+	// Epoch is the membership epoch: 0 at start, bumped every time a rank
+	// is declared failed or leaves. The in-process world stays at 0.
+	Epoch() int
+	// Alive lists the ranks currently believed alive, ascending.
+	Alive() []int
+	// Barrier blocks until every alive rank has entered it.
+	Barrier() error
+	// Allreduce combines one scalar per rank; every rank gets the result.
+	Allreduce(v float64, op Op) (float64, error)
+	// AllreduceSlice element-wise reduces equal-length vectors.
+	AllreduceSlice(v []float64, op Op) ([]float64, error)
+	// Allgather collects one scalar per rank in rank order.
+	Allgather(v float64) ([]float64, error)
+	// AllgatherSlice concatenates per-rank vectors in rank order; the
+	// vectors may have different lengths.
+	AllgatherSlice(v []float64) ([]float64, error)
+	// Bcast distributes root's value to every rank.
+	Bcast(v float64, root int) (float64, error)
+	// Send delivers a vector to a peer (buffered, copied).
+	Send(to int, data []float64) error
+	// Recv blocks for the next vector from a peer.
+	Recv(from int) ([]float64, error)
+	// Stats reports collectives and point-to-point messages executed.
+	Stats() (collectives, messages int64)
+}
+
+// Comm is one rank's handle on a communicator. All methods delegate to the
+// underlying Transport.
+type Comm struct {
+	t Transport
+}
+
+// NewComm wraps a transport — the seam through which internal/mpinet's TCP
+// transport (or any future one) drives the same protocol code as the
+// in-process world.
+func NewComm(t Transport) *Comm { return &Comm{t: t} }
+
+// Transport returns the underlying transport.
+func (c *Comm) Transport() Transport { return c.t }
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.t.Rank() }
+
+// Size returns the number of ranks the world started with.
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Epoch returns the current membership epoch.
+func (c *Comm) Epoch() int { return c.t.Epoch() }
+
+// Alive lists the ranks currently believed alive, ascending.
+func (c *Comm) Alive() []int { return c.t.Alive() }
+
+// Barrier blocks until every alive rank has entered it.
+func (c *Comm) Barrier() error { return c.t.Barrier() }
+
+// Allreduce combines one scalar per rank with op; every rank receives the
+// same result. The reduction is evaluated in rank order, so OpSum results
+// are identical across runs.
+func (c *Comm) Allreduce(v float64, op Op) (float64, error) { return c.t.Allreduce(v, op) }
+
+// AllreduceSlice element-wise reduces equal-length vectors. Every rank
+// receives a freshly allocated result.
+func (c *Comm) AllreduceSlice(v []float64, op Op) ([]float64, error) {
+	return c.t.AllreduceSlice(v, op)
+}
+
+// Allgather collects one scalar from every rank; every rank receives the
+// full rank-ordered vector.
+func (c *Comm) Allgather(v float64) ([]float64, error) { return c.t.Allgather(v) }
+
+// AllgatherSlice concatenates per-rank vectors in rank order. Vectors may
+// have different lengths.
+func (c *Comm) AllgatherSlice(v []float64) ([]float64, error) { return c.t.AllgatherSlice(v) }
+
+// Bcast distributes root's value to every rank.
+func (c *Comm) Bcast(v float64, root int) (float64, error) { return c.t.Bcast(v, root) }
+
+// Send delivers a vector to rank `to` (buffered; blocks only if the peer
+// has undelivered messages outstanding). The slice is copied.
+func (c *Comm) Send(to int, data []float64) error { return c.t.Send(to, data) }
+
+// Recv blocks for the next message from rank `from`.
+func (c *Comm) Recv(from int) ([]float64, error) { return c.t.Recv(from) }
+
+// Stats reports how many collectives and point-to-point messages the
+// communicator has executed (for overhead accounting).
+func (c *Comm) Stats() (collectives, messages int64) { return c.t.Stats() }
+
+// --- In-process transport -------------------------------------------------
+
+// p2pBuffer is the per-pair message buffer depth of the in-process world.
+const p2pBuffer = 4
+
+// world is the shared state of one in-process communicator.
 type world struct {
 	size int
 
@@ -65,6 +185,15 @@ type world struct {
 	cond       *sync.Cond
 	arrived    int
 	generation int64
+
+	// failedRank, when ≥ 0, poisons the world: a rank died (panic or
+	// error return) and every collective must fail fast instead of
+	// waiting on a barrier the dead rank can never enter.
+	failedRank int
+	failCause  error
+	// done is closed when the world is poisoned, unblocking Send/Recv.
+	done     chan struct{}
+	poisoned sync.Once
 
 	slots  []float64   // one scalar slot per rank
 	slices [][]float64 // one vector slot per rank
@@ -77,36 +206,62 @@ type world struct {
 	messages    atomic.Int64
 }
 
-// Comm is one rank's handle on the communicator.
-type Comm struct {
+// inproc is one rank's view of the in-process world; it implements
+// Transport.
+type inproc struct {
 	rank int
 	w    *world
 }
 
-// Rank returns this rank's index in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+func newWorld(size int) *world {
+	w := &world{
+		size:       size,
+		failedRank: -1,
+		done:       make(chan struct{}),
+		slots:      make([]float64, size),
+		slices:     make([][]float64, size),
+		p2p:        make([]chan []float64, size*size),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	for i := range w.p2p {
+		w.p2p[i] = make(chan []float64, p2pBuffer)
+	}
+	return w
+}
 
-// Size returns the number of ranks.
-func (c *Comm) Size() int { return c.w.size }
+// poison marks rank dead and wakes everything: barrier waiters (via the
+// generation bump + broadcast) and Send/Recv blockers (via done). Only the
+// first failure is recorded; the world never heals.
+func (w *world) poison(rank int, cause error) {
+	w.poisoned.Do(func() {
+		w.mu.Lock()
+		w.failedRank = rank
+		w.failCause = cause
+		w.arrived = 0
+		w.generation++
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		close(w.done)
+	})
+}
+
+// failErr builds the typed failure every collective reports once the world
+// is poisoned. Callers hold w.mu or know failedRank is immutable-set.
+func (w *world) failErr() error {
+	return &apierr.RankFailedError{Rank: w.failedRank, Epoch: 0, Err: w.failCause}
+}
 
 // Run launches size ranks, each executing fn with its own Comm, and waits
 // for all of them. The first non-nil error (lowest rank wins) is returned.
 // A panic in any rank is converted into an error rather than crashing the
-// whole process.
+// whole process, and — like an error return — poisons the world so peers
+// blocked in (or later entering) a collective fail fast with a typed
+// *apierr.RankFailedError instead of deadlocking.
 func Run(size int, fn func(c *Comm) error) error {
 	if size <= 0 {
 		return errors.New("mpi: size must be positive")
 	}
-	w := &world{
-		size:   size,
-		slots:  make([]float64, size),
-		slices: make([][]float64, size),
-		p2p:    make([]chan []float64, size*size),
-	}
-	w.cond = sync.NewCond(&w.mu)
-	for i := range w.p2p {
-		w.p2p[i] = make(chan []float64, 4)
-	}
+	w := newWorld(size)
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -115,16 +270,16 @@ func Run(size int, fn func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-					// Unblock peers stuck in a collective.
-					w.mu.Lock()
-					w.arrived = 0
-					w.generation++
-					w.cond.Broadcast()
-					w.mu.Unlock()
+					err := fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					errs[rank] = err
+					w.poison(rank, err)
+				} else if errs[rank] != nil {
+					// An error return is a rank leaving the protocol:
+					// peers mid-collective must not wait for it.
+					w.poison(rank, errs[rank])
 				}
 			}()
-			errs[rank] = fn(&Comm{rank: rank, w: w})
+			errs[rank] = fn(NewComm(&inproc{rank: rank, w: w}))
 		}(r)
 	}
 	wg.Wait()
@@ -136,55 +291,92 @@ func Run(size int, fn func(c *Comm) error) error {
 	return nil
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
-	w := c.w
+func (t *inproc) Rank() int  { return t.rank }
+func (t *inproc) Size() int  { return t.w.size }
+func (t *inproc) Epoch() int { return 0 }
+
+// Alive lists the live ranks. The in-process world cannot rebalance onto
+// survivors (a dead goroutine leaves shared state suspect), so this is
+// diagnostic: collectives keep failing after a poison no matter what.
+func (t *inproc) Alive() []int {
+	w := t.w
 	w.mu.Lock()
+	failed := w.failedRank
+	w.mu.Unlock()
+	out := make([]int, 0, w.size)
+	for r := 0; r < w.size; r++ {
+		if r != failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Barrier blocks until every rank has entered it, or fails fast with the
+// typed rank-failure error once the world is poisoned.
+func (t *inproc) Barrier() error {
+	w := t.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failedRank >= 0 {
+		return w.failErr()
+	}
 	gen := w.generation
 	w.arrived++
 	if w.arrived == w.size {
 		w.arrived = 0
 		w.generation++
 		w.cond.Broadcast()
-	} else {
-		for gen == w.generation {
-			w.cond.Wait()
-		}
+		return nil
 	}
-	w.mu.Unlock()
+	for gen == w.generation && w.failedRank < 0 {
+		w.cond.Wait()
+	}
+	if w.failedRank >= 0 {
+		return w.failErr()
+	}
+	return nil
 }
 
-// Allreduce combines one scalar per rank with op; every rank receives the
-// same result. The reduction is evaluated in rank order, so OpSum results
-// are identical across runs.
-func (c *Comm) Allreduce(v float64, op Op) float64 {
-	w := c.w
-	if c.rank == 0 {
+func (t *inproc) Allreduce(v float64, op Op) (float64, error) {
+	w := t.w
+	if t.rank == 0 {
 		w.collectives.Add(1)
 	}
-	w.slots[c.rank] = v
-	c.Barrier() // all deposits visible
+	w.slots[t.rank] = v
+	if err := t.Barrier(); err != nil { // all deposits visible
+		return 0, err
+	}
 	acc := w.slots[0]
 	for r := 1; r < w.size; r++ {
-		acc = op.apply(acc, w.slots[r])
+		acc = op.Apply(acc, w.slots[r])
 	}
-	c.Barrier() // nobody overwrites slots until everyone has read
-	return acc
+	// Nobody overwrites slots until everyone has read.
+	if err := t.Barrier(); err != nil {
+		return 0, err
+	}
+	return acc, nil
 }
 
-// AllreduceSlice element-wise reduces equal-length vectors. Every rank
-// receives a freshly allocated result.
-func (c *Comm) AllreduceSlice(v []float64, op Op) ([]float64, error) {
-	w := c.w
-	if c.rank == 0 {
+func (t *inproc) AllreduceSlice(v []float64, op Op) ([]float64, error) {
+	w := t.w
+	if t.rank == 0 {
 		w.collectives.Add(1)
 	}
-	w.slices[c.rank] = v
-	c.Barrier()
+	w.slices[t.rank] = v
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
 	n := len(w.slices[0])
 	for r := 1; r < w.size; r++ {
 		if len(w.slices[r]) != n {
-			c.Barrier()
+			// Every rank sees the same mismatch and returns the same
+			// error; the trailing barrier keeps the world consistent, so
+			// later collectives still work (mismatch is recoverable,
+			// unlike a dead rank).
+			if err := t.Barrier(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("mpi: AllreduceSlice length mismatch: rank 0 has %d, rank %d has %d",
 				n, r, len(w.slices[r]))
 		}
@@ -194,83 +386,118 @@ func (c *Comm) AllreduceSlice(v []float64, op Op) ([]float64, error) {
 	for r := 1; r < w.size; r++ {
 		src := w.slices[r]
 		for i := range out {
-			out[i] = op.apply(out[i], src[i])
+			out[i] = op.Apply(out[i], src[i])
 		}
 	}
-	c.Barrier()
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// Allgather collects one scalar from every rank; every rank receives the
-// full rank-ordered vector.
-func (c *Comm) Allgather(v float64) []float64 {
-	w := c.w
-	if c.rank == 0 {
+func (t *inproc) Allgather(v float64) ([]float64, error) {
+	w := t.w
+	if t.rank == 0 {
 		w.collectives.Add(1)
 	}
-	w.slots[c.rank] = v
-	c.Barrier()
+	w.slots[t.rank] = v
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, w.size)
 	copy(out, w.slots)
-	c.Barrier()
-	return out
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// AllgatherSlice concatenates per-rank vectors in rank order. Vectors may
-// have different lengths.
-func (c *Comm) AllgatherSlice(v []float64) []float64 {
-	w := c.w
-	if c.rank == 0 {
+func (t *inproc) AllgatherSlice(v []float64) ([]float64, error) {
+	w := t.w
+	if t.rank == 0 {
 		w.collectives.Add(1)
 	}
-	w.slices[c.rank] = v
-	c.Barrier()
+	w.slices[t.rank] = v
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
 	var out []float64
 	for r := 0; r < w.size; r++ {
 		out = append(out, w.slices[r]...)
 	}
-	c.Barrier()
-	return out
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Bcast distributes root's value to every rank.
-func (c *Comm) Bcast(v float64, root int) float64 {
-	w := c.w
-	if c.rank == 0 {
+func (t *inproc) Bcast(v float64, root int) (float64, error) {
+	w := t.w
+	if root < 0 || root >= w.size {
+		return 0, fmt.Errorf("mpi: bcast from invalid root %d", root)
+	}
+	if t.rank == 0 {
 		w.collectives.Add(1)
 	}
-	if c.rank == root {
+	if t.rank == root {
 		w.slots[root] = v
 	}
-	c.Barrier()
+	if err := t.Barrier(); err != nil {
+		return 0, err
+	}
 	out := w.slots[root]
-	c.Barrier()
-	return out
+	if err := t.Barrier(); err != nil {
+		return 0, err
+	}
+	return out, nil
 }
 
 // Send delivers a vector to rank `to` (buffered; blocks only if the peer
-// has 4 undelivered messages outstanding). The slice is copied.
-func (c *Comm) Send(to int, data []float64) error {
-	if to < 0 || to >= c.w.size {
+// has p2pBuffer undelivered messages outstanding). The slice is copied. A
+// Send blocked on a full peer buffer fails fast when the world is
+// poisoned instead of waiting on a receiver that may never drain it.
+func (t *inproc) Send(to int, data []float64) error {
+	w := t.w
+	if to < 0 || to >= w.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", to)
 	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	c.w.messages.Add(1)
-	c.w.p2p[c.rank*c.w.size+to] <- cp
-	return nil
+	select {
+	case w.p2p[t.rank*w.size+to] <- cp:
+		w.messages.Add(1)
+		return nil
+	case <-w.done:
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.failErr()
+	}
 }
 
-// Recv blocks for the next message from rank `from`.
-func (c *Comm) Recv(from int) ([]float64, error) {
-	if from < 0 || from >= c.w.size {
+// Recv blocks for the next message from rank `from`, failing fast (after
+// draining already-delivered messages) once the world is poisoned.
+func (t *inproc) Recv(from int) ([]float64, error) {
+	w := t.w
+	if from < 0 || from >= w.size {
 		return nil, fmt.Errorf("mpi: recv from invalid rank %d", from)
 	}
-	return <-c.w.p2p[from*c.w.size+c.rank], nil
+	ch := w.p2p[from*w.size+t.rank]
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-w.done:
+		// Messages delivered before the poison are still readable.
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+		}
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return nil, w.failErr()
+	}
 }
 
-// Stats reports how many collectives and point-to-point messages the
-// communicator has executed (for overhead accounting).
-func (c *Comm) Stats() (collectives, messages int64) {
-	return c.w.collectives.Load(), c.w.messages.Load()
+func (t *inproc) Stats() (collectives, messages int64) {
+	return t.w.collectives.Load(), t.w.messages.Load()
 }

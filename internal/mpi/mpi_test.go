@@ -5,6 +5,9 @@ import (
 	"math"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/apierr"
 )
 
 func TestRunBasics(t *testing.T) {
@@ -15,6 +18,12 @@ func TestRunBasics(t *testing.T) {
 		}
 		if c.Rank() < 0 || c.Rank() >= 8 {
 			t.Errorf("rank = %d", c.Rank())
+		}
+		if c.Epoch() != 0 {
+			t.Errorf("epoch = %d", c.Epoch())
+		}
+		if got := c.Alive(); len(got) != 8 {
+			t.Errorf("alive = %v", got)
 		}
 		count.Add(1)
 		return nil
@@ -58,9 +67,85 @@ func TestRunRecoversPanic(t *testing.T) {
 	}
 }
 
+// TestPanicPoisonsWorld is the deadlock regression test: rank 1 panics
+// while every peer is blocked in a barrier it will never enter. Before
+// world-poisoning the peers hung forever; now each must fail fast with the
+// typed rank-failure error identifying the dead rank.
+func TestPanicPoisonsWorld(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(4, func(c *Comm) error {
+			if c.Rank() == 1 {
+				panic("rank 1 dies before its first collective")
+			}
+			// Peers head straight into a barrier the dead rank never
+			// reaches.
+			if err := c.Barrier(); err == nil {
+				t.Error("barrier succeeded with a dead rank")
+			} else {
+				var rf *apierr.RankFailedError
+				if !errors.As(err, &rf) {
+					t.Errorf("barrier error not typed: %v", err)
+				} else if rf.Rank != 1 {
+					t.Errorf("failed rank = %d, want 1", rf.Rank)
+				}
+				if !errors.Is(err, apierr.ErrRankFailed) {
+					t.Errorf("sentinel not in chain: %v", err)
+				}
+			}
+			// The world stays poisoned: later collectives fail too,
+			// immediately.
+			if _, err := c.Allreduce(1, OpSum); !errors.Is(err, apierr.ErrRankFailed) {
+				t.Errorf("post-poison allreduce: %v", err)
+			}
+			if _, err := c.Bcast(1, 0); !errors.Is(err, apierr.ErrRankFailed) {
+				t.Errorf("post-poison bcast: %v", err)
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panic not surfaced from Run")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: survivors never unblocked after rank panic")
+	}
+}
+
+// TestErrorReturnPoisonsWorld: a rank returning an error mid-protocol is
+// as gone as a panicked one; peers in a collective must not wait for it.
+func TestErrorReturnPoisonsWorld(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(3, func(c *Comm) error {
+			if c.Rank() == 2 {
+				return errors.New("rank 2 bails out")
+			}
+			_, err := c.Allgather(float64(c.Rank()))
+			if !errors.Is(err, apierr.ErrRankFailed) {
+				t.Errorf("allgather with departed rank: %v", err)
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("rank error not surfaced from Run")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: survivors never unblocked after rank error")
+	}
+}
+
 func TestAllreduceSum(t *testing.T) {
 	err := Run(16, func(c *Comm) error {
-		got := c.Allreduce(float64(c.Rank()), OpSum)
+		got, err := c.Allreduce(float64(c.Rank()), OpSum)
+		if err != nil {
+			return err
+		}
 		if got != 120 { // 0+1+...+15
 			t.Errorf("rank %d: sum = %v", c.Rank(), got)
 		}
@@ -74,11 +159,11 @@ func TestAllreduceSum(t *testing.T) {
 func TestAllreduceMinMax(t *testing.T) {
 	err := Run(7, func(c *Comm) error {
 		v := float64(c.Rank()*3 - 5)
-		if got := c.Allreduce(v, OpMin); got != -5 {
-			t.Errorf("min = %v", got)
+		if got, err := c.Allreduce(v, OpMin); err != nil || got != -5 {
+			t.Errorf("min = %v err = %v", got, err)
 		}
-		if got := c.Allreduce(v, OpMax); got != 13 {
-			t.Errorf("max = %v", got)
+		if got, err := c.Allreduce(v, OpMax); err != nil || got != 13 {
+			t.Errorf("max = %v err = %v", got, err)
 		}
 		return nil
 	})
@@ -91,7 +176,10 @@ func TestAllreduceRepeated(t *testing.T) {
 	// Back-to-back collectives must not interfere (slot reuse is fenced).
 	err := Run(5, func(c *Comm) error {
 		for iter := 0; iter < 100; iter++ {
-			got := c.Allreduce(float64(c.Rank()+iter), OpSum)
+			got, err := c.Allreduce(float64(c.Rank()+iter), OpSum)
+			if err != nil {
+				return err
+			}
 			want := float64(10 + 5*iter) // Σ ranks + size·iter
 			if got != want {
 				t.Errorf("iter %d: %v != %v", iter, got, want)
@@ -111,7 +199,10 @@ func TestAllreduceDeterministicOrder(t *testing.T) {
 	want := ((vals[0] + vals[1]) + vals[2]) + vals[3]
 	for trial := 0; trial < 10; trial++ {
 		err := Run(4, func(c *Comm) error {
-			got := c.Allreduce(vals[c.Rank()], OpSum)
+			got, err := c.Allreduce(vals[c.Rank()], OpSum)
+			if err != nil {
+				return err
+			}
 			if got != want {
 				t.Errorf("trial %d: %v != %v", trial, got, want)
 			}
@@ -151,9 +242,50 @@ func TestAllreduceSliceLengthMismatch(t *testing.T) {
 	}
 }
 
+// TestAllreduceSliceLengthMismatchRecovery: a length mismatch is a usage
+// error, not a dead rank — every rank gets the error and the world stays
+// healthy, so subsequent collectives still work.
+func TestAllreduceSliceLengthMismatchRecovery(t *testing.T) {
+	var mismatches atomic.Int64
+	err := Run(3, func(c *Comm) error {
+		v := make([]float64, 2+c.Rank())
+		if _, err := c.AllreduceSlice(v, OpSum); err != nil {
+			if errors.Is(err, apierr.ErrRankFailed) {
+				t.Errorf("mismatch mis-typed as rank failure: %v", err)
+			}
+			mismatches.Add(1)
+		}
+		// The world is not poisoned: collectives keep working.
+		got, err := c.Allreduce(1, OpSum)
+		if err != nil {
+			return err
+		}
+		if got != 3 {
+			t.Errorf("post-mismatch allreduce = %v", got)
+		}
+		same, err := c.AllreduceSlice([]float64{float64(c.Rank())}, OpMax)
+		if err != nil {
+			return err
+		}
+		if len(same) != 1 || same[0] != 2 {
+			t.Errorf("post-mismatch slice reduce = %v", same)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches.Load() != 3 {
+		t.Fatalf("mismatch seen by %d ranks, want all 3", mismatches.Load())
+	}
+}
+
 func TestAllgather(t *testing.T) {
 	err := Run(6, func(c *Comm) error {
-		got := c.Allgather(float64(c.Rank() * c.Rank()))
+		got, err := c.Allgather(float64(c.Rank() * c.Rank()))
+		if err != nil {
+			return err
+		}
 		for r := 0; r < 6; r++ {
 			if got[r] != float64(r*r) {
 				t.Errorf("rank %d: got[%d] = %v", c.Rank(), r, got[r])
@@ -172,7 +304,10 @@ func TestAllgatherSlice(t *testing.T) {
 		for i := range mine {
 			mine[i] = float64(c.Rank())
 		}
-		got := c.AllgatherSlice(mine)
+		got, err := c.AllgatherSlice(mine)
+		if err != nil {
+			return err
+		}
 		want := []float64{0, 1, 1, 2, 2, 2}
 		if len(got) != len(want) {
 			t.Errorf("len %d", len(got))
@@ -191,14 +326,36 @@ func TestAllgatherSlice(t *testing.T) {
 	}
 }
 
+// TestBcast broadcasts from a nonzero root: every rank, including ranks
+// below the root, must receive the root's value, repeatedly.
 func TestBcast(t *testing.T) {
 	err := Run(5, func(c *Comm) error {
 		v := -1.0
 		if c.Rank() == 2 {
 			v = 42
 		}
-		if got := c.Bcast(v, 2); got != 42 {
-			t.Errorf("rank %d: bcast = %v", c.Rank(), got)
+		if got, err := c.Bcast(v, 2); err != nil || got != 42 {
+			t.Errorf("rank %d: bcast = %v err = %v", c.Rank(), got, err)
+		}
+		// Again from the highest rank, with per-rank garbage elsewhere.
+		v = float64(-c.Rank() - 1)
+		if c.Rank() == 4 {
+			v = 7
+		}
+		if got, err := c.Bcast(v, 4); err != nil || got != 7 {
+			t.Errorf("rank %d: bcast root 4 = %v err = %v", c.Rank(), got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastInvalidRoot(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, err := c.Bcast(1, 5); err == nil {
+			t.Error("invalid root accepted")
 		}
 		return nil
 	})
@@ -265,12 +422,76 @@ func TestSendRecvInvalidRank(t *testing.T) {
 	}
 }
 
+// TestSendFullBufferFailsOnPoison: rank 0 stuffs rank 1's buffer full and
+// keeps sending while rank 1 dies without ever receiving. The blocked Send
+// must fail fast with the typed error, not wait forever for a drain.
+func TestSendFullBufferFailsOnPoison(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(2, func(c *Comm) error {
+			if c.Rank() == 1 {
+				panic("receiver dies with a full inbox")
+			}
+			var err error
+			for i := 0; i < p2pBuffer+1; i++ {
+				if err = c.Send(1, []float64{float64(i)}); err != nil {
+					break
+				}
+			}
+			if !errors.Is(err, apierr.ErrRankFailed) {
+				t.Errorf("blocked send: err = %v", err)
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("receiver panic not surfaced")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: send to full buffer never unblocked")
+	}
+}
+
+// TestRecvDrainsBeforeFailing: messages delivered before the poison stay
+// readable; only then does Recv report the failure.
+func TestRecvDrainsBeforeFailing(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, []float64{5}); err != nil {
+				return err
+			}
+			return errors.New("sender leaves after sending")
+		}
+		// Wait for the world to be poisoned so the race is fixed.
+		<-c.Transport().(*inproc).w.done
+		got, err := c.Recv(0)
+		if err != nil {
+			t.Errorf("pre-poison message lost: %v", err)
+			return nil
+		}
+		if len(got) != 1 || got[0] != 5 {
+			t.Errorf("recv %v", got)
+		}
+		if _, err := c.Recv(0); !errors.Is(err, apierr.ErrRankFailed) {
+			t.Errorf("drained recv: err = %v", err)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("sender error not surfaced")
+	}
+}
+
 func TestBarrierOrdering(t *testing.T) {
 	// After a barrier, every rank must observe all pre-barrier writes.
 	var stage [8]atomic.Int64
 	err := Run(8, func(c *Comm) error {
 		stage[c.Rank()].Store(1)
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		for r := 0; r < 8; r++ {
 			if stage[r].Load() != 1 {
 				t.Errorf("rank %d saw rank %d pre-barrier", c.Rank(), r)
@@ -285,9 +506,15 @@ func TestBarrierOrdering(t *testing.T) {
 
 func TestStatsCount(t *testing.T) {
 	err := Run(3, func(c *Comm) error {
-		c.Allreduce(1, OpSum)
-		c.Allgather(1)
-		c.Barrier()
+		if _, err := c.Allreduce(1, OpSum); err != nil {
+			return err
+		}
+		if _, err := c.Allgather(1); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		coll, _ := c.Stats()
 		if coll != 2 {
 			t.Errorf("collectives = %d, want 2", coll)
@@ -304,8 +531,14 @@ func TestGlobalMeanPattern(t *testing.T) {
 	// global mean comes from one Allreduce of (sum, count).
 	local := []float64{10, 20, 30, 40}
 	err := Run(4, func(c *Comm) error {
-		sum := c.Allreduce(local[c.Rank()], OpSum)
-		n := c.Allreduce(1, OpSum)
+		sum, err := c.Allreduce(local[c.Rank()], OpSum)
+		if err != nil {
+			return err
+		}
+		n, err := c.Allreduce(1, OpSum)
+		if err != nil {
+			return err
+		}
 		mean := sum / n
 		if math.Abs(mean-25) > 1e-12 {
 			t.Errorf("global mean %v", mean)
@@ -315,4 +548,38 @@ func TestGlobalMeanPattern(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSum.String() != "sum" || OpMin.String() != "min" || OpMax.String() != "max" {
+		t.Error("op names wrong")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op has empty name")
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{OpSum, 2, 3, 5},
+		{OpMin, 2, 3, 2},
+		{OpMin, 3, 2, 2},
+		{OpMax, 2, 3, 3},
+		{OpMax, 3, 2, 3},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v.Apply(%v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown op did not panic")
+		}
+	}()
+	Op(9).Apply(1, 2)
 }

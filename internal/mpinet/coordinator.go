@@ -1,0 +1,536 @@
+package mpinet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Config tunes the transport's timing. The zero value gets sensible
+// defaults; tests inject seams (Now, Dial) and disable the real-time
+// tickers to run the failure detector deterministically.
+type Config struct {
+	// HeartbeatInterval is how often each side emits heartbeats (members
+	// to the coordinator, the coordinator to members). Default 500ms;
+	// negative disables the automatic ticker (tests drive liveness
+	// explicitly).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a member may go silent before the
+	// coordinator declares it failed, and how long a member waits for any
+	// coordinator frame before declaring the coordinator lost. Default 2s;
+	// negative disables the automatic sweep/read deadline.
+	HeartbeatTimeout time.Duration
+	// MessageTimeout bounds every frame write (a peer that stops reading
+	// is as dead as one that closed). Default 10s.
+	MessageTimeout time.Duration
+	// DialTimeout bounds a member's connect+handshake. Default 5s.
+	DialTimeout time.Duration
+	// Now supplies the failure detector's clock. Default time.Now.
+	Now func() time.Time
+	// Dial opens the member's connection to the coordinator. Default
+	// net.Dialer with DialTimeout; tests wrap the conn in
+	// faultinject.WrapConn here.
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
+	if c.MessageTimeout == 0 {
+		c.MessageTimeout = 10 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// member is the coordinator's view of one connected rank.
+type member struct {
+	rank int
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes to this conn
+	// departed is set by a clean goodbye, so the subsequent EOF is not a
+	// failure.
+	departed bool
+}
+
+// collState accumulates one pending collective (current epoch only).
+type collState struct {
+	header  uint64
+	contrib map[int][]float64
+	// errMsg, once set, tombstones the collective: it already failed a
+	// protocol check, and every remaining contributor gets this error
+	// immediately instead of a result. The entry is dropped when all
+	// alive ranks have contributed (each rank contributes exactly once
+	// per seq, so that is when nobody can arrive late anymore).
+	errMsg []byte
+}
+
+// Coordinator is the membership and collective server of one TCP world.
+// It is not itself a rank: the rank-0 process conventionally runs one and
+// then joins it like everyone else.
+type Coordinator struct {
+	ln   net.Listener
+	size int
+	cfg  Config
+
+	mu       sync.Mutex
+	epoch    int
+	alive    map[int]bool
+	members  map[int]*member
+	lastSeen map[int]time.Time
+	pending  map[int]*collState
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator serves a world of the given size on ln. Membership starts
+// as all ranks alive; ranks that never join are failed by the stale sweep
+// like any silent member.
+func NewCoordinator(ln net.Listener, size int, cfg Config) (*Coordinator, error) {
+	if size <= 0 {
+		return nil, errors.New("mpinet: size must be positive")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		ln:       ln,
+		size:     size,
+		cfg:      cfg,
+		alive:    make(map[int]bool, size),
+		members:  make(map[int]*member, size),
+		lastSeen: make(map[int]time.Time, size),
+		pending:  make(map[int]*collState),
+		done:     make(chan struct{}),
+	}
+	now := cfg.Now()
+	for r := 0; r < size; r++ {
+		c.alive[r] = true
+		c.lastSeen[r] = now
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	if cfg.HeartbeatInterval > 0 {
+		c.wg.Add(1)
+		go c.tickLoop()
+	}
+	return c, nil
+}
+
+// Listen is the convenience constructor for production use: bind addr
+// (e.g. "127.0.0.1:0") and serve a world of size ranks.
+func Listen(addr string, size int, cfg Config) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewCoordinator(ln, size, cfg)
+}
+
+// Addr is the coordinator's bound address, for members to Join.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Epoch reports the current membership epoch.
+func (c *Coordinator) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Alive lists the ranks currently believed alive, ascending.
+func (c *Coordinator) Alive() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked()
+}
+
+func (c *Coordinator) aliveLocked() []int {
+	out := make([]int, 0, len(c.alive))
+	for r := range c.alive {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Close shuts the coordinator down: stops accepting, closes every member
+// connection, and waits for its goroutines.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.members))
+	for _, m := range c.members {
+		conns = append(conns, m.conn)
+	}
+	c.mu.Unlock()
+	close(c.done)
+	err := c.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.handshake(conn)
+	}
+}
+
+// tickLoop drives the real-time failure detector: outbound heartbeats so
+// members can detect a dead coordinator, and the stale sweep so silent
+// members are failed. Tests disable it and call SweepStale directly.
+func (c *Coordinator) tickLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		epoch := c.epoch
+		targets := c.connectedLocked()
+		c.mu.Unlock()
+		for _, m := range targets {
+			c.send(m, &frame{kind: kindHeartbeat, epoch: epoch, from: -1})
+		}
+		if c.cfg.HeartbeatTimeout > 0 {
+			c.SweepStale(c.cfg.Now())
+		}
+	}
+}
+
+// connectedLocked lists members that are connected, alive, and not
+// departed. Caller holds c.mu.
+func (c *Coordinator) connectedLocked() []*member {
+	out := make([]*member, 0, len(c.members))
+	for r, m := range c.members {
+		if c.alive[r] && !m.departed {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) handshake(conn net.Conn) {
+	defer c.wg.Done()
+	if c.cfg.HeartbeatTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	}
+	f, err := readFrame(conn)
+	if err != nil || f.kind != kindHello || f.aux != uint64(c.size) {
+		conn.Close()
+		return
+	}
+	rank := f.from
+	c.mu.Lock()
+	if rank < 0 || rank >= c.size || !c.alive[rank] || c.members[rank] != nil || c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	m := &member{rank: rank, conn: conn}
+	c.members[rank] = m
+	c.lastSeen[rank] = c.cfg.Now()
+	epoch := c.epoch
+	aliveVec := make([]float64, 0, len(c.alive))
+	for _, r := range c.aliveLocked() {
+		aliveVec = append(aliveVec, float64(r))
+	}
+	c.mu.Unlock()
+	conn.SetReadDeadline(time.Time{})
+	if err := c.send(m, &frame{kind: kindWelcome, epoch: epoch, from: -1, vec: aliveVec}); err != nil {
+		return // send already triggered the failure path
+	}
+	c.readLoop(m)
+}
+
+// send writes one frame to a member with the per-message deadline; a write
+// failure fails the member (a peer that stops reading is gone).
+func (c *Coordinator) send(m *member, f *frame) error {
+	m.wmu.Lock()
+	buf, err := appendFrame(nil, f)
+	if err == nil {
+		if c.cfg.MessageTimeout > 0 {
+			m.conn.SetWriteDeadline(time.Now().Add(c.cfg.MessageTimeout))
+		}
+		_, err = m.conn.Write(buf)
+	}
+	m.wmu.Unlock()
+	if err != nil {
+		go c.fail(m.rank, fmt.Errorf("mpinet: write to rank %d: %w", m.rank, err))
+	}
+	return err
+}
+
+func (c *Coordinator) readLoop(m *member) {
+	for {
+		f, err := readFrame(m.conn)
+		if err != nil {
+			c.mu.Lock()
+			departed := m.departed
+			closed := c.closed
+			c.mu.Unlock()
+			if !departed && !closed {
+				c.fail(m.rank, fmt.Errorf("mpinet: rank %d connection: %w", m.rank, err))
+			}
+			return
+		}
+		c.mu.Lock()
+		c.lastSeen[m.rank] = c.cfg.Now()
+		c.mu.Unlock()
+		switch f.kind {
+		case kindHeartbeat:
+		case kindContribute:
+			c.handleContribute(m.rank, f)
+		case kindP2P:
+			c.handleP2P(m.rank, f)
+		case kindGoodbye:
+			c.handleGoodbye(m)
+			return
+		default:
+			c.fail(m.rank, fmt.Errorf("mpinet: rank %d sent unexpected frame kind %d", m.rank, f.kind))
+			return
+		}
+	}
+}
+
+// handleGoodbye is a clean leave: the rank is removed from membership with
+// no epoch bump — unless a collective is pending, in which case leaving
+// early is indistinguishable from dying and is treated as a failure.
+func (c *Coordinator) handleGoodbye(m *member) {
+	c.mu.Lock()
+	if len(c.pending) > 0 {
+		c.mu.Unlock()
+		c.fail(m.rank, fmt.Errorf("mpinet: rank %d left with a collective pending", m.rank))
+		return
+	}
+	m.departed = true
+	delete(c.alive, m.rank)
+	c.mu.Unlock()
+	m.conn.Close()
+}
+
+// fail declares rank dead: opens a new epoch, aborts every pending
+// collective, and broadcasts the membership change so every member's
+// in-flight (or next) collective fails fast with the typed error.
+func (c *Coordinator) fail(rank int, cause error) {
+	c.mu.Lock()
+	if !c.alive[rank] || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.alive, rank)
+	c.epoch++
+	epoch := c.epoch
+	c.pending = make(map[int]*collState) // abort: the broadcast below unblocks waiters
+	var dead *member
+	if m := c.members[rank]; m != nil {
+		dead = m
+	}
+	targets := c.connectedLocked()
+	c.mu.Unlock()
+	if dead != nil {
+		dead.conn.Close()
+	}
+	msg := []byte(cause.Error())
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	for _, m := range targets {
+		c.send(m, &frame{kind: kindRankFailed, epoch: epoch, from: -1, aux: uint64(rank), extra: msg})
+	}
+}
+
+// SweepStale fails every alive member whose last frame is older than the
+// heartbeat timeout as of now. The automatic ticker calls this with real
+// time; deterministic tests call it directly with a fake clock's now.
+func (c *Coordinator) SweepStale(now time.Time) {
+	c.mu.Lock()
+	var stale []int
+	var ages []time.Duration
+	for r := range c.alive {
+		if m := c.members[r]; m != nil && m.departed {
+			continue
+		}
+		if age := now.Sub(c.lastSeen[r]); age > c.cfg.HeartbeatTimeout {
+			stale = append(stale, r)
+			ages = append(ages, age)
+		}
+	}
+	c.mu.Unlock()
+	for i, r := range stale {
+		c.fail(r, fmt.Errorf("mpinet: rank %d heartbeat stale for %v (timeout %v)", r, ages[i], c.cfg.HeartbeatTimeout))
+	}
+}
+
+// handleP2P routes a member's send to its target. Sends to dead ranks are
+// dropped — the sender learns about the death from its next collective (or
+// its Recv), exactly like a buffered MPI send.
+func (c *Coordinator) handleP2P(from int, f *frame) {
+	to := int(f.aux)
+	c.mu.Lock()
+	var target *member
+	if to >= 0 && to < c.size && c.alive[to] {
+		if m := c.members[to]; m != nil && !m.departed {
+			target = m
+		}
+	}
+	epoch := c.epoch
+	c.mu.Unlock()
+	if target == nil {
+		return
+	}
+	c.send(target, &frame{kind: kindP2P, epoch: epoch, from: from, vec: f.vec})
+}
+
+func (c *Coordinator) handleContribute(rank int, f *frame) {
+	c.mu.Lock()
+	if f.epoch != c.epoch || !c.alive[rank] {
+		// Stale: the member hasn't processed the epoch broadcast yet (its
+		// conn is FIFO, so it will) — its retry re-contributes with the
+		// new epoch and seq 0.
+		c.mu.Unlock()
+		return
+	}
+	st := c.pending[f.seq]
+	if st == nil {
+		st = &collState{header: f.aux, contrib: make(map[int][]float64)}
+		c.pending[f.seq] = st
+	}
+	justSet := false
+	if st.errMsg == nil && st.header != f.aux {
+		// The ranks disagree about which collective this seq maps to — a
+		// protocol bug above the transport. Recoverable: tombstone the
+		// collective, error every contributor so far, keep membership
+		// intact; later contributors get the error on arrival.
+		st.errMsg = []byte(fmt.Sprintf("collective %d: mismatched headers (%x vs %x)", f.seq, st.header, f.aux))
+		justSet = true
+	}
+	st.contrib[rank] = f.vec
+	if st.errMsg != nil {
+		var targets []*member
+		if justSet {
+			for r := range st.contrib {
+				if m := c.members[r]; m != nil && !m.departed {
+					targets = append(targets, m)
+				}
+			}
+		} else if m := c.members[rank]; m != nil && !m.departed {
+			targets = append(targets, m)
+		}
+		if len(st.contrib) >= len(c.alive) {
+			delete(c.pending, f.seq)
+		}
+		epoch, seq, msg := c.epoch, f.seq, st.errMsg
+		c.mu.Unlock()
+		for _, m := range targets {
+			c.send(m, &frame{kind: kindCollErr, epoch: epoch, seq: seq, from: -1, extra: msg})
+		}
+		return
+	}
+	if len(st.contrib) < len(c.alive) {
+		c.mu.Unlock()
+		return
+	}
+	// Complete: every alive rank contributed. Fold in ascending rank
+	// order — the determinism contract — and broadcast.
+	delete(c.pending, f.seq)
+	ranks := c.aliveLocked()
+	result, cerr := computeCollective(st, ranks)
+	targets := c.connectedLocked()
+	epoch, seq := c.epoch, f.seq
+	c.mu.Unlock()
+	if cerr != nil {
+		msg := []byte(cerr.Error())
+		for _, m := range targets {
+			c.send(m, &frame{kind: kindCollErr, epoch: epoch, seq: seq, from: -1, extra: msg})
+		}
+		return
+	}
+	for _, m := range targets {
+		c.send(m, &frame{kind: kindResult, epoch: epoch, seq: seq, from: -1, vec: result})
+	}
+}
+
+// computeCollective folds the contributions of one completed collective in
+// ascending rank order. A non-nil error is a recoverable usage error
+// (length mismatch, dead bcast root), reported to every member as
+// kindCollErr — membership is unaffected.
+func computeCollective(st *collState, ranks []int) ([]float64, error) {
+	kind, op, root := unpackColl(st.header)
+	switch kind {
+	case collBarrier:
+		return nil, nil
+	case collReduce:
+		n := len(st.contrib[ranks[0]])
+		for _, r := range ranks[1:] {
+			if len(st.contrib[r]) != n {
+				return nil, fmt.Errorf("mpinet: AllreduceSlice length mismatch: rank %d has %d, rank %d has %d",
+					ranks[0], n, r, len(st.contrib[r]))
+			}
+		}
+		out := append([]float64(nil), st.contrib[ranks[0]]...)
+		for _, r := range ranks[1:] {
+			src := st.contrib[r]
+			for i := range out {
+				out[i] = mpi.Op(op).Apply(out[i], src[i])
+			}
+		}
+		return out, nil
+	case collGather:
+		out := make([]float64, 0, len(ranks))
+		for _, r := range ranks {
+			if len(st.contrib[r]) != 1 {
+				return nil, fmt.Errorf("mpinet: Allgather: rank %d contributed %d values, want 1", r, len(st.contrib[r]))
+			}
+			out = append(out, st.contrib[r][0])
+		}
+		return out, nil
+	case collGatherV:
+		var out []float64
+		for _, r := range ranks {
+			out = append(out, st.contrib[r]...)
+		}
+		return out, nil
+	case collBcast:
+		v, ok := st.contrib[root]
+		if !ok {
+			return nil, fmt.Errorf("mpinet: bcast root %d is not an alive member", root)
+		}
+		if len(v) != 1 {
+			return nil, fmt.Errorf("mpinet: bcast root contributed %d values, want 1", len(v))
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("mpinet: unknown collective kind %d", kind)
+	}
+}

@@ -1,0 +1,72 @@
+package mpinet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestStatsCountPerRankTraffic(t *testing.T) {
+	_, ts := startWorld(t, 2, quiet())
+	err := runRanks(ts, func(c *mpi.Comm) error {
+		if _, err := c.Allreduce(1, mpi.OpSum); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return c.Send(1, []float64{42})
+		}
+		_, err := c.Recv(0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, msgs := ts[0].Stats()
+	if coll != 2 {
+		t.Errorf("rank 0 collectives = %d, want 2", coll)
+	}
+	if msgs != 1 {
+		t.Errorf("rank 0 messages = %d, want 1", msgs)
+	}
+	if coll, msgs := ts[1].Stats(); coll != 2 || msgs != 0 {
+		t.Errorf("rank 1 stats = (%d, %d), want (2, 0)", coll, msgs)
+	}
+}
+
+func TestInvalidArgumentsAreLocalErrors(t *testing.T) {
+	_, ts := startWorld(t, 2, quiet())
+	if _, err := ts[0].Bcast(1, 5); err == nil || !strings.Contains(err.Error(), "invalid root") {
+		t.Errorf("Bcast invalid root: %v", err)
+	}
+	if _, err := ts[0].Bcast(1, -1); err == nil {
+		t.Error("Bcast negative root accepted")
+	}
+	if err := ts[0].Send(7, []float64{1}); err == nil || !strings.Contains(err.Error(), "invalid rank") {
+		t.Errorf("Send invalid rank: %v", err)
+	}
+	if _, err := ts[0].Recv(-2); err == nil {
+		t.Error("Recv invalid rank accepted")
+	}
+	if _, err := ts[0].AllreduceSlice(nil, mpi.OpSum); err == nil {
+		t.Error("AllreduceSlice of empty vector accepted")
+	}
+	// The local argument rejections must not have consumed a collective or
+	// desynchronized the world: a real collective still completes.
+	err := runRanks(ts, func(c *mpi.Comm) error {
+		got, err := c.Allreduce(float64(c.Rank()+1), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if got != 3 {
+			t.Errorf("Allreduce after rejections = %v, want 3", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

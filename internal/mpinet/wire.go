@@ -1,0 +1,178 @@
+// Package mpinet is the TCP transport behind mpi.Comm: the same
+// collectives that run between goroutine ranks in-process run here between
+// OS processes (or nodes) over a coordinator-star topology.
+//
+// Topology. One coordinator (conventionally owned by the rank-0 process)
+// listens on TCP; every rank — including rank 0 — joins as a member over
+// its own connection. Collectives are coordinator-mediated: each member
+// sends its contribution, the coordinator folds contributions in ascending
+// rank order (the same bit-reproducibility contract as the in-process
+// world) and broadcasts the result. Point-to-point sends are routed
+// through the coordinator.
+//
+// Wire format. Every frame is
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// and the payload is
+//
+//	u8 kind | u32 epoch | u32 seq | i32 from | u64 aux |
+//	u32 vecLen | vecLen × f64 | u16 extraLen | extra bytes
+//
+// all big-endian. The CRC rejects torn or corrupted frames at the
+// transport layer, before any field is trusted; the length field is capped
+// so a hostile or garbled header cannot drive allocation.
+//
+// Failure model. The coordinator declares a member failed when its
+// connection errors (a kill -9 arrives as an immediate RST) or when its
+// heartbeats go stale. A failure opens a new membership epoch: the
+// coordinator aborts every pending collective and broadcasts the failure,
+// and each member surfaces a typed *apierr.RankFailedError from its
+// in-flight (or next) collective call — never a hang. Sequence numbers
+// restart at zero in the new epoch, so after the caller rebalances and
+// retries the step, every survivor's collectives realign. The coordinator
+// itself is not fault-tolerant: members that lose it report rank 0 failed
+// and the run must be restarted (ROADMAP item 4 keeps coordinator
+// replication as future work).
+package mpinet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/apierr"
+)
+
+// Frame kinds.
+const (
+	kindHello      = 1 // member → coordinator: join; from=rank, aux=world size
+	kindWelcome    = 2 // coordinator → member: accepted; epoch, vec=alive ranks
+	kindHeartbeat  = 3 // either direction: liveness
+	kindContribute = 4 // member → coordinator: collective input; aux=collective header
+	kindResult     = 5 // coordinator → member: collective output
+	kindCollErr    = 6 // coordinator → member: recoverable collective error; extra=message
+	kindRankFailed = 7 // coordinator → member: membership change; aux=failed rank, epoch=new epoch
+	kindP2P        = 8 // routed send; aux=target rank inbound, from=sender outbound
+	kindGoodbye    = 9 // member → coordinator: clean leave
+)
+
+// Collective kinds, packed into the aux field of kindContribute frames
+// together with the operator and the broadcast root (see packColl).
+const (
+	collBarrier = 1
+	collReduce  = 2 // Allreduce and AllreduceSlice (vector length tells them apart server-side)
+	collGather  = 3 // Allgather (scalar per rank)
+	collGatherV = 4 // AllgatherSlice (variable-length per rank)
+	collBcast   = 5
+)
+
+// packColl packs a collective header into aux: kind in the low byte, the
+// reduction operator in the next, the bcast root in the following 16 bits.
+func packColl(kind, op, root int) uint64 {
+	return uint64(kind&0xFF) | uint64(op&0xFF)<<8 | uint64(root&0xFFFF)<<16
+}
+
+func unpackColl(aux uint64) (kind, op, root int) {
+	return int(aux & 0xFF), int(aux >> 8 & 0xFF), int(aux >> 16 & 0xFFFF)
+}
+
+// maxFramePayload caps a frame's declared payload length. Collective
+// vectors are O(partitions) and error strings are short, so 64 MiB is far
+// above anything legitimate while still bounding hostile allocation.
+const maxFramePayload = 64 << 20
+
+// frameHeaderLen is the fixed prefix before the f64 vector.
+const frameHeaderLen = 1 + 4 + 4 + 4 + 8 + 4
+
+// frame is one decoded wire message.
+type frame struct {
+	kind  byte
+	epoch int
+	seq   int
+	from  int
+	aux   uint64
+	vec   []float64
+	extra []byte
+}
+
+// appendFrame encodes f (length + CRC + payload) into buf and returns the
+// extended slice.
+func appendFrame(buf []byte, f *frame) ([]byte, error) {
+	if len(f.extra) > math.MaxUint16 {
+		return nil, fmt.Errorf("mpinet: frame extra %d bytes exceeds %d", len(f.extra), math.MaxUint16)
+	}
+	payloadLen := frameHeaderLen + 8*len(f.vec) + 2 + len(f.extra)
+	if payloadLen > maxFramePayload {
+		return nil, fmt.Errorf("mpinet: frame payload %d bytes exceeds cap %d", payloadLen, maxFramePayload)
+	}
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
+	buf = binary.BigEndian.AppendUint32(buf, 0) // CRC backfilled below
+	payloadStart := len(buf)
+	buf = append(buf, f.kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.epoch))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(f.from)))
+	buf = binary.BigEndian.AppendUint64(buf, f.aux)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.vec)))
+	for _, v := range f.vec {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.extra)))
+	buf = append(buf, f.extra...)
+	crc := crc32.ChecksumIEEE(buf[payloadStart:])
+	binary.BigEndian.PutUint32(buf[start+4:], crc)
+	return buf, nil
+}
+
+// readFrame reads and validates one frame. A CRC mismatch, an over-cap
+// length, or a malformed payload is reported as ErrCorruptArchive-tagged
+// corruption — the transport equivalent of a bad archive block.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[:4])
+	wantCRC := binary.BigEndian.Uint32(hdr[4:])
+	if payloadLen < frameHeaderLen+2 || payloadLen > maxFramePayload {
+		return nil, fmt.Errorf("mpinet: %w: frame payload length %d", apierr.ErrCorruptArchive, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("mpinet: %w: frame CRC mismatch (got %08x want %08x)", apierr.ErrCorruptArchive, got, wantCRC)
+	}
+	f := &frame{
+		kind:  payload[0],
+		epoch: int(binary.BigEndian.Uint32(payload[1:])),
+		seq:   int(binary.BigEndian.Uint32(payload[5:])),
+		from:  int(int32(binary.BigEndian.Uint32(payload[9:]))),
+		aux:   binary.BigEndian.Uint64(payload[13:]),
+	}
+	vecLen := binary.BigEndian.Uint32(payload[21:])
+	rest := payload[frameHeaderLen:]
+	if uint64(vecLen)*8+2 > uint64(len(rest)) {
+		return nil, fmt.Errorf("mpinet: %w: frame vector length %d exceeds payload", apierr.ErrCorruptArchive, vecLen)
+	}
+	if vecLen > 0 {
+		f.vec = make([]float64, vecLen)
+		for i := range f.vec {
+			f.vec[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
+		}
+	}
+	rest = rest[8*vecLen:]
+	extraLen := int(binary.BigEndian.Uint16(rest))
+	if 2+extraLen != len(rest) {
+		return nil, fmt.Errorf("mpinet: %w: frame extra length %d does not tile payload", apierr.ErrCorruptArchive, extraLen)
+	}
+	if extraLen > 0 {
+		f.extra = append([]byte(nil), rest[2:]...)
+	}
+	return f, nil
+}

@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/apierr"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// Distributed rank runner. RunRank is one rank's side of a failure-tolerant
+// in situ run: every rank consumes the same deterministic source, compresses
+// the partitions it owns through the partition-ID-ordered in situ protocol
+// (core.CompressInSituRank), and streams them into its own v3 shard
+// (core.ShardStepFields). A step commits only when the post-write barrier
+// succeeds on every alive rank.
+//
+// When a rank dies, the transport surfaces *apierr.RankFailedError from the
+// collective instead of hanging. Every survivor then rolls its shard back to
+// the last committed step (StreamWriter.TruncateSteps — a no-op on ranks the
+// failure caught before they wrote), recomputes the partition assignment
+// over the survivor set (core.AssignPartitions — pure function of
+// (nParts, alive), no negotiation), and retries the step. Because the
+// protocol's reductions fold in partition-ID order, the retried frames are
+// byte-identical to what a healthy run would have produced, so the merged
+// archive (core.MergeShards) still matches the single-process golden
+// bit-for-bit.
+
+// RankConfig configures one rank of a distributed run. Every rank must be
+// constructed with identical configuration — the assignment and the error
+// bounds are derived from it deterministically, with no negotiation.
+type RankConfig struct {
+	// Engine is the compression engine configuration (identical on every
+	// rank: partition dim, codec, clamp factor and strategy all shape the
+	// bytes).
+	Engine core.Config
+	// AvgEB is the default quality budget per field. Budgets are absolute:
+	// a relative budget would need a collectively agreed baseline, which is
+	// exactly the kind of hidden negotiation this path avoids.
+	AvgEB float64
+	// AvgEBs overrides the budget for specific fields.
+	AvgEBs map[string]float64
+	// Halo optionally enforces the halo-mass budget per field.
+	Halo map[string]*core.InSituHalo
+	// MaxStepRetries bounds how many rank failures one step may absorb
+	// before the run gives up (default: the initial world size — each retry
+	// consumes at least one dead rank).
+	MaxStepRetries int
+	// OnCommit, when set, observes each committed step.
+	OnCommit func(step, epoch int)
+	// OnFailure, when set, observes each detected rank failure.
+	OnFailure func(failedRank, epoch int)
+}
+
+// RankRunStats reports one rank's view of a distributed run.
+type RankRunStats struct {
+	// Rank is this rank's ID.
+	Rank int
+	// Steps is the number of committed steps.
+	Steps int
+	// Retries counts step attempts abandoned because a rank failed.
+	Retries int
+	// FinalEpoch is the membership epoch after the run (0 = no failures).
+	FinalEpoch int
+	// Alive is the surviving rank set after the run.
+	Alive []int
+	// Collectives is the number of collectives this rank executed.
+	Collectives int64
+}
+
+// RunRank runs this rank's side of a distributed compression run: it
+// consumes src until io.EOF, writes this rank's shard stream to shard, and
+// commits each step with a barrier. See the package comment above for the
+// failure protocol. The shard writer must additionally support Truncate and
+// Seek (e.g. *os.File) for failure rollback; a plain writer works as long
+// as no rank dies.
+//
+// The caller merges the shards afterwards with core.MergeShards; the merged
+// stream is byte-identical to a single-process run of the same source and
+// configuration, regardless of rank count or mid-run failures.
+func RunRank(ctx context.Context, t mpi.Transport, src Source, shard io.Writer, cfg RankConfig) (*RankRunStats, error) {
+	if cfg.AvgEB <= 0 && len(cfg.AvgEBs) == 0 {
+		return nil, fmt.Errorf("pipeline: %w: RunRank needs an absolute quality budget (AvgEB or AvgEBs)", apierr.ErrBadConfig)
+	}
+	eng, err := core.NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	comm := mpi.NewComm(t)
+	sw, err := core.NewStreamWriter(shard)
+	if err != nil {
+		return nil, err
+	}
+	maxRetries := cfg.MaxStepRetries
+	if maxRetries <= 0 {
+		maxRetries = t.Size()
+	}
+
+	st := &RankRunStats{Rank: t.Rank()}
+	cals := make(map[string]*core.Calibration)
+	committed := 0
+	for {
+		snap, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, fmt.Errorf("pipeline: rank %d source: %w", t.Rank(), err)
+		}
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+
+		retries := 0
+		for { // one iteration per attempt at this step
+			if err := ctx.Err(); err != nil {
+				return st, fmt.Errorf("pipeline: rank %d canceled after %d steps: %w", t.Rank(), committed, err)
+			}
+			block, err := compressRankStep(ctx, eng, comm, t, snap, names, cals, cfg)
+			if err == nil {
+				if err = sw.WriteStep(block); err != nil {
+					return st, err
+				}
+				// Commit barrier: the coordinator releases it only once every
+				// alive rank has written its shard step, so either all
+				// survivors commit this step or none do.
+				err = comm.Barrier()
+				if err == nil {
+					committed++
+					st.Steps = committed
+					if cfg.OnCommit != nil {
+						cfg.OnCommit(committed-1, t.Epoch())
+					}
+					break
+				}
+			}
+			var rf *apierr.RankFailedError
+			if !errors.As(err, &rf) {
+				return st, err
+			}
+			// A peer died mid-step. Roll back whatever this attempt wrote
+			// (a no-op when the failure arrived before our write), adopt the
+			// survivor set, and retry the step under the new assignment.
+			st.Retries++
+			if cfg.OnFailure != nil {
+				cfg.OnFailure(rf.Rank, rf.Epoch)
+			}
+			if terr := sw.TruncateSteps(committed); terr != nil {
+				return st, fmt.Errorf("pipeline: rank %d rollback after failure of rank %d: %w", t.Rank(), rf.Rank, terr)
+			}
+			retries++
+			if retries > maxRetries {
+				return st, fmt.Errorf("pipeline: rank %d gave up after %d failed attempts at step %d: %w",
+					t.Rank(), retries, committed, err)
+			}
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return st, err
+	}
+	// Exit barrier: ranks return only when every survivor's shard is
+	// complete, so the merger may read them immediately. A failure here is
+	// survivable — the dead rank's shard is complete (it committed every
+	// step) — so re-enter the barrier with the survivors.
+	for tries := 0; ; tries++ {
+		err := comm.Barrier()
+		if err == nil {
+			break
+		}
+		var rf *apierr.RankFailedError
+		if !errors.As(err, &rf) || tries >= maxRetries {
+			return st, err
+		}
+		if cfg.OnFailure != nil {
+			cfg.OnFailure(rf.Rank, rf.Epoch)
+		}
+	}
+	st.FinalEpoch = t.Epoch()
+	st.Alive = t.Alive()
+	st.Collectives, _ = t.Stats()
+	return st, nil
+}
+
+// compressRankStep compresses one attempt of one step: every field of the
+// snapshot, this rank's share only, into a shard step block.
+func compressRankStep(ctx context.Context, eng *core.Engine, comm *mpi.Comm, t mpi.Transport,
+	snap map[string]*grid.Field3D, names []string, cals map[string]*core.Calibration, cfg RankConfig) (map[string]*core.CompressedField, error) {
+	block := make(map[string]*core.CompressedField)
+	for _, name := range names {
+		f := snap[name]
+		cal := cals[name]
+		if cal == nil {
+			// Calibration is local and deterministic: every rank fits the
+			// same model from the same bytes, so no broadcast is needed and
+			// a rank that joined a retry mid-run reaches the same plan.
+			var err error
+			cal, err = eng.Calibrate(ctx, f, core.CalibrationOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: rank %d field %s: %w", t.Rank(), name, err)
+			}
+			cals[name] = cal
+		}
+		eb := cfg.AvgEB
+		if v, ok := cfg.AvgEBs[name]; ok {
+			eb = v
+		}
+		nParts, err := eng.NumPartitions(f)
+		if err != nil {
+			return nil, err
+		}
+		alive := t.Alive()
+		if nParts < len(alive) {
+			return nil, fmt.Errorf("pipeline: %w: field %s has %d partitions for %d ranks — every rank must own at least one",
+				apierr.ErrBadConfig, name, nParts, len(alive))
+		}
+		owned := core.AssignPartitions(nParts, alive)[t.Rank()]
+		sh, err := eng.CompressInSituRank(ctx, comm, f, cal, core.InSituOptions{AvgEB: eb, Halo: cfg.Halo[name]}, owned)
+		if err != nil {
+			return nil, err
+		}
+		fields, err := core.ShardStepFields(name, f.Nx, f.Ny, f.Nz, eng.Config().PartitionDim, sh)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range fields {
+			block[k] = v
+		}
+	}
+	return block, nil
+}

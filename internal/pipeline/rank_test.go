@@ -1,0 +1,299 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apierr"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpinet"
+)
+
+// rankSteps builds the deterministic 3-step, 2-field source every rank (and
+// the golden single-process run) consumes.
+func rankSteps() []map[string]*grid.Field3D {
+	mk := func(seed int) *grid.Field3D {
+		f := grid.NewCube(16)
+		for i := range f.Data {
+			x, y, z := f.Coords(i)
+			f.Data[i] = float32(seed) * float32(x+2*y+3*z+1)
+		}
+		return f
+	}
+	var steps []map[string]*grid.Field3D
+	for s := 0; s < 3; s++ {
+		steps = append(steps, map[string]*grid.Field3D{
+			"rho":  mk(s + 1),
+			"temp": mk(s + 7),
+		})
+	}
+	return steps
+}
+
+var rankCfg = RankConfig{
+	Engine: core.Config{PartitionDim: 8},
+	AvgEB:  2.0,
+	AvgEBs: map[string]float64{"temp": 4.0},
+}
+
+// goldenStream writes the single-process reference archive: the same
+// calibration, budgets, and in situ protocol RunRank uses, straight through
+// CompressInSitu into one plain stream.
+func goldenStream(t *testing.T) []byte {
+	t.Helper()
+	eng, err := core.NewEngine(rankCfg.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sw, err := core.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cals := map[string]*core.Calibration{}
+	for _, snap := range rankSteps() {
+		block := map[string]*core.CompressedField{}
+		for name, f := range snap {
+			if cals[name] == nil {
+				cal, err := eng.Calibrate(context.Background(), f, core.CalibrationOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cals[name] = cal
+			}
+			eb := rankCfg.AvgEB
+			if v, ok := rankCfg.AvgEBs[name]; ok {
+				eb = v
+			}
+			cf, _, err := eng.CompressInSitu(context.Background(), f, cals[name], core.InSituOptions{Ranks: 1, AvgEB: eb})
+			if err != nil {
+				t.Fatal(err)
+			}
+			block[name] = cf
+		}
+		if err := sw.WriteStep(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mergeRankShards(t *testing.T, nParts int, shards ...[]byte) ([]byte, *core.MergeReport) {
+	t.Helper()
+	var in []core.ShardInput
+	for _, b := range shards {
+		in = append(in, core.ShardInput{R: bytes.NewReader(b), Size: int64(len(b))})
+	}
+	var out bytes.Buffer
+	rep, err := core.MergeShards(&out, in, nParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), rep
+}
+
+func TestRunRankInProcessMatchesGolden(t *testing.T) {
+	golden := goldenStream(t)
+	const ranks = 3
+	shards := make([]bytes.Buffer, ranks)
+	stats := make([]*RankRunStats, ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		st, err := RunRank(context.Background(), c.Transport(), FromSnapshots(rankSteps()), &shards[c.Rank()], rankCfg)
+		if err != nil {
+			return err
+		}
+		stats[c.Rank()] = st
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range stats {
+		if st.Steps != 3 || st.Retries != 0 || st.FinalEpoch != 0 {
+			t.Fatalf("rank %d stats %+v, want 3 clean steps", r, *st)
+		}
+	}
+	merged, rep := mergeRankShards(t, 8, shards[0].Bytes(), shards[1].Bytes(), shards[2].Bytes())
+	if rep.SalvagedShards != 0 || rep.DuplicateParts != 0 {
+		t.Fatalf("healthy merge report %+v", *rep)
+	}
+	if !bytes.Equal(merged, golden) {
+		t.Fatalf("3-rank merged archive differs from single-process golden (%d vs %d bytes)", len(merged), len(golden))
+	}
+}
+
+// tcpWorld starts a coordinator plus per-rank transports with automatic
+// tickers off (liveness is test-driven) and generous message timeouts.
+func tcpWorld(t *testing.T, size int, dial map[int]func(network, addr string) (net.Conn, error)) (*mpinet.Coordinator, []*mpinet.Transport) {
+	t.Helper()
+	cfg := mpinet.Config{HeartbeatInterval: -1, HeartbeatTimeout: -1, MessageTimeout: 30 * time.Second}
+	coord, err := mpinet.Listen("127.0.0.1:0", size, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	ts := make([]*mpinet.Transport, size)
+	for r := 0; r < size; r++ {
+		rcfg := cfg
+		if d, ok := dial[r]; ok {
+			rcfg.Dial = d
+		}
+		tr, err := mpinet.Join(coord.Addr(), r, size, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		ts[r] = tr
+	}
+	return coord, ts
+}
+
+func TestRunRankOverTCPMatchesGolden(t *testing.T) {
+	golden := goldenStream(t)
+	const ranks = 3
+	_, ts := tcpWorld(t, ranks, nil)
+	shards := make([]bytes.Buffer, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, errs[r] = RunRank(context.Background(), ts[r], FromSnapshots(rankSteps()), &shards[r], rankCfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	merged, _ := mergeRankShards(t, 8, shards[0].Bytes(), shards[1].Bytes(), shards[2].Bytes())
+	if !bytes.Equal(merged, golden) {
+		t.Fatal("TCP merged archive differs from single-process golden")
+	}
+}
+
+// TestRunRankSurvivesRankDeath is the tentpole end-to-end: rank 2's
+// connection is cut mid-run (its Nth frame write is dropped on the floor and
+// the conn closed, like a kill -9). The survivors must detect the failure as
+// a typed error, roll back the uncommitted step, rebalance onto the
+// remaining ranks, and finish — and the merged archive (including the dead
+// rank's salvaged shard) must still be byte-identical to the golden.
+func TestRunRankSurvivesRankDeath(t *testing.T) {
+	golden := goldenStream(t)
+	const ranks = 3
+	dir := t.TempDir()
+
+	// Per step: 2 fields × (3 barriers + 1 allgather) + 1 commit barrier =
+	// 9 contribute frames; +1 for the hello. Dropping after 1+9+9+3 writes
+	// kills rank 2 three collectives into step 2, after two committed steps.
+	dial := map[int]func(network, addr string) (net.Conn, error){
+		2: func(network, addr string) (net.Conn, error) {
+			c, err := net.DialTimeout(network, addr, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.WrapConn(c, faultinject.ConnFaults{DropAfterWrites: 22}), nil
+		},
+	}
+	_, ts := tcpWorld(t, ranks, dial)
+
+	shardPath := func(r int) string { return filepath.Join(dir, fmt.Sprintf("shard-%d.acs", r)) }
+	errs := make([]error, ranks)
+	stats := make([]*RankRunStats, ranks)
+	failures := make([]int, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fh, err := os.Create(shardPath(r))
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer fh.Close()
+			cfg := rankCfg
+			cfg.OnFailure = func(rank, epoch int) { failures[r]++ }
+			stats[r], errs[r] = RunRank(context.Background(), ts[r], FromSnapshots(rankSteps()), fh, cfg)
+		}(r)
+	}
+	wg.Wait()
+
+	if errs[2] == nil {
+		t.Fatal("dead rank finished cleanly")
+	}
+	for _, r := range []int{0, 1} {
+		if errs[r] != nil {
+			t.Fatalf("survivor rank %d: %v", r, errs[r])
+		}
+		st := stats[r]
+		if st.Steps != 3 || st.Retries == 0 || st.FinalEpoch == 0 {
+			t.Fatalf("survivor rank %d stats %+v, want 3 steps with a retry under a new epoch", r, *st)
+		}
+		if failures[r] == 0 {
+			t.Fatalf("survivor rank %d observed no failure event", r)
+		}
+		if got := st.Alive; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Fatalf("survivor rank %d alive set %v, want [0 1]", r, got)
+		}
+	}
+
+	var shards [][]byte
+	for r := 0; r < ranks; r++ {
+		b, err := os.ReadFile(shardPath(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, b)
+	}
+	merged, rep := mergeRankShards(t, 8, shards...)
+	if rep.Steps != 3 {
+		t.Fatalf("merged %d steps, want 3", rep.Steps)
+	}
+	if rep.SalvagedShards == 0 {
+		t.Fatal("dead rank's shard was not salvaged")
+	}
+	if !bytes.Equal(merged, golden) {
+		t.Fatal("post-failure merged archive differs from single-process golden")
+	}
+}
+
+func TestRunRankRejectsMissingBudget(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		_, err := RunRank(context.Background(), c.Transport(), FromSnapshots(rankSteps()), &bytes.Buffer{}, RankConfig{
+			Engine: core.Config{PartitionDim: 8},
+		})
+		return err
+	})
+	if !errors.Is(err, apierr.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestRunRankRejectsMoreRanksThanPartitions(t *testing.T) {
+	// 16^3 at partition dim 16 → 1 partition for 2 ranks.
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		cfg := RankConfig{Engine: core.Config{PartitionDim: 16}, AvgEB: 1}
+		_, err := RunRank(context.Background(), c.Transport(), FromSnapshots(rankSteps()), &bytes.Buffer{}, cfg)
+		return err
+	})
+	if !errors.Is(err, apierr.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
