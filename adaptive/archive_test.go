@@ -1,0 +1,82 @@
+package adaptive_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/adaptive"
+)
+
+// TestArchiveFacadeRoundTrip drives the whole archive surface through the
+// facade alone: write a stream, serve it, negotiate a rate over HTTP, and
+// verify the served bytes against the local splice.
+func TestArchiveFacadeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := adaptive.NewArchiveWriter(filepath.Join(dir, "snap"+adaptive.ArchiveStreamSuffix),
+		adaptive.ArchiveWriterOptions{Rate: 16, PartitionDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := adaptive.NewField(8, 8, 8)
+	for i := range f.Data {
+		f.Data[i] = float32(i%113) * 0.021
+	}
+	if err := w.WriteStep(map[string]adaptive.ArchiveFieldSpec{"rho": {Field: f}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := adaptive.NewArchiveServer(adaptive.ArchiveServerConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c, err := adaptive.NewClient(ts.URL, adaptive.WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m, err := c.FetchManifest(ctx, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps != 1 || len(m.Fields) != 1 || m.Fields[0].MaxRate != 16 {
+		t.Fatalf("manifest %+v", m)
+	}
+
+	full, err := c.FetchField(ctx, "snap", 0, "rho", adaptive.ArchiveFetchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := c.FetchField(ctx, "snap", 0, "rho", adaptive.ArchiveFetchOptions{Rate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := adaptive.SpliceArchiveField(full.Body, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(low.Body, want) {
+		t.Fatalf("served rate-4 bytes (%d) differ from local splice (%d)", len(low.Body), len(want))
+	}
+	// The spliced archive is a decodable field of the right geometry.
+	cf, err := adaptive.ParseArchive(low.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Decompress(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nx != f.Nx || got.Ny != f.Ny || got.Nz != f.Nz {
+		t.Fatalf("decoded dims %d×%d×%d", got.Nx, got.Ny, got.Nz)
+	}
+}

@@ -50,6 +50,12 @@ var (
 	// consecutive server-class failures, so no request was sent. Purely
 	// client-side — the service never emits it.
 	ErrCircuitOpen = apierr.ErrCircuitOpen
+
+	// ErrNotFound marks a read that addressed something that does not
+	// exist — an archive stream, step, or field name — as opposed to one
+	// that found corrupt bytes (ErrCorruptArchive). The archive server's
+	// 404 responses map back to it.
+	ErrNotFound = apierr.ErrNotFound
 )
 
 // DriftRecalibrationError is the typed form of ErrDriftRecalibration:

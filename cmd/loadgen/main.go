@@ -18,6 +18,18 @@
 //	        [-dim 32] [-fields 4] [-tenants 8] [-retries 4] [-label adapt-on] \
 //	        [-json BENCH_PR7.json] [-max-p99 2s]
 //
+// With -mode read it instead drives an archived server with an archive
+// browse workload: steps are drawn from a Zipf distribution (hot recent
+// snapshots dominate, like a real analysis portal), a browse fraction of
+// requests fetches a low spliced rate while the rest pulls
+// analysis-grade bytes, and revisits revalidate with If-None-Match. It
+// reports read steps/sec, the server's cache hit ratio, and the 304
+// share:
+//
+//	loadgen -mode read -url http://127.0.0.1:8324 -stream demo \
+//	        -clients 64 -duration 10s [-browse-rate 4] [-analysis-rate 0] \
+//	        [-browse-frac 0.8] [-zipf-s 1.3] [-json BENCH_PR10.json]
+//
 // With -json the results merge into the named file under -label (same
 // shape as the BENCH_PR*.json trajectory files: a "runs" map keyed by
 // label). With -max-p99 the command exits non-zero when the successful
@@ -31,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -66,8 +79,25 @@ func main() {
 		jsonPath = flag.String("json", "", "merge results into this BENCH-style JSON file")
 		maxP99   = flag.Duration("max-p99", 0, "exit non-zero when the success p99 exceeds this (0 = no gate)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-attempt timeout")
+
+		mode       = flag.String("mode", "compress", "workload: compress (adaptived) or read (archived)")
+		stream     = flag.String("stream", "demo", "archive stream to browse (read mode)")
+		browseRate = flag.Float64("browse-rate", 4, "spliced rate for browse fetches (read mode)")
+		analyRate  = flag.Float64("analysis-rate", 0, "rate for analysis fetches, 0 = stored bytes (read mode)")
+		browseFrac = flag.Float64("browse-frac", 0.8, "fraction of fetches that browse vs analyze (read mode)")
+		zipfS      = flag.Float64("zipf-s", 1.3, "Zipf exponent for step popularity (read mode)")
 	)
 	flag.Parse()
+
+	if *mode == "read" {
+		runRead(readConfig{
+			url: *url, clients: *clients, duration: *duration, conns: *conns,
+			retries: *retries, timeout: *timeout, label: *label, jsonPath: *jsonPath,
+			maxP99: *maxP99, stream: *stream, browseRate: *browseRate,
+			analysisRate: *analyRate, browseFrac: *browseFrac, zipfS: *zipfS, seed: *seed,
+		})
+		return
+	}
 
 	snap, err := adaptive.GenerateSnapshot(adaptive.SynthParams{N: *dim, Seed: *seed})
 	if err != nil {
@@ -226,6 +256,192 @@ func main() {
 
 	if *maxP99 > 0 && (total.ok == 0 || p99 > *maxP99) {
 		log.Fatalf("p99 %v exceeds the %v gate (or nothing succeeded)", p99, *maxP99)
+	}
+}
+
+type readConfig struct {
+	url                      string
+	clients, conns, retries  int
+	duration, timeout        time.Duration
+	label, jsonPath          string
+	maxP99                   time.Duration
+	stream                   string
+	browseRate, analysisRate float64
+	browseFrac, zipfS        float64
+	seed                     uint64
+}
+
+type readResult struct {
+	ok, notModified, cacheHits, failed uint64
+	bytesIn                            uint64
+	lats                               []time.Duration
+}
+
+// runRead drives an archived server with a Zipf browse/analysis mix and
+// per-client revalidation, then reports read throughput and cache
+// behavior.
+func runRead(cfg readConfig) {
+	probe, err := adaptive.NewClient(cfg.url, adaptive.WithRetries(cfg.retries, 0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := probe.FetchManifest(context.Background(), cfg.stream)
+	if err != nil {
+		log.Fatalf("manifest for %q: %v", cfg.stream, err)
+	}
+	var zfpFields, szFields []string
+	for _, f := range m.Fields {
+		if f.Progressive {
+			zfpFields = append(zfpFields, f.Name)
+		}
+		if f.Preview {
+			szFields = append(szFields, f.Name)
+		}
+	}
+	if len(zfpFields) == 0 {
+		log.Fatalf("stream %q has no progressive fields to browse", cfg.stream)
+	}
+	if cfg.conns < 1 {
+		cfg.conns = 1
+	}
+	pool := make([]*http.Client, cfg.conns)
+	for i := range pool {
+		pool[i] = &http.Client{Transport: adaptive.NewH2CTransport()}
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	results := make([]readResult, cfg.clients)
+	var wg sync.WaitGroup
+	var logOnce sync.Once
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := &results[c]
+			cl, err := adaptive.NewClient(cfg.url,
+				adaptive.WithHTTPClient(pool[c%len(pool)]),
+				adaptive.WithRetries(cfg.retries, 0, 0),
+				adaptive.WithAttemptTimeout(cfg.timeout),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(c)))
+			// Zipf over steps: newest snapshots are the hot ones, so rank 0
+			// maps to the last step.
+			zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(m.Steps-1))
+			etags := make(map[string]string)
+			ctx := context.Background()
+			for time.Now().Before(deadline) {
+				step := m.Steps - 1 - int(zipf.Uint64())
+				var field string
+				opt := adaptive.ArchiveFetchOptions{}
+				if rng.Float64() < cfg.browseFrac {
+					// Browse: low-rate splice, occasionally an sz preview.
+					if len(szFields) > 0 && rng.Float64() < 0.2 {
+						field = szFields[rng.Intn(len(szFields))]
+						opt.PreviewOctaves = 2
+					} else {
+						field = zfpFields[rng.Intn(len(zfpFields))]
+						opt.Rate = cfg.browseRate
+					}
+				} else {
+					field = zfpFields[rng.Intn(len(zfpFields))]
+					opt.Rate = cfg.analysisRate
+				}
+				key := fmt.Sprintf("%d/%s/%g/%d", step, field, opt.Rate, opt.PreviewOctaves)
+				opt.ETag = etags[key]
+				t0 := time.Now()
+				res, err := cl.FetchField(ctx, cfg.stream, step, field, opt)
+				lat := time.Since(t0)
+				if err != nil {
+					r.failed++
+					logOnce.Do(func() { log.Printf("read failed: %v", err) })
+					continue
+				}
+				r.ok++
+				r.lats = append(r.lats, lat)
+				if res.NotModified {
+					r.notModified++
+				} else {
+					r.bytesIn += uint64(len(res.Body))
+					etags[key] = res.ETag
+				}
+				if res.CacheHit {
+					r.cacheHits++
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total readResult
+	var lats []time.Duration
+	for i := range results {
+		total.ok += results[i].ok
+		total.notModified += results[i].notModified
+		total.cacheHits += results[i].cacheHits
+		total.failed += results[i].failed
+		total.bytesIn += results[i].bytesIn
+		lats = append(lats, results[i].lats...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	p50, p99 := pct(0.50), pct(0.99)
+	stepsPerSec := float64(total.ok) / elapsed.Seconds()
+
+	st, err := probe.ArchiveStats(context.Background())
+	if err != nil {
+		log.Fatalf("archive stats: %v", err)
+	}
+	hitRatio := 0.0
+	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+		hitRatio = float64(st.Cache.Hits) / float64(lookups)
+	}
+	log.Printf("%d readers for %v: %d ok (%.1f steps/sec), %d revalidated (304), %d failed",
+		cfg.clients, elapsed.Round(time.Millisecond), total.ok, stepsPerSec, total.notModified, total.failed)
+	log.Printf("server cache: %.1f%% hit ratio (%d hits / %d misses / %d evictions), %d splices, %d preview decodes, %d merged flights",
+		100*hitRatio, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Splices, st.PreviewDecodes, st.Cache.SingleflightMerged)
+	log.Printf("latency p50 %v p99 %v; %.1f MiB served",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), float64(total.bytesIn)/(1<<20))
+
+	if cfg.jsonPath != "" {
+		if cfg.label == "" {
+			log.Fatal("-json requires -label")
+		}
+		entry := map[string]any{
+			"recorded_at":     time.Now().UTC().Format(time.RFC3339),
+			"goos":            runtime.GOOS,
+			"goarch":          runtime.GOARCH,
+			"mode":            "read",
+			"clients":         cfg.clients,
+			"stream_steps":    m.Steps,
+			"duration_sec":    elapsed.Seconds(),
+			"ok":              total.ok,
+			"not_modified":    total.notModified,
+			"failed":          total.failed,
+			"steps_per_sec":   stepsPerSec,
+			"cache_hit_ratio": hitRatio,
+			"splices":         st.Splices,
+			"preview_decodes": st.PreviewDecodes,
+			"latency_p50_ms":  float64(p50) / float64(time.Millisecond),
+			"latency_p99_ms":  float64(p99) / float64(time.Millisecond),
+			"bytes_served":    total.bytesIn,
+		}
+		if err := mergeJSON(cfg.jsonPath, cfg.label, entry); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged run %q into %s", cfg.label, cfg.jsonPath)
+	}
+	if cfg.maxP99 > 0 && (total.ok == 0 || p99 > cfg.maxP99) {
+		log.Fatalf("p99 %v exceeds the %v gate (or nothing succeeded)", p99, cfg.maxP99)
 	}
 }
 

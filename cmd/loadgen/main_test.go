@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/adaptive"
+)
+
+// TestReadModeEndToEnd drives runRead against a real archive server:
+// write a two-step stream, serve it over h2c, run a short Zipf read
+// burst, and check the merged benchmark JSON.
+func TestReadModeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	w, err := adaptive.NewArchiveWriter(filepath.Join(dir, "demo"+adaptive.ArchiveStreamSuffix),
+		adaptive.ArchiveWriterOptions{Rate: 8, PartitionDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		f := adaptive.NewField(8, 8, 8)
+		for i := range f.Data {
+			f.Data[i] = float32((i+s)%97) * 0.013
+		}
+		err := w.WriteStep(map[string]adaptive.ArchiveFieldSpec{
+			"rho":  {Field: f},
+			"temp": {Field: f, Codec: "sz", ErrorBound: 1e-3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := adaptive.NewArchiveServer(adaptive.ArchiveServerConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := adaptive.NewH2CServer("", srv.Handler())
+	go hs.Serve(l)
+	defer hs.Close()
+
+	jsonPath := filepath.Join(dir, "bench.json")
+	runRead(readConfig{
+		url:     "http://" + l.Addr().String(),
+		clients: 4, conns: 2, retries: 1,
+		duration: 400 * time.Millisecond, timeout: 5 * time.Second,
+		label: "test", jsonPath: jsonPath, maxP99: time.Minute,
+		stream: "demo", browseRate: 2, analysisRate: 0,
+		browseFrac: 0.7, zipfS: 1.3, seed: 1,
+	})
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs map[string]struct {
+			OK           uint64  `json:"ok"`
+			Failed       uint64  `json:"failed"`
+			StepsPerSec  float64 `json:"steps_per_sec"`
+			HitRatio     float64 `json:"cache_hit_ratio"`
+			NotModified  uint64  `json:"not_modified"`
+			LatencyP99MS float64 `json:"latency_p99_ms"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	run, ok := doc.Runs["test"]
+	if !ok {
+		t.Fatalf("bench JSON has no run %q: %s", "test", data)
+	}
+	if run.OK == 0 || run.Failed != 0 || run.StepsPerSec <= 0 {
+		t.Fatalf("read burst results: %+v", run)
+	}
+
+	// mergeJSON refuses to clobber a file that is not a bench document.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeJSON(bad, "x", map[string]any{}); err == nil {
+		t.Fatal("mergeJSON over a non-JSON file should fail")
+	}
+}

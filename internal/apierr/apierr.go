@@ -65,6 +65,12 @@ var (
 	// breaker's cooldown.
 	ErrCircuitOpen = errors.New("circuit open")
 
+	// ErrNotFound marks a read request naming a resource the server does
+	// not have: an unknown archive stream, a step past the end, a field
+	// the snapshot never carried. It is a client-addressing error (HTTP
+	// 404), not corruption — the archive that is there is healthy.
+	ErrNotFound = errors.New("not found")
+
 	// ErrRankFailed marks a distributed collective that lost a peer rank:
 	// the rank panicked (in-process world) or stopped heartbeating /
 	// dropped its connection (TCP transport). The collective's result was

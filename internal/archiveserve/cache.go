@@ -1,0 +1,128 @@
+package archiveserve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a byte-budgeted LRU over synthesized representations,
+// keyed by (stream, step, field, rate-bucket) — the key is the same
+// string the ETag derives from, so one cache entry backs every
+// conditional, ranged, and full read of that representation.
+//
+// Concurrent misses on one key are deduplicated singleflight-style: the
+// first caller builds, later callers wait on the same flight and share
+// the result. A splice is pure CPU over an immutable file, so running it
+// twice is only wasted work — but under a browse stampede (a CDN purge,
+// a popular new snapshot) the duplicate work is what melts a server, and
+// the dedup is what bounds it to one build per representation.
+//
+// Entries are immutable once inserted: callers must treat returned bodies
+// as read-only (range responses slice them, they never write).
+type blockCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+
+	hits, misses, evictions, merged uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// newBlockCache builds a cache bounded to budget bytes of entry payload.
+// budget ≤ 0 disables retention (every get is a miss) while keeping the
+// singleflight dedup.
+func newBlockCache(budget int64) *blockCache {
+	return &blockCache{
+		budget:  budget,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// getOrBuild returns the cached representation for key, building it with
+// build on a miss. hit reports whether the bytes came straight from the
+// cache — the "zero compression work" signal the stats surface. Errors
+// are never cached.
+func (c *blockCache) getOrBuild(key string, build func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		body = el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		// A concurrent miss on the same key: ride the existing build.
+		c.merged++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.body, false, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.body, fl.err = build()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if fl.err == nil && int64(len(fl.body)) <= c.budget {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: fl.body})
+		c.used += int64(len(fl.body))
+		for c.used > c.budget {
+			back := c.ll.Back()
+			if back == nil {
+				break
+			}
+			ev := back.Value.(*cacheEntry)
+			c.ll.Remove(back)
+			delete(c.items, ev.key)
+			c.used -= int64(len(ev.body))
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.body, false, fl.err
+}
+
+// CacheStats is the cache's counter snapshot for /v1/stats.
+type CacheStats struct {
+	Entries            int    `json:"entries"`
+	Bytes              int64  `json:"bytes"`
+	BudgetBytes        int64  `json:"budget_bytes"`
+	Hits               uint64 `json:"hits"`
+	Misses             uint64 `json:"misses"`
+	Evictions          uint64 `json:"evictions"`
+	SingleflightMerged uint64 `json:"singleflight_merged"`
+}
+
+func (c *blockCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:            len(c.items),
+		Bytes:              c.used,
+		BudgetBytes:        c.budget,
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evictions,
+		SingleflightMerged: c.merged,
+	}
+}

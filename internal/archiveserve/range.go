@@ -1,0 +1,105 @@
+package archiveserve
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// errRangeUnsatisfiable marks a syntactically valid Range that selects no
+// bytes of the representation — the one case RFC 9110 answers with 416
+// rather than ignoring the header.
+var errRangeUnsatisfiable = errors.New("archiveserve: range not satisfiable")
+
+// parseRange interprets a Range header over a representation of size
+// bytes. It supports the single-range forms "bytes=a-b", "bytes=a-", and
+// "bytes=-n"; ok reports whether a range applies (false → serve the full
+// 200 representation). Following RFC 9110's permission to ignore ranges
+// it cannot or chooses not to honor, anything malformed — wrong unit,
+// multiple ranges, garbage bounds, an inverted a-b — yields (ok=false,
+// err=nil); only a well-formed range that selects nothing (first byte at
+// or past the end, or a zero-length suffix) returns errRangeUnsatisfiable,
+// which the caller answers with 416 and Content-Range: bytes */size.
+func parseRange(spec string, size int64) (off, n int64, ok bool, err error) {
+	const unit = "bytes="
+	if spec == "" || !strings.HasPrefix(spec, unit) {
+		return 0, 0, false, nil
+	}
+	r := strings.TrimSpace(spec[len(unit):])
+	if r == "" || strings.ContainsAny(r, ", ") {
+		// Multi-range responses (multipart/byteranges) are deliberately
+		// unsupported: serve the whole representation instead.
+		return 0, 0, false, nil
+	}
+	dash := strings.Index(r, "-")
+	if dash < 0 {
+		return 0, 0, false, nil
+	}
+	first, last := r[:dash], r[dash+1:]
+	if first == "" {
+		// Suffix form "-n": the final n bytes.
+		suf, perr := parseRangeInt(last)
+		if perr != nil {
+			return 0, 0, false, nil
+		}
+		if suf > size {
+			suf = size
+		}
+		if suf == 0 {
+			// "-0" selects nothing, and so does any suffix of an empty
+			// representation.
+			return 0, 0, false, errRangeUnsatisfiable
+		}
+		return size - suf, suf, true, nil
+	}
+	start, perr := parseRangeInt(first)
+	if perr != nil {
+		return 0, 0, false, nil
+	}
+	if start >= size {
+		return 0, 0, false, errRangeUnsatisfiable
+	}
+	if last == "" {
+		// Open form "a-": from a to the end.
+		return start, size - start, true, nil
+	}
+	end, perr := parseRangeInt(last)
+	if perr != nil || end < start {
+		return 0, 0, false, nil
+	}
+	if end >= size {
+		end = size - 1
+	}
+	return start, end - start + 1, true, nil
+}
+
+// parseRangeInt parses a non-negative decimal bound. Signs, empty
+// strings, non-digits, and values beyond int64 all error (the caller
+// ignores the range).
+func parseRangeInt(s string) (int64, error) {
+	if s == "" || s[0] == '+' || s[0] == '-' {
+		return 0, strconv.ErrSyntax
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// etagMatch implements If-None-Match's weak comparison against one strong
+// ETag: "*" matches anything, and each listed candidate matches if its
+// opaque-tag (any W/ prefix dropped) equals ours. Commas cannot occur
+// inside an entity tag, so splitting on them is exact.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package archiveserve
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		size       int64
+		off, n     int64
+		ok         bool
+		unsat      bool
+	}{
+		{"empty", "", 100, 0, 0, false, false},
+		{"wrong unit", "items=0-5", 100, 0, 0, false, false},
+		{"bare bytes", "bytes=", 100, 0, 0, false, false},
+		{"closed", "bytes=0-9", 100, 0, 10, true, false},
+		{"closed interior", "bytes=10-19", 100, 10, 10, true, false},
+		{"single byte", "bytes=5-5", 100, 5, 1, true, false},
+		{"last byte", "bytes=99-99", 100, 99, 1, true, false},
+		{"end clamped", "bytes=90-150", 100, 90, 10, true, false},
+		{"open", "bytes=40-", 100, 40, 60, true, false},
+		{"open from zero", "bytes=0-", 100, 0, 100, true, false},
+		{"suffix", "bytes=-25", 100, 75, 25, true, false},
+		{"suffix oversized", "bytes=-500", 100, 0, 100, true, false},
+		{"start at size", "bytes=100-", 100, 0, 0, false, true},
+		{"start past size", "bytes=200-300", 100, 0, 0, false, true},
+		{"zero suffix", "bytes=-0", 100, 0, 0, false, true},
+		{"inverted", "bytes=9-3", 100, 0, 0, false, false},
+		{"no dash", "bytes=42", 100, 0, 0, false, false},
+		{"multi range", "bytes=0-5,10-20", 100, 0, 0, false, false},
+		{"interior space", "bytes=0 -5", 100, 0, 0, false, false},
+		{"signed start", "bytes=+3-9", 100, 0, 0, false, false},
+		{"double dash suffix", "bytes=--5", 100, 0, 0, false, false},
+		{"garbage start", "bytes=x-9", 100, 0, 0, false, false},
+		{"garbage end", "bytes=0-y", 100, 0, 0, false, false},
+		{"overflow", "bytes=99999999999999999999-", 100, 0, 0, false, false},
+		{"whole as closed", "bytes=0-99", 100, 0, 100, true, false},
+	}
+	for _, tc := range cases {
+		off, n, ok, err := parseRange(tc.spec, tc.size)
+		if tc.unsat {
+			if !errors.Is(err, errRangeUnsatisfiable) {
+				t.Errorf("%s: err %v, want unsatisfiable", tc.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected err %v", tc.name, err)
+			continue
+		}
+		if ok != tc.ok || off != tc.off || n != tc.n {
+			t.Errorf("%s: got (off=%d n=%d ok=%v), want (off=%d n=%d ok=%v)",
+				tc.name, off, n, ok, tc.off, tc.n, tc.ok)
+		}
+	}
+}
+
+func TestEtagMatch(t *testing.T) {
+	const tag = `"abc123-0-ff-r4"`
+	cases := []struct {
+		name, header string
+		want         bool
+	}{
+		{"empty", "", false},
+		{"exact", tag, true},
+		{"star", "*", true},
+		{"weak form", "W/" + tag, true},
+		{"list hit", `"x", ` + tag + `, "y"`, true},
+		{"list miss", `"x", "y"`, false},
+		{"different tag", `"abc123-0-ff-r8"`, false},
+		{"unquoted", `abc123-0-ff-r4`, false},
+		{"spaces", ` ` + tag + ` `, true},
+	}
+	for _, tc := range cases {
+		if got := etagMatch(tc.header, tag); got != tc.want {
+			t.Errorf("%s: etagMatch(%q) = %v, want %v", tc.name, tc.header, got, tc.want)
+		}
+	}
+}
+
+// FuzzParseRange asserts the parser's safety invariants on arbitrary
+// headers: no panics, and any accepted range must select a valid
+// non-empty window inside the representation.
+func FuzzParseRange(f *testing.F) {
+	seeds := []string{
+		"", "bytes=", "bytes=0-", "bytes=-1", "bytes=-0", "bytes=0-0",
+		"bytes=0-99", "bytes=5-2", "bytes=100-", "bytes=0-5,10-20",
+		"bytes=--5", "bytes=+1-2", "items=0-5", "bytes=99999999999999999999-",
+		"bytes= 0-5", "bytes=0 -5", "bytes=\x00-\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s, int64(100))
+	}
+	f.Fuzz(func(t *testing.T, spec string, size int64) {
+		if size < 0 {
+			size = -size
+		}
+		off, n, ok, err := parseRange(spec, size)
+		if err != nil {
+			if !errors.Is(err, errRangeUnsatisfiable) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			if ok || off != 0 || n != 0 {
+				t.Fatalf("unsatisfiable but (off=%d n=%d ok=%v)", off, n, ok)
+			}
+			return
+		}
+		if !ok {
+			if off != 0 || n != 0 {
+				t.Fatalf("ignored range leaked bounds (off=%d n=%d)", off, n)
+			}
+			return
+		}
+		if off < 0 || n <= 0 || off >= size || off+n > size {
+			t.Fatalf("accepted range outside representation: off=%d n=%d size=%d spec=%q", off, n, size, spec)
+		}
+	})
+}

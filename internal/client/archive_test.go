@@ -1,0 +1,105 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apierr"
+	"repro/internal/archiveserve"
+	"repro/internal/grid"
+)
+
+func newArchiveFixture(t *testing.T) (*archiveserve.Server, *Client) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := archiveserve.NewWriter(filepath.Join(dir, "run1"+archiveserve.StreamSuffix),
+		archiveserve.WriterOptions{Rate: 16, PartitionDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := grid.NewField3D(8, 8, 8)
+	for i := range f.Data {
+		f.Data[i] = float32(i%97) * 0.013
+	}
+	if err := w.WriteStep(map[string]archiveserve.FieldSpec{"rho": {Field: f}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := archiveserve.New(archiveserve.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	c, err := New(Config{BaseURL: ts.URL, HTTPClient: ts.Client(), MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, c
+}
+
+func TestFetchFieldNegotiatesAndRevalidates(t *testing.T) {
+	_, c := newArchiveFixture(t)
+	ctx := context.Background()
+
+	streams, err := c.ListArchives(ctx)
+	if err != nil || len(streams) != 1 || streams[0] != "run1" {
+		t.Fatalf("ListArchives: %v %v", streams, err)
+	}
+	m, err := c.FetchManifest(ctx, "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps != 1 || len(m.Fields) != 1 || !m.Fields[0].Progressive {
+		t.Fatalf("manifest %+v", m)
+	}
+
+	res, err := c.FetchField(ctx, "run1", 0, "rho", FetchOptions{Rate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotModified || len(res.Body) == 0 || res.ETag == "" || res.ServedRate != 4 {
+		t.Fatalf("first fetch %+v", res)
+	}
+	// A rate beyond the stored one negotiates down to the stored rate.
+	res2, err := c.FetchField(ctx, "run1", 0, "rho", FetchOptions{Rate: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ServedRate != 16 {
+		t.Fatalf("negotiated rate %v, want 16", res2.ServedRate)
+	}
+	// Revalidation with the returned ETag is a 304 without a body.
+	res3, err := c.FetchField(ctx, "run1", 0, "rho", FetchOptions{Rate: 4, ETag: res.ETag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.NotModified || len(res3.Body) != 0 || res3.ETag != res.ETag {
+		t.Fatalf("revalidation %+v", res3)
+	}
+	// A warm unconditional refetch is served from cache, byte-identical.
+	res4, err := c.FetchField(ctx, "run1", 0, "rho", FetchOptions{Rate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res4.CacheHit || string(res4.Body) != string(res.Body) {
+		t.Fatalf("warm refetch: hit=%v len=%d", res4.CacheHit, len(res4.Body))
+	}
+
+	st, err := c.ArchiveStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Splices != 1 || st.Cache.Hits != 1 {
+		t.Fatalf("stats splices=%d hits=%d, want 1/1", st.Splices, st.Cache.Hits)
+	}
+
+	if _, err := c.FetchField(ctx, "run1", 0, "nope", FetchOptions{}); !errors.Is(err, apierr.ErrNotFound) {
+		t.Fatalf("missing field err %v, want ErrNotFound", err)
+	}
+}

@@ -259,6 +259,13 @@ type response struct {
 // do runs the retry loop for one logical call. idempotent widens the
 // retryable class from never-started refusals to transport errors and 5xx.
 func (c *Client) do(ctx context.Context, endpoint string, idempotent bool, method, path string, body []byte) (*response, error) {
+	return c.doWith(ctx, endpoint, idempotent, method, path, nil, body, nil)
+}
+
+// doWith is do with extra request headers and a widened success test:
+// accept(status) may admit non-2xx statuses that are successes for the
+// caller (a conditional GET's 304). 2xx always succeeds.
+func (c *Client) doWith(ctx context.Context, endpoint string, idempotent bool, method, path string, hdr map[string]string, body []byte, accept func(int) bool) (*response, error) {
 	br := c.breakerFor(endpoint)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -272,8 +279,8 @@ func (c *Client) do(ctx context.Context, endpoint string, idempotent bool, metho
 			}
 			return nil, err
 		}
-		res, err := c.attempt(ctx, method, path, body)
-		if err == nil && res.status/100 == 2 {
+		res, err := c.attempt(ctx, method, path, hdr, body)
+		if err == nil && (res.status/100 == 2 || (accept != nil && accept(res.status))) {
 			br.record(true)
 			return res, nil
 		}
@@ -318,7 +325,7 @@ func (c *Client) do(ctx context.Context, endpoint string, idempotent bool, metho
 
 // attempt sends one HTTP request under the per-attempt deadline and reads
 // the whole (capped) response body.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*response, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, hdr map[string]string, body []byte) (*response, error) {
 	actx, cancel := ctx, context.CancelFunc(func() {})
 	if c.cfg.AttemptTimeout > 0 {
 		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
@@ -334,6 +341,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	if c.cfg.Tenant != "" {
 		req.Header.Set("X-Tenant", c.cfg.Tenant)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	c.attempts.Add(1)
 	resp, err := c.cfg.HTTPClient.Do(req)

@@ -32,31 +32,49 @@ func EncodeFrame(f Frame) []byte {
 	return append(out, body...)
 }
 
-// DecodeFrame reverses EncodeFrame, resolving the named codec in this
-// registry and handing it the codec-native body.
-func (r *Registry) DecodeFrame(data []byte) (Frame, error) {
+// FrameBody splits a frame envelope into its codec ID and codec-native
+// body without resolving a backend or parsing the stream — the zero-copy
+// structural view an archive server needs to locate codec bytes inside a
+// stored step (the body aliases data). Validation covers the envelope
+// only; the body's own magic/version/CRC are the backend's to check.
+func FrameBody(data []byte) (ID, []byte, error) {
 	if len(data) < frameFixedBytes {
-		return nil, fmt.Errorf("codec: frame shorter than envelope header")
+		return "", nil, fmt.Errorf("codec: frame shorter than envelope header")
 	}
 	if string(data[0:4]) != frameMagic {
-		return nil, fmt.Errorf("codec: bad frame magic %q", data[0:4])
+		return "", nil, fmt.Errorf("codec: bad frame magic %q", data[0:4])
 	}
 	if data[4] != frameVersion {
-		return nil, fmt.Errorf("codec: unsupported frame version %d", data[4])
+		return "", nil, fmt.Errorf("codec: unsupported frame version %d", data[4])
 	}
 	idLen := int(data[5])
 	if idLen == 0 || idLen > maxIDLen {
-		return nil, fmt.Errorf("codec: invalid codec ID length %d", idLen)
+		return "", nil, fmt.Errorf("codec: invalid codec ID length %d", idLen)
 	}
 	if len(data) < frameFixedBytes+idLen {
-		return nil, fmt.Errorf("codec: frame truncated inside codec ID")
+		return "", nil, fmt.Errorf("codec: frame truncated inside codec ID")
 	}
 	id := ID(data[frameFixedBytes : frameFixedBytes+idLen])
+	return id, data[frameFixedBytes+idLen:], nil
+}
+
+// FrameOverhead is the envelope bytes EncodeFrame adds around a
+// codec-native stream for the given ID — what an exact size prediction
+// (PredictSize plus assembly overhead) must account for without encoding.
+func FrameOverhead(id ID) int { return frameFixedBytes + len(id) }
+
+// DecodeFrame reverses EncodeFrame, resolving the named codec in this
+// registry and handing it the codec-native body.
+func (r *Registry) DecodeFrame(data []byte) (Frame, error) {
+	id, body, err := FrameBody(data)
+	if err != nil {
+		return nil, err
+	}
 	c, err := r.Lookup(id)
 	if err != nil {
 		return nil, fmt.Errorf("codec: frame header: %w", err)
 	}
-	return c.Parse(data[frameFixedBytes+idLen:])
+	return c.Parse(body)
 }
 
 // DecodeFrame decodes a self-describing frame against the Default registry.

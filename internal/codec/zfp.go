@@ -225,6 +225,13 @@ func (zfpCodec) Parse(body []byte) (Frame, error) {
 	return zfpFrame{c: c}, nil
 }
 
+// WrapZFP wraps an already-compressed fixed-rate stream as a Frame — the
+// constructor an archive writer uses after compressing partitions itself
+// with zfp.CompressIndexed (to keep the bit accounting) rather than
+// through the codec adapter. The frame reports ErrorBound 0: fixed-rate
+// streams carry no bound guarantee.
+func WrapZFP(c *zfp.Compressed) Frame { return zfpFrame{c: c} }
+
 // zfpFrame wraps a fixed-rate stream. eb is the bound the rate search
 // verified, kept in memory only: ZFP's native serialization has no bound
 // field, so parsed frames report ErrorBound 0 (no guarantee recorded).

@@ -467,6 +467,16 @@ func (sw *StreamWriter) Close() error {
 }
 
 // StreamReader reads an archive v3 stream with O(1) access to any step.
+//
+// A StreamReader is safe for concurrent use by multiple goroutines: all
+// of its state (the step index, the registry) is immutable after
+// OpenStream, every read method works on its own buffer, and positions
+// are always passed explicitly to the underlying io.ReaderAt — there is
+// no shared cursor. The only requirement is that the ReaderAt itself
+// honors io.ReaderAt's contract of supporting parallel ReadAt calls,
+// which *os.File, *bytes.Reader, and *io.SectionReader all do. One open
+// stream can therefore serve many readers at once — the fan-out an
+// archive server needs.
 type StreamReader struct {
 	r     io.ReaderAt
 	index []streamIndexEntry
@@ -549,6 +559,157 @@ func (sr *StreamReader) ReadStep(i int) (map[string]*CompressedField, error) {
 		return nil, readAtErr(fmt.Sprintf("stream step %d", i), err)
 	}
 	return parseStepBlock(buf, i, sr.reg)
+}
+
+// StepSection returns a zero-copy io.SectionReader over step i's raw
+// block bytes — the concurrent-reader seek primitive: each caller gets
+// its own section (own cursor) over the shared ReaderAt, so goroutines
+// can stream different steps from one open stream without coordination.
+func (sr *StreamReader) StepSection(i int) (*io.SectionReader, error) {
+	if i < 0 || i >= len(sr.index) {
+		return nil, fmt.Errorf("core: step %d out of range [0,%d)", i, len(sr.index))
+	}
+	e := sr.index[i]
+	return io.NewSectionReader(sr.r, int64(e.Offset), int64(e.Length)), nil
+}
+
+// PartitionLayout locates one partition's codec-native stream inside the
+// v3 file (offsets are absolute file positions).
+type PartitionLayout struct {
+	Codec codec.ID
+	// BodyOffset/BodyLength span the codec-native stream — the bytes a
+	// codec's Parse consumes, with the frame envelope already stripped.
+	BodyOffset, BodyLength int64
+}
+
+// FieldLayout locates one field of one step: its complete v2 archive
+// payload and each partition's codec-native stream within it. This is the
+// structural view an archive server serves from — it can hand a stored
+// field to a client as one file range (ArchiveOffset/ArchiveLength) or
+// splice individual partition streams without ever decoding a frame.
+type FieldLayout struct {
+	Name                     string
+	Nx, Ny, Nz, PartitionDim int
+	// ArchiveOffset/ArchiveLength span the field's v2 archive (header
+	// included) inside the stream file.
+	ArchiveOffset, ArchiveLength int64
+	Partitions                   []PartitionLayout
+}
+
+// StepLayout maps step i's byte structure without decoding any codec
+// frame: field names and geometry, the file range of each field's v2
+// archive, and the file range of every partition's codec-native stream.
+// Validation matches ReadStep's structural checks (counts, ordering,
+// truncation, envelope headers); the codec-native payloads themselves are
+// not parsed — their own magic/CRC checks run when the bytes are used.
+func (sr *StreamReader) StepLayout(i int) ([]FieldLayout, error) {
+	if i < 0 || i >= len(sr.index) {
+		return nil, fmt.Errorf("core: step %d out of range [0,%d)", i, len(sr.index))
+	}
+	e := sr.index[i]
+	buf := make([]byte, e.Length)
+	if _, err := sr.r.ReadAt(buf, int64(e.Offset)); err != nil {
+		return nil, readAtErr(fmt.Sprintf("stream step %d", i), err)
+	}
+	base := int64(e.Offset)
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("core: %w: step %d block shorter than field count", errCorrupt, i)
+	}
+	count := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if count <= 0 || count > len(buf)/7+1 {
+		return nil, fmt.Errorf("core: %w: step %d has field count %d", errCorrupt, i, count)
+	}
+	pos := 4
+	layouts := make([]FieldLayout, 0, count)
+	prevName := ""
+	for j := 0; j < count; j++ {
+		if pos+2 > len(buf) {
+			return nil, fmt.Errorf("core: %w: step %d truncated at field %d name length", errCorrupt, i, j)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
+		pos += 2
+		if nameLen == 0 || pos+nameLen > len(buf) {
+			return nil, fmt.Errorf("core: %w: step %d truncated inside field %d name", errCorrupt, i, j)
+		}
+		name := string(buf[pos : pos+nameLen])
+		pos += nameLen
+		if name <= prevName {
+			return nil, fmt.Errorf("core: %w: step %d field %q out of sorted order", errCorrupt, i, name)
+		}
+		prevName = name
+		if pos+4 > len(buf) {
+			return nil, fmt.Errorf("core: %w: step %d truncated at field %q payload length", errCorrupt, i, name)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+		if n < 0 || pos+n > len(buf) {
+			return nil, fmt.Errorf("core: %w: step %d field %q payload truncated", errCorrupt, i, name)
+		}
+		fl, err := fieldLayout(buf[pos:pos+n], base+int64(pos))
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d field %q: %w", i, name, err)
+		}
+		fl.Name = name
+		layouts = append(layouts, fl)
+		pos += n
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("core: %w: step %d has %d trailing bytes", errCorrupt, i, len(buf)-pos)
+	}
+	return layouts, nil
+}
+
+// fieldLayout walks one v2 archive's structure. base is the archive's
+// absolute offset in the stream file; data is its complete byte range.
+func fieldLayout(data []byte, base int64) (FieldLayout, error) {
+	var fl FieldLayout
+	if len(data) < archiveHeader {
+		return fl, fmt.Errorf("core: %w: archive shorter than header", errCorrupt)
+	}
+	if string(data[0:4]) != archiveMagic {
+		return fl, fmt.Errorf("core: %w: bad archive magic %q", errCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != archiveVersion {
+		return fl, fmt.Errorf("core: %w: unsupported archive version %d", errCorrupt, v)
+	}
+	fl.Nx = int(binary.LittleEndian.Uint32(data[8:12]))
+	fl.Ny = int(binary.LittleEndian.Uint32(data[12:16]))
+	fl.Nz = int(binary.LittleEndian.Uint32(data[16:20]))
+	fl.PartitionDim = int(binary.LittleEndian.Uint32(data[20:24]))
+	count := int(binary.LittleEndian.Uint32(data[24:28]))
+	const maxArchiveDim = 1 << 20
+	if fl.Nx <= 0 || fl.Ny <= 0 || fl.Nz <= 0 || fl.PartitionDim <= 0 || count <= 0 ||
+		fl.Nx > maxArchiveDim || fl.Ny > maxArchiveDim || fl.Nz > maxArchiveDim ||
+		count > (len(data)-archiveHeader)/4 {
+		return fl, fmt.Errorf("core: %w: invalid archive header (%d×%d×%d / dim %d / %d parts)",
+			errCorrupt, fl.Nx, fl.Ny, fl.Nz, fl.PartitionDim, count)
+	}
+	fl.ArchiveOffset, fl.ArchiveLength = base, int64(len(data))
+	fl.Partitions = make([]PartitionLayout, 0, count)
+	pos := archiveHeader
+	for i := 0; i < count; i++ {
+		if pos+4 > len(data) {
+			return fl, fmt.Errorf("core: %w: archive truncated at partition %d", errCorrupt, i)
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+		if pos+n > len(data) {
+			return fl, fmt.Errorf("core: %w: partition %d stream truncated", errCorrupt, i)
+		}
+		id, body, err := codec.FrameBody(data[pos : pos+n])
+		if err != nil {
+			return fl, fmt.Errorf("core: partition %d: %w: %w", i, errCorrupt, err)
+		}
+		bodyOff := base + int64(pos) + int64(n-len(body))
+		fl.Partitions = append(fl.Partitions, PartitionLayout{
+			Codec: id, BodyOffset: bodyOff, BodyLength: int64(len(body)),
+		})
+		pos += n
+	}
+	if pos != len(data) {
+		return fl, fmt.Errorf("core: %w: %d trailing bytes in archive", errCorrupt, len(data)-pos)
+	}
+	return fl, nil
 }
 
 func parseStepBlock(buf []byte, step int, reg *codec.Registry) (map[string]*CompressedField, error) {

@@ -5,11 +5,14 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/apierr"
+	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/nyx"
 )
@@ -463,5 +466,160 @@ func TestStreamRejectsHostileStepNames(t *testing.T) {
 	}
 	if len(fields) != 2 {
 		t.Fatalf("got %d fields, want 2", len(fields))
+	}
+}
+
+// TestStreamReaderConcurrentReaders is the concurrent-reader contract
+// under the race detector: 16 goroutines seek different steps of one open
+// stream at once — through ReadStep, StepSection, and StepLayout — and
+// every read must match the single-reader golden. StreamReader keeps no
+// cursor, so no synchronization beyond the shared *bytes.Reader's own
+// ReadAt is involved.
+func TestStreamReaderConcurrentReaders(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 8
+	for i := 0; i < steps; i++ {
+		if err := sw.WriteStep(map[string]*CompressedField{
+			"alpha": streamField(t, e, float32(i+1)),
+			"beta":  streamField(t, e, float32(2*i+1)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	sr, err := OpenStream(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-reader goldens: serialized field bytes per step.
+	golden := make([]map[string][]byte, steps)
+	for i := 0; i < steps; i++ {
+		fields, err := sr.ReadStep(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[i] = make(map[string][]byte, len(fields))
+		for name, cf := range fields {
+			golden[i][name] = cf.Bytes()
+		}
+	}
+
+	const readers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 8; it++ {
+				step := (g + it) % steps
+				fields, err := sr.ReadStep(step)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for name, cf := range fields {
+					if !bytes.Equal(cf.Bytes(), golden[step][name]) {
+						errs <- fmt.Errorf("reader %d: step %d field %q diverges", g, step, name)
+						return
+					}
+				}
+				sec, err := sr.StepSection(step)
+				if err != nil {
+					errs <- err
+					return
+				}
+				blk, err := io.ReadAll(sec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := parseStepBlock(blk, step, codec.Default); err != nil {
+					errs <- fmt.Errorf("reader %d: section of step %d does not parse: %w", g, step, err)
+					return
+				}
+				if _, err := sr.StepLayout(step); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestStepLayoutLocatesBytes pins the structural map against the real
+// byte stream: every field range must re-parse to the archived field, and
+// every partition body range must hold exactly the codec-native stream
+// the decoded frame serializes to.
+func TestStepLayoutLocatesBytes(t *testing.T) {
+	e := engine(t, Config{PartitionDim: 8})
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteStep(map[string]*CompressedField{
+		"alpha": streamField(t, e, 1),
+		"beta":  streamField(t, e, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	sr, err := OpenStream(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts, err := sr.StepLayout(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layouts) != 2 || layouts[0].Name != "alpha" || layouts[1].Name != "beta" {
+		t.Fatalf("unexpected layout fields: %+v", layouts)
+	}
+	for _, fl := range layouts {
+		blob := raw[fl.ArchiveOffset : fl.ArchiveOffset+fl.ArchiveLength]
+		cf, err := ParseCompressedField(blob)
+		if err != nil {
+			t.Fatalf("%s: archive range does not parse: %v", fl.Name, err)
+		}
+		if cf.Nx != fl.Nx || cf.Ny != fl.Ny || cf.Nz != fl.Nz || cf.PartitionDim != fl.PartitionDim {
+			t.Fatalf("%s: layout geometry %dx%dx%d/%d disagrees with parsed archive",
+				fl.Name, fl.Nx, fl.Ny, fl.Nz, fl.PartitionDim)
+		}
+		if len(fl.Partitions) != len(cf.Parts) {
+			t.Fatalf("%s: layout has %d partitions, archive %d", fl.Name, len(fl.Partitions), len(cf.Parts))
+		}
+		for i, pl := range fl.Partitions {
+			body := raw[pl.BodyOffset : pl.BodyOffset+pl.BodyLength]
+			if pl.Codec != cf.Parts[i].CodecID() {
+				t.Fatalf("%s partition %d: codec %q vs frame %q", fl.Name, i, pl.Codec, cf.Parts[i].CodecID())
+			}
+			if !bytes.Equal(body, cf.Parts[i].Bytes()) {
+				t.Fatalf("%s partition %d: body range diverges from frame bytes", fl.Name, i)
+			}
+		}
+	}
+	if _, err := sr.StepLayout(1); err == nil {
+		t.Fatal("out-of-range step accepted")
+	}
+	if _, err := sr.StepSection(-1); err == nil {
+		t.Fatal("negative step accepted")
 	}
 }

@@ -481,18 +481,18 @@ func (s *Server) requestSetup(w http.ResponseWriter, r *http.Request) (tenant st
 func (s *Server) handleField(w http.ResponseWriter, r *http.Request, kind jobKind) {
 	field := r.PathValue("field")
 	if !nameOK(field) {
-		writeError(w, fmt.Errorf("server: %w: invalid field name %q", apierr.ErrBadConfig, field))
+		WriteError(w, fmt.Errorf("server: %w: invalid field name %q", apierr.ErrBadConfig, field))
 		return
 	}
 	tenant, body, ctx, cancel, err := s.requestSetup(w, r)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	defer cancel()
 	f, err := DecodeField(body, s.cfg.MaxFieldCells)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	j := &job{
@@ -502,7 +502,7 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request, kind jobKin
 	}
 	res, err := s.await(j)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	switch kind {
@@ -520,7 +520,7 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request, kind jobKin
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	tenant, body, ctx, cancel, err := s.requestSetup(w, r)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	defer cancel()
@@ -529,11 +529,11 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	// occupies a queue slot.
 	cf, err := core.ParseCompressedField(body)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	if n := int64(cf.N()); n > s.cfg.MaxFieldCells {
-		writeError(w, fmt.Errorf("server: %w: archive holds %d cells, limit %d", apierr.ErrBadConfig, n, s.cfg.MaxFieldCells))
+		WriteError(w, fmt.Errorf("server: %w: archive holds %d cells, limit %d", apierr.ErrBadConfig, n, s.cfg.MaxFieldCells))
 		return
 	}
 	j := &job{
@@ -543,7 +543,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.await(j)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -642,6 +642,8 @@ func statusOf(err error) (int, string) {
 		return http.StatusInternalServerError, "drift_recalibration"
 	case errors.Is(err, apierr.ErrBadConfig):
 		return http.StatusBadRequest, "bad_config"
+	case errors.Is(err, apierr.ErrNotFound):
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
@@ -651,7 +653,12 @@ func statusOf(err error) (int, string) {
 	}
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// WriteError renders a taxonomy error as the service's JSON error
+// envelope with the matching HTTP status and stable machine code —
+// shared with sibling services (the archive read server) so every
+// endpoint in the fleet speaks one error wire format and
+// ErrorFromResponse reverses all of them.
+func WriteError(w http.ResponseWriter, err error) {
 	status, code := statusOf(err)
 	var body errorBody
 	body.Error.Code = code
@@ -688,6 +695,7 @@ func ErrorFromResponse(status int, body []byte) error {
 		"corrupt_archive":     apierr.ErrCorruptArchive,
 		"codec_unknown":       apierr.ErrCodecUnknown,
 		"bad_config":          apierr.ErrBadConfig,
+		"not_found":           apierr.ErrNotFound,
 		"drift_recalibration": apierr.ErrDriftRecalibration,
 		"deadline_exceeded":   context.DeadlineExceeded,
 		"canceled":            context.Canceled,

@@ -2,9 +2,11 @@ package zfp
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/parallel"
 	"repro/internal/stats"
@@ -119,6 +121,111 @@ func TestIndexedRejectsHigherRate(t *testing.T) {
 	}
 	if _, err := ix.TruncateToRate(math.NaN(), nil); err == nil {
 		t.Error("NaN rate accepted")
+	}
+}
+
+// TestIndexedRateEdgesAreTypedBadConfig pins the error taxonomy of the
+// derived-rate guards: every hostile rate — above the indexed maximum,
+// NaN, negative, zero, sub-minimum, infinite — must come back wrapped in
+// apierr.ErrBadConfig from all three entry points, never a silent
+// mis-slice or an untyped error.
+func TestIndexedRateEdgesAreTypedBadConfig(t *testing.T) {
+	f := smoothField(8, 67)
+	ix, err := CompressIndexed(f, Options{Rate: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := grid.NewCube(8)
+	for _, rate := range []float64{8.0001, 16, 32, math.NaN(), -1, -math.SmallestNonzeroFloat64, 0, 0.25, math.Inf(1), math.Inf(-1)} {
+		if _, err := ix.TruncateToRate(rate, nil); !errors.Is(err, apierr.ErrBadConfig) {
+			t.Errorf("TruncateToRate(%v): got %v, want ErrBadConfig", rate, err)
+		}
+		if _, err := ix.PredictSize(rate); !errors.Is(err, apierr.ErrBadConfig) {
+			t.Errorf("PredictSize(%v): got %v, want ErrBadConfig", rate, err)
+		}
+		if err := ix.DecompressAtRateInto(out, rate, nil); !errors.Is(err, apierr.ErrBadConfig) {
+			t.Errorf("DecompressAtRateInto(%v): got %v, want ErrBadConfig", rate, err)
+		}
+	}
+	// The indexed maximum itself is a valid request, not an edge.
+	if _, err := ix.TruncateToRate(8, nil); err != nil {
+		t.Errorf("TruncateToRate at the indexed max: %v", err)
+	}
+}
+
+// TestReindexMatchesCompressIndexed proves the scan-rebuild path: parsing
+// a serialized max-rate stream and rescanning its block boundaries must
+// recover exactly the accounting CompressIndexed recorded — the recovery
+// path an archive server takes when its sidecar index is missing.
+func TestReindexMatchesCompressIndexed(t *testing.T) {
+	for name, f := range map[string]*grid.Field3D{
+		"smooth": smoothField(16, 68),
+		"zero":   grid.NewCube(8),
+		"ragged": smoothField(10, 69),
+	} {
+		ix, err := CompressIndexed(f, Options{Rate: 32}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		parsed, err := Parse(ix.C.Bytes())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rix, err := Reindex(parsed)
+		if err != nil {
+			t.Fatalf("%s: reindex: %v", name, err)
+		}
+		if len(rix.starts) != len(ix.starts) {
+			t.Fatalf("%s: reindex has %d offsets, compression recorded %d", name, len(rix.starts), len(ix.starts))
+		}
+		for b := range ix.starts {
+			if rix.starts[b] != ix.starts[b] {
+				t.Fatalf("%s: offset %d diverges: %d vs %d", name, b, rix.starts[b], ix.starts[b])
+			}
+		}
+	}
+}
+
+// TestNewIndexedValidatesSidecar pins the sidecar-load guard: a persisted
+// offset table that does not fit the stream must come back as
+// ErrCorruptArchive, and a faithful one must splice identically to the
+// compression-time index.
+func TestNewIndexedValidatesSidecar(t *testing.T) {
+	f := smoothField(12, 70)
+	ix, err := CompressIndexed(f, Options{Rate: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ix.Starts()
+	rebound, err := NewIndexed(ix.C, append([]int(nil), good...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.TruncateToRate(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rebound.TruncateToRate(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.payload, got.payload) {
+		t.Error("rebound index splices a different stream")
+	}
+	for name, bad := range map[string][]int{
+		"short":        good[:len(good)-1],
+		"long":         append(append([]int(nil), good...), 7),
+		"nonzero head": func() []int { b := append([]int(nil), good...); b[0] = 1; return b }(),
+		"non-monotone": func() []int { b := append([]int(nil), good...); b[1], b[2] = b[2]+1, b[1]; return b }(),
+		"overlong tail": func() []int {
+			b := append([]int(nil), good...)
+			b[len(b)-1] = len(ix.C.payload)*8 + 1
+			return b
+		}(),
+	} {
+		if _, err := NewIndexed(ix.C, bad); !errors.Is(err, apierr.ErrCorruptArchive) {
+			t.Errorf("%s sidecar: got %v, want ErrCorruptArchive", name, err)
+		}
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"repro/internal/apierr"
 	"repro/internal/grid"
 	"repro/internal/huffman"
 	"repro/internal/parallel"
@@ -939,6 +940,57 @@ func CompressIndexed(f *grid.Field3D, opt Options, s *Scratch) (*Indexed, error)
 	return &Indexed{C: c, starts: starts}, nil
 }
 
+// Starts exposes the per-block bit-offset table: Starts()[b] is the
+// absolute bit offset of block b in the payload, and the final entry is
+// the total bit length before byte padding. The slice is the index's own
+// backing store — callers must treat it as read-only. It exists so the
+// accounting can be persisted (an archive server's sidecar index) and
+// rehydrated later with NewIndexed instead of rescanning the stream.
+func (ix *Indexed) Starts() []int { return ix.starts }
+
+// NewIndexed rebinds a persisted bit-offset table to a parsed max-rate
+// stream — the sidecar-index load path. The table is validated against the
+// stream's geometry (one entry per block plus the terminator, offsets
+// monotone, first at bit 0, last within the payload) so a stale or
+// corrupt sidecar surfaces as apierr.ErrCorruptArchive instead of an
+// out-of-bounds splice.
+func NewIndexed(c *Compressed, starts []int) (*Indexed, error) {
+	l := layoutOf(c.Nx, c.Ny, c.Nz)
+	n := l.blocks()
+	if len(starts) != n+1 {
+		return nil, fmt.Errorf("zfp: %w: index has %d entries, stream has %d blocks", apierr.ErrCorruptArchive, len(starts), n)
+	}
+	if starts[0] != 0 {
+		return nil, fmt.Errorf("zfp: %w: index does not start at bit 0", apierr.ErrCorruptArchive)
+	}
+	for b := 0; b < n; b++ {
+		if starts[b+1] < starts[b] {
+			return nil, fmt.Errorf("zfp: %w: index offsets not monotone at block %d", apierr.ErrCorruptArchive, b)
+		}
+	}
+	if starts[n] > len(c.payload)*8 {
+		return nil, fmt.Errorf("zfp: %w: index claims %d bits, payload has %d", apierr.ErrCorruptArchive, starts[n], len(c.payload)*8)
+	}
+	return &Indexed{C: c, starts: starts}, nil
+}
+
+// Reindex rebuilds the per-block bit accounting of a parsed stream by
+// walking its group-test structure — the recovery path when a
+// compression-time index (CompressIndexed) or persisted sidecar is not
+// available. The scan consumes exactly the bits the decoder would, so the
+// result is identical to what CompressIndexed would have recorded.
+func Reindex(c *Compressed) (*Indexed, error) {
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	l := layoutOf(c.Nx, c.Ny, c.Nz)
+	n := l.blocks()
+	starts := make([]int, n+1)
+	if err := scanStarts(c.payload, l, budgetOf(c.Rate), starts, s); err != nil {
+		return nil, err
+	}
+	return &Indexed{C: c, starts: starts}, nil
+}
+
 // blockBits is the bits block b occupies when truncated to budget.
 func (ix *Indexed) blockBits(b, budget int) int {
 	stored := ix.starts[b+1] - ix.starts[b]
@@ -952,12 +1004,17 @@ func (ix *Indexed) blockBits(b, budget int) int {
 	return blockHeaderBits + pb
 }
 
+// checkRate guards the derived-rate entry points. A NaN, negative, or
+// out-of-range rate, or one above the rate the index was built at, is a
+// caller configuration error — typed apierr.ErrBadConfig, never a silent
+// mis-slice (a budget above the stored one would splice bits that were
+// never written).
 func (ix *Indexed) checkRate(rate float64) error {
 	if err := (Options{Rate: rate}).Validate(); err != nil {
-		return err
+		return fmt.Errorf("zfp: %w: %w", apierr.ErrBadConfig, err)
 	}
 	if rate > ix.C.Rate {
-		return fmt.Errorf("zfp: index was built at rate %v, cannot derive rate %v", ix.C.Rate, rate)
+		return fmt.Errorf("zfp: %w: index was built at rate %v, cannot derive rate %v", apierr.ErrBadConfig, ix.C.Rate, rate)
 	}
 	return nil
 }
